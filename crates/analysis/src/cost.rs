@@ -1,0 +1,99 @@
+//! Message forwarding cost bounds (Section IV-C).
+//!
+//! Costs are counted in message transmissions, ignoring delivery delay.
+//! The non-anonymous baseline needs at most `2L` transmissions (`L` copies
+//! sprayed, each relayed once to the destination in the best case); the
+//! anonymous protocols pay for the onion detour.
+
+use crate::error::AnalysisError;
+
+/// Transmissions of single-copy onion forwarding: exactly `K + 1` — one
+/// hop into each of the `K` onion groups plus the final hop to the
+/// destination.
+pub fn single_copy_cost(k: usize) -> u64 {
+    k as u64 + 1
+}
+
+/// Upper bound on transmissions for `L`-copy onion forwarding:
+/// `(K + 2)·L` (Section IV-C: at most `1 + 2(L−1)` at the first hop and
+/// `K·L` afterwards, relaxed to the paper's headline bound).
+///
+/// # Errors
+///
+/// Rejects `l == 0`.
+pub fn multi_copy_bound(k: usize, l: u32) -> Result<u64, AnalysisError> {
+    if l == 0 {
+        return Err(AnalysisError::InvalidParameter("copy count L must be > 0"));
+    }
+    Ok((k as u64 + 2) * l as u64)
+}
+
+/// The tighter component bound for the first hop of multi-copy
+/// forwarding: `1 + 2(L − 1)` (one direct transmission into `R_1` plus two
+/// per sprayed copy).
+pub fn multi_copy_first_hop_bound(l: u32) -> u64 {
+    1 + 2 * (l.saturating_sub(1)) as u64
+}
+
+/// Non-anonymous baseline: at most `2L` transmissions when delay is
+/// ignored (each copy is sprayed once and delivered once).
+pub fn non_anonymous_bound(l: u32) -> u64 {
+    2 * l as u64
+}
+
+/// The anonymity cost *factor*: the multi-copy bound relative to the
+/// non-anonymous baseline, `(K + 2)/2`.
+pub fn anonymity_cost_factor(k: usize) -> f64 {
+    (k as f64 + 2.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_is_path_length() {
+        assert_eq!(single_copy_cost(3), 4);
+        assert_eq!(single_copy_cost(0), 1); // no onions: direct delivery
+    }
+
+    #[test]
+    fn multi_copy_bound_formula() {
+        assert_eq!(multi_copy_bound(3, 1).unwrap(), 5);
+        assert_eq!(multi_copy_bound(3, 5).unwrap(), 25);
+        assert!(multi_copy_bound(3, 0).is_err());
+    }
+
+    #[test]
+    fn bound_components_are_consistent() {
+        // first hop + K·L <= (K + 2)·L for every K, L.
+        for k in 0..10usize {
+            for l in 1..8u32 {
+                let parts = multi_copy_first_hop_bound(l) + (k as u64) * l as u64;
+                assert!(
+                    parts <= multi_copy_bound(k, l).unwrap(),
+                    "K = {k}, L = {l}: {parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_copy_consistent_with_multi() {
+        // L = 1 multi-copy bound dominates the exact single-copy cost.
+        for k in 0..10usize {
+            assert!(multi_copy_bound(k, 1).unwrap() >= single_copy_cost(k));
+        }
+    }
+
+    #[test]
+    fn non_anonymous_baseline() {
+        assert_eq!(non_anonymous_bound(1), 2);
+        assert_eq!(non_anonymous_bound(5), 10);
+    }
+
+    #[test]
+    fn cost_factor() {
+        assert_eq!(anonymity_cost_factor(3), 2.5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Delivery-rate models (Section IV-A/B, Eqs. 4–7).
+//!
+//! A message travels `v_s → R_1 → R_2 → … → R_K → v_d`. Each hop is an
+//! exponential race: the current custodian meets *any* member of the next
+//! onion group. The per-hop aggregate rates `λ_k` (Eq. 4) feed a
+//! hypoexponential end-to-end delay — the *opportunistic onion path* — and
+//! the delivery rate within deadline `T` is its CDF (Eq. 6). Multi-copy
+//! forwarding with `L` replicas divides the expected per-hop delay by `L`,
+//! i.e. multiplies each rate by `L` (Eq. 7, following the replication
+//! observation of \[30\]).
+
+use contact_graph::{ContactGraph, NodeId};
+
+use crate::error::AnalysisError;
+use crate::hypoexp::HypoExp;
+
+/// The per-hop aggregate rates `λ_1 … λ_{K+1}` of an opportunistic onion
+/// path (Eq. 4).
+///
+/// * `λ_1 = Σ_j λ_{s, r_{1,j}}` — the source reaches *any* member of
+///   `R_1`;
+/// * `λ_k = (1/g) Σ_i Σ_j λ_{r_{k−1,i}, r_{k,j}}` for `2 ≤ k ≤ K` — the
+///   (unknown, uniformly likely) custodian in `R_{k−1}` reaches any member
+///   of `R_k`;
+/// * `λ_{K+1} = (1/g) Σ_j λ_{r_{K,j}, d}` — the custodian in `R_K`
+///   reaches the destination. (We average over which member holds the
+///   message; the paper's Eq. 4 prints the bare sum, but the averaged form
+///   is the physically consistent one and matches simulation.)
+pub fn onion_path_rates(
+    graph: &ContactGraph,
+    source: NodeId,
+    groups: &[Vec<NodeId>],
+    destination: NodeId,
+) -> Result<Vec<f64>, AnalysisError> {
+    if groups.is_empty() {
+        return Err(AnalysisError::InvalidParameter("at least one onion group"));
+    }
+    for g in groups {
+        if g.is_empty() {
+            return Err(AnalysisError::InvalidParameter("onion group is empty"));
+        }
+    }
+    let mut rates = Vec::with_capacity(groups.len() + 1);
+    rates.push(graph.aggregate_rate_to_group(source, &groups[0]).as_f64());
+    for k in 1..groups.len() {
+        rates.push(
+            graph
+                .mean_aggregate_rate_between_groups(&groups[k - 1], &groups[k])
+                .as_f64(),
+        );
+    }
+    let last = groups.last().expect("non-empty groups");
+    let sum_to_dest: f64 = last
+        .iter()
+        .map(|&r| graph.rate(r, destination).as_f64())
+        .sum();
+    rates.push(sum_to_dest / last.len() as f64);
+    Ok(rates)
+}
+
+/// Per-hop rates for the *uniform abstraction* used in parameter studies:
+/// every pair meets at rate `lambda`, groups have size `g`, and there are
+/// `k` onion groups. Then `λ_1 = … = λ_K = g·λ` and `λ_{K+1} = λ`.
+///
+/// # Errors
+///
+/// Rejects non-positive `lambda`, `g == 0`, or `k == 0`.
+pub fn uniform_onion_path_rates(
+    lambda: f64,
+    g: usize,
+    k: usize,
+) -> Result<Vec<f64>, AnalysisError> {
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(AnalysisError::InvalidRate(lambda));
+    }
+    if g == 0 {
+        return Err(AnalysisError::InvalidParameter("group size g must be > 0"));
+    }
+    if k == 0 {
+        return Err(AnalysisError::InvalidParameter(
+            "number of onion groups K must be > 0",
+        ));
+    }
+    let mut rates = vec![lambda * g as f64; k];
+    rates.push(lambda);
+    Ok(rates)
+}
+
+/// Delivery rate within deadline `t` for single-copy forwarding (Eq. 6):
+/// the hypoexponential CDF over the per-hop rates.
+///
+/// # Errors
+///
+/// Propagates rate-validation failures from [`HypoExp::new`].
+pub fn delivery_rate(per_hop_rates: &[f64], t: f64) -> Result<f64, AnalysisError> {
+    Ok(HypoExp::new(per_hop_rates.to_vec())?.cdf(t))
+}
+
+/// Delivery rate within deadline `t` with `l` copies (Eq. 7): each per-hop
+/// rate is multiplied by `l`.
+///
+/// # Errors
+///
+/// Rejects `l == 0` and propagates rate-validation failures.
+pub fn delivery_rate_multicopy(
+    per_hop_rates: &[f64],
+    l: u32,
+    t: f64,
+) -> Result<f64, AnalysisError> {
+    if l == 0 {
+        return Err(AnalysisError::InvalidParameter("copy count L must be > 0"));
+    }
+    let boosted: Vec<f64> = per_hop_rates.iter().map(|&r| r * l as f64).collect();
+    Ok(HypoExp::new(boosted)?.cdf(t))
+}
+
+/// Expected end-to-end delay of the opportunistic onion path.
+///
+/// # Errors
+///
+/// Propagates rate-validation failures.
+pub fn expected_delay(per_hop_rates: &[f64]) -> Result<f64, AnalysisError> {
+    Ok(HypoExp::new(per_hop_rates.to_vec())?.mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::Rate;
+
+    fn uniform_graph(n: usize, lambda: f64) -> ContactGraph {
+        let mut g = ContactGraph::new(n);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                g.set_rate(NodeId(i), NodeId(j), Rate::new(lambda));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn uniform_rates_shape() {
+        let rates = uniform_onion_path_rates(0.1, 5, 3).unwrap();
+        assert_eq!(rates, vec![0.5, 0.5, 0.5, 0.1]);
+    }
+
+    #[test]
+    fn graph_rates_match_uniform_abstraction() {
+        // On a perfectly uniform graph, Eq. 4 reduces to the closed form.
+        let lambda = 0.05;
+        let graph = uniform_graph(30, lambda);
+        let groups = vec![
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+            vec![NodeId(7), NodeId(8), NodeId(9)],
+        ];
+        let rates = onion_path_rates(&graph, NodeId(0), &groups, NodeId(29)).unwrap();
+        let expect = uniform_onion_path_rates(lambda, 3, 3).unwrap();
+        for (r, e) in rates.iter().zip(&expect) {
+            assert!((r - e).abs() < 1e-12, "{rates:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_groups_deliver_more() {
+        // Fig. 4's trend: delivery rate increases with g.
+        let t = 300.0;
+        let mut last = 0.0;
+        for g in [1usize, 5, 10] {
+            let rates = uniform_onion_path_rates(1.0 / 18.0, g, 3).unwrap();
+            let p = delivery_rate(&rates, t).unwrap();
+            assert!(p > last, "g = {g}: {p} <= {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn more_onions_deliver_less() {
+        // Fig. 5's trend: delivery rate decreases with K.
+        let t = 300.0;
+        let mut last = 1.0;
+        for k in [3usize, 5, 10] {
+            let rates = uniform_onion_path_rates(1.0 / 18.0, 5, k).unwrap();
+            let p = delivery_rate(&rates, t).unwrap();
+            assert!(p < last, "K = {k}: {p} >= {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn more_copies_deliver_more() {
+        // Fig. 10's trend: delivery rate increases with L.
+        let rates = uniform_onion_path_rates(1.0 / 18.0, 5, 3).unwrap();
+        let t = 120.0;
+        let p1 = delivery_rate_multicopy(&rates, 1, t).unwrap();
+        let p3 = delivery_rate_multicopy(&rates, 3, t).unwrap();
+        let p5 = delivery_rate_multicopy(&rates, 5, t).unwrap();
+        assert!(p1 < p3 && p3 < p5, "{p1} {p3} {p5}");
+        // L = 1 coincides with the single-copy model.
+        assert!((p1 - delivery_rate(&rates, t).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_delay_decomposes() {
+        let rates = vec![0.5, 0.25, 0.1];
+        let d = expected_delay(&rates).unwrap();
+        assert!((d - (2.0 + 4.0 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(onion_path_rates(&uniform_graph(5, 1.0), NodeId(0), &[], NodeId(4)).is_err());
+        assert!(onion_path_rates(
+            &uniform_graph(5, 1.0),
+            NodeId(0),
+            &[vec![]],
+            NodeId(4)
+        )
+        .is_err());
+        assert!(uniform_onion_path_rates(0.0, 5, 3).is_err());
+        assert!(uniform_onion_path_rates(1.0, 0, 3).is_err());
+        assert!(uniform_onion_path_rates(1.0, 5, 0).is_err());
+        assert!(delivery_rate_multicopy(&[1.0], 0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for the analytical models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `analysis` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A hypoexponential distribution needs at least one stage.
+    EmptyRates,
+    /// A stage rate was zero, negative, NaN, or infinite.
+    InvalidRate(f64),
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A structural parameter (n, g, K, L, η) was zero or inconsistent.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptyRates => write!(f, "at least one stage rate is required"),
+            AnalysisError::InvalidRate(r) => {
+                write!(f, "stage rate must be finite and positive, got {r}")
+            }
+            AnalysisError::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            AnalysisError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            AnalysisError::EmptyRates,
+            AnalysisError::InvalidRate(-1.0),
+            AnalysisError::InvalidProbability(2.0),
+            AnalysisError::InvalidParameter("g must be positive"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

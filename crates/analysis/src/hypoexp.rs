@@ -1,0 +1,453 @@
+//! The hypoexponential distribution: the sum of independent exponential
+//! stages — the paper's *opportunistic onion path* delay model (Eqs. 5–6).
+//!
+//! `CDF(t) = Σ_k A_k (1 − e^{−λ_k t})`, with the coefficients
+//! `A_k = Π_{j≠k} λ_j / (λ_j − λ_k)` (Eq. 5).
+//!
+//! The product form is exact but numerically catastrophic when rates are
+//! close or equal — and equal rates are the *common* case here (the
+//! uniform abstraction gives `λ_1 = … = λ_K = g·λ`). [`HypoExp`] therefore
+//! detects ill-conditioning (via the magnitude of the `A_k`) and falls
+//! back to a uniformization (randomization) evaluation of the underlying
+//! absorbing Markov chain, which is unconditionally stable. The
+//! `ablation_hypoexp` bench quantifies the difference.
+
+use crate::error::AnalysisError;
+use crate::special::ln_factorial;
+
+/// Coefficient magnitude beyond which the Eq. 5 product form loses too
+/// much precision (error ≈ `max|A_k| · ε_machine`).
+const CONDITION_LIMIT: f64 = 1e8;
+
+/// Minimal relative separation enforced when computing the (possibly
+/// ill-conditioned) coefficients, to avoid division by zero on exact ties.
+const TIE_NUDGE: f64 = 1e-12;
+
+/// A hypoexponential (generalized Erlang) distribution.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::HypoExp;
+///
+/// // Two stages of mean 1 and 1/2: total mean 1.5.
+/// let h = HypoExp::new(vec![1.0, 2.0]).unwrap();
+/// assert!((h.mean() - 1.5).abs() < 1e-12);
+/// assert!(h.cdf(0.0) == 0.0);
+/// assert!(h.cdf(100.0) > 0.999999);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct HypoExp {
+    rates: Vec<f64>,
+    /// Eq. 5 coefficients (computed with tie nudging; meaningful only when
+    /// `well_conditioned`).
+    coefficients: Vec<f64>,
+    well_conditioned: bool,
+}
+
+impl HypoExp {
+    /// Builds the distribution from stage rates.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::EmptyRates`] if `rates` is empty;
+    /// * [`AnalysisError::InvalidRate`] if any rate is not finite and
+    ///   positive.
+    pub fn new(rates: Vec<f64>) -> Result<Self, AnalysisError> {
+        if rates.is_empty() {
+            return Err(AnalysisError::EmptyRates);
+        }
+        for &r in &rates {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(AnalysisError::InvalidRate(r));
+            }
+        }
+        let nudged = separate_ties(rates.clone());
+        let coefficients = eq5_coefficients(&nudged);
+        let max_coef = coefficients.iter().fold(0.0f64, |m, &a| m.max(a.abs()));
+        Ok(HypoExp {
+            rates,
+            coefficients,
+            well_conditioned: max_coef < CONDITION_LIMIT,
+        })
+    }
+
+    /// The stage rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The Eq. 5 mixture coefficients `A_k` (computed with exact ties
+    /// separated by a negligible nudge; see [`Self::is_well_conditioned`]).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Whether the Eq. 5 product form is numerically trustworthy for this
+    /// rate vector. When false, [`Self::cdf`] and [`Self::pdf`] use the
+    /// uniformization evaluator instead.
+    pub fn is_well_conditioned(&self) -> bool {
+        self.well_conditioned
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Mean: `Σ_k 1/λ_k`.
+    pub fn mean(&self) -> f64 {
+        self.rates.iter().map(|r| 1.0 / r).sum()
+    }
+
+    /// Variance: `Σ_k 1/λ_k²`.
+    pub fn variance(&self) -> f64 {
+        self.rates.iter().map(|r| 1.0 / (r * r)).sum()
+    }
+
+    /// `P(T ≤ t)` — Eq. 6: the probability the whole chain completes
+    /// within `t`. Clamped to `[0, 1]`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        if self.well_conditioned {
+            let sum: f64 = self
+                .rates
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&rate, &a)| a * (1.0 - (-rate * t).exp()))
+                .sum();
+            sum.clamp(0.0, 1.0)
+        } else {
+            let transient = self.transient_probabilities(t);
+            (1.0 - transient.iter().sum::<f64>()).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Probability density at `t`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        if self.well_conditioned {
+            let sum: f64 = self
+                .rates
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&rate, &a)| a * rate * (-rate * t).exp())
+                .sum();
+            sum.max(0.0)
+        } else {
+            // Absorption flux: the last stage's occupancy times its rate.
+            let transient = self.transient_probabilities(t);
+            (transient[self.rates.len() - 1] * self.rates[self.rates.len() - 1]).max(0.0)
+        }
+    }
+
+    /// Draws one end-to-end delay: the sum of one exponential sample per
+    /// stage (inverse-CDF sampling per stage).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.rates
+            .iter()
+            .map(|&rate| {
+                let u: f64 = rng.gen();
+                -(1.0 - u).ln() / rate
+            })
+            .sum()
+    }
+
+    /// Transient stage-occupancy probabilities `p_i(t)` of the absorbing
+    /// birth chain, via uniformization with Poisson weights computed in
+    /// the log domain (stable for any `Λt`).
+    fn transient_probabilities(&self, t: f64) -> Vec<f64> {
+        let k = self.rates.len();
+        let lambda_max = self.rates.iter().cloned().fold(0.0f64, f64::max);
+        let lt = lambda_max * t;
+        if lt == 0.0 {
+            let mut p = vec![0.0; k];
+            p[0] = 1.0;
+            return p;
+        }
+
+        // Poisson(lt) window: mode ± 12 standard deviations (tail mass
+        // far below 1e-16), always including m = 0 region for small lt.
+        let std12 = 12.0 * (lt.sqrt() + 1.0);
+        let m_lo = ((lt - std12).floor()).max(0.0) as usize;
+        let m_hi = (lt + std12).ceil() as usize + 10;
+
+        // v_m: distribution over transient stages after m uniformized
+        // jumps, starting in stage 0.
+        let mut v = vec![0.0f64; k];
+        v[0] = 1.0;
+        let stay: Vec<f64> = self.rates.iter().map(|&r| 1.0 - r / lambda_max).collect();
+        let advance: Vec<f64> = self.rates.iter().map(|&r| r / lambda_max).collect();
+
+        let mut acc = vec![0.0f64; k];
+        for m in 0..=m_hi {
+            if m >= m_lo {
+                // ln Pois(m; lt) = −lt + m·ln lt − ln m!
+                let ln_w = -lt + (m as f64) * lt.ln() - ln_factorial(m as f64);
+                let w = ln_w.exp();
+                if w > 0.0 {
+                    for i in 0..k {
+                        acc[i] += w * v[i];
+                    }
+                }
+            }
+            // v_{m+1} = v_m · P (upper bidiagonal chain).
+            let mut next = vec![0.0f64; k];
+            for i in 0..k {
+                next[i] += v[i] * stay[i];
+                if i + 1 < k {
+                    next[i + 1] += v[i] * advance[i];
+                }
+            }
+            v = next;
+            // Early exit once all transient mass is gone.
+            if m >= m_lo && v.iter().sum::<f64>() < 1e-18 {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// Separates exact ties so the Eq. 5 product is at least computable.
+fn separate_ties(mut rates: Vec<f64>) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..rates.len()).collect();
+    order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).expect("validated finite"));
+    let mut previous = f64::NEG_INFINITY;
+    for &idx in &order {
+        let min_allowed = previous * (1.0 + TIE_NUDGE);
+        if previous.is_finite() && rates[idx] <= min_allowed {
+            rates[idx] = min_allowed;
+        }
+        previous = rates[idx];
+    }
+    rates
+}
+
+/// The `A_k` coefficients of Eq. 5.
+fn eq5_coefficients(rates: &[f64]) -> Vec<f64> {
+    (0..rates.len())
+        .map(|k| {
+            let mut a = 1.0;
+            for j in 0..rates.len() {
+                if j != k {
+                    a *= rates[j] / (rates[j] - rates[k]);
+                }
+            }
+            a
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_stage_is_exponential() {
+        let h = HypoExp::new(vec![0.5]).unwrap();
+        for t in [0.1, 1.0, 5.0] {
+            let expect = 1.0 - (-0.5f64 * t).exp();
+            assert!((h.cdf(t) - expect).abs() < 1e-12);
+        }
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.variance(), 4.0);
+    }
+
+    #[test]
+    fn coefficients_sum_to_one() {
+        let h = HypoExp::new(vec![1.0, 3.0, 0.2, 7.5]).unwrap();
+        assert!(h.is_well_conditioned());
+        let sum: f64 = h.coefficients().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "ΣA_k = {sum}");
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let h = HypoExp::new(vec![0.3, 1.1, 2.2]).unwrap();
+        assert_eq!(h.cdf(0.0), 0.0);
+        assert_eq!(h.cdf(-5.0), 0.0);
+        assert!(h.cdf(1e6) > 0.999_999);
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let t = i as f64 * 0.25;
+            let c = h.cdf(t);
+            assert!(c >= prev - 1e-12, "CDF decreased at t = {t}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let rates = [0.8, 0.4, 1.5];
+        let h = HypoExp::new(rates.to_vec()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 200_000;
+        let t_check = 4.0;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let total: f64 = rates
+                .iter()
+                .map(|&r| {
+                    let u: f64 = rng.gen();
+                    -(1.0 - u).ln() / r
+                })
+                .sum();
+            if total <= t_check {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / trials as f64;
+        let model = h.cdf(t_check);
+        assert!(
+            (empirical - model).abs() < 0.005,
+            "model {model} vs monte carlo {empirical}"
+        );
+    }
+
+    #[test]
+    fn equal_rates_match_erlang() {
+        // Erlang(3, λ=1): CDF(t) = 1 − e^−t (1 + t + t²/2).
+        let h = HypoExp::new(vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(!h.is_well_conditioned());
+        for t in [0.5f64, 1.0, 2.0, 4.0, 20.0] {
+            let erlang = 1.0 - (-t).exp() * (1.0 + t + t * t / 2.0);
+            assert!(
+                (h.cdf(t) - erlang).abs() < 1e-9,
+                "t = {t}: {} vs {erlang}",
+                h.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_equal_and_distinct_rates() {
+        // Three equal fast stages plus one slow: compare with Monte Carlo.
+        let rates = [0.5, 0.5, 0.5, 0.1];
+        let h = HypoExp::new(rates.to_vec()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trials = 200_000;
+        for t_check in [5.0, 15.0, 40.0] {
+            let mut hits = 0u64;
+            for _ in 0..trials {
+                let total: f64 = rates
+                    .iter()
+                    .map(|&r| {
+                        let u: f64 = rng.gen();
+                        -(1.0 - u).ln() / r
+                    })
+                    .sum();
+                if total <= t_check {
+                    hits += 1;
+                }
+            }
+            let empirical = hits as f64 / trials as f64;
+            let model = h.cdf(t_check);
+            assert!(
+                (empirical - model).abs() < 0.005,
+                "t = {t_check}: model {model} vs MC {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_equal_rates_are_stable() {
+        let h = HypoExp::new(vec![1.0, 1.0 + 1e-13, 2.0]).unwrap();
+        let c = h.cdf(1.0);
+        assert!(c.is_finite() && (0.0..=1.0).contains(&c));
+        let href = HypoExp::new(vec![1.0, 1.0001, 2.0]).unwrap();
+        assert!((c - href.cdf(1.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniformization_agrees_with_product_form() {
+        // A well-conditioned case evaluated both ways must agree.
+        let rates = vec![0.9, 0.3, 1.7];
+        let h = HypoExp::new(rates.clone()).unwrap();
+        assert!(h.is_well_conditioned());
+        let mut forced = h.clone();
+        forced.well_conditioned = false;
+        for t in [0.5, 2.0, 7.0, 30.0] {
+            assert!(
+                (h.cdf(t) - forced.cdf(t)).abs() < 1e-9,
+                "t = {t}: product {} vs uniformization {}",
+                h.cdf(t),
+                forced.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn large_rate_spread_with_ties() {
+        // Fast tied stages + very slow stage, large Λt: survival is
+        // dominated by the slow stage.
+        let h = HypoExp::new(vec![100.0, 100.0, 0.01]).unwrap();
+        let t = 50.0;
+        // ≈ Exp(0.01) survival since the fast stages are instantaneous.
+        let expect = 1.0 - (-0.01f64 * t).exp();
+        assert!((h.cdf(t) - expect).abs() < 1e-3, "{} vs {expect}", h.cdf(t));
+    }
+
+    #[test]
+    fn mean_of_chain() {
+        let h = HypoExp::new(vec![0.5, 0.25]).unwrap();
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        for rates in [vec![0.9, 1.7, 0.33], vec![1.0, 1.0, 1.0]] {
+            let h = HypoExp::new(rates).unwrap();
+            let steps = 20_000;
+            let dt = 10.0 / steps as f64;
+            let mut integral = 0.0;
+            for i in 0..steps {
+                let a = h.pdf(i as f64 * dt);
+                let b = h.pdf((i + 1) as f64 * dt);
+                integral += 0.5 * (a + b) * dt;
+            }
+            assert!(
+                (integral - h.cdf(10.0)).abs() < 1e-4,
+                "∫pdf = {integral}, cdf = {}",
+                h.cdf(10.0)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_matches_model() {
+        let h = HypoExp::new(vec![0.5, 0.25, 1.0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| h.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - h.mean()).abs() < 0.05, "sample mean {mean} vs {}", h.mean());
+        // Empirical CDF at a few points.
+        for t in [2.0, 7.0, 15.0] {
+            let frac = samples.iter().filter(|&&s| s <= t).count() as f64 / n as f64;
+            assert!((frac - h.cdf(t)).abs() < 0.01, "t = {t}: {frac} vs {}", h.cdf(t));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(HypoExp::new(vec![]), Err(AnalysisError::EmptyRates));
+        assert_eq!(
+            HypoExp::new(vec![1.0, 0.0]),
+            Err(AnalysisError::InvalidRate(0.0))
+        );
+        assert_eq!(
+            HypoExp::new(vec![-2.0]),
+            Err(AnalysisError::InvalidRate(-2.0))
+        );
+        assert!(HypoExp::new(vec![f64::NAN]).is_err());
+        assert!(HypoExp::new(vec![f64::INFINITY]).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Traceable-rate models (Sections II-C and IV-D, Eqs. 1 and 8–12).
+//!
+//! A compromised node discloses the link to its successor, so a routing
+//! path of `η` hops becomes a bit string `b_1 … b_η` with `b_i = 1` iff the
+//! sender of hop `i` is compromised. The traceable rate weights *runs* of
+//! disclosed links quadratically:
+//!
+//! `P_trace = (1/η²) Σ_i (run_i)²`   (Eq. 1)
+//!
+//! With nodes compromised independently with probability `p = c/n`, the
+//! expected traceable rate reduces to run-length statistics of a Bernoulli
+//! string. [`expected_traceable_rate`] computes the exact expectation by
+//! enumerating maximal runs; [`expected_traceable_rate_paper`] implements
+//! the paper's geometric-series approximation (Eqs. 8–12), kept for
+//! comparison in the ablation bench.
+
+use crate::error::AnalysisError;
+
+/// Traceable rate of a realized compromise bit string (Eq. 1).
+///
+/// `bits[i]` is true iff the sender of hop `i` is compromised. Returns 0
+/// for an empty path.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::traceable_rate_of_bits;
+///
+/// // Paper's example: path v1→…→v5 (η = 4), v1, v2, v4 compromised
+/// // → bits 1101 → runs of length 2 and 1 → (4 + 1)/16.
+/// let p = traceable_rate_of_bits(&[true, true, false, true]);
+/// assert!((p - 0.3125).abs() < 1e-12);
+/// ```
+pub fn traceable_rate_of_bits(bits: &[bool]) -> f64 {
+    let eta = bits.len();
+    if eta == 0 {
+        return 0.0;
+    }
+    let mut sum = 0u64;
+    let mut run = 0u64;
+    for &b in bits {
+        if b {
+            run += 1;
+        } else {
+            sum += run * run;
+            run = 0;
+        }
+    }
+    sum += run * run;
+    sum as f64 / (eta * eta) as f64
+}
+
+/// Exact expected traceable rate of an `eta`-hop path when each node is
+/// compromised independently with probability `p` (the model underlying
+/// Eqs. 8–12, computed without the paper's truncations).
+///
+/// Uses linearity of expectation over maximal runs: a maximal run of
+/// length `k` starting at position `i` occurs with probability
+/// `[i > 1: (1−p)] · p^k · [i+k−1 < η: (1−p)]`.
+///
+/// # Errors
+///
+/// Rejects `eta == 0` and `p ∉ [0, 1]`.
+pub fn expected_traceable_rate(eta: usize, p: f64) -> Result<f64, AnalysisError> {
+    validate(eta, p)?;
+    if p == 0.0 {
+        return Ok(0.0);
+    }
+    if p == 1.0 {
+        return Ok(1.0);
+    }
+    let q = 1.0 - p;
+    let mut expectation = 0.0;
+    for start in 1..=eta {
+        let left = if start > 1 { q } else { 1.0 };
+        let mut p_run = 1.0;
+        for len in 1..=(eta - start + 1) {
+            p_run *= p;
+            let right = if start + len - 1 < eta { q } else { 1.0 };
+            expectation += (len * len) as f64 * left * p_run * right;
+        }
+    }
+    Ok(expectation / (eta * eta) as f64)
+}
+
+/// The paper's approximation (Eqs. 8–12): `P_trace(c) ≈ (1/η²)
+/// Σ_{i=1}^{⌊η/2⌋} E[X_i²]` with `E[X_i²]` the (truncated) geometric
+/// second moment `Σ_k k² p^k (1−p)`.
+///
+/// Valid when `c ≪ n`; diverges from the exact value as `p` grows, which
+/// the `ablation_traceable` bench quantifies.
+///
+/// # Errors
+///
+/// Rejects `eta == 0` and `p ∉ [0, 1]`.
+pub fn expected_traceable_rate_paper(eta: usize, p: f64) -> Result<f64, AnalysisError> {
+    validate(eta, p)?;
+    if p == 0.0 {
+        return Ok(0.0);
+    }
+    let q = 1.0 - p;
+    // Truncated geometric second moment over run lengths up to η.
+    let mut m2 = 0.0;
+    let mut p_pow = 1.0;
+    for k in 1..=eta {
+        p_pow *= p;
+        m2 += (k * k) as f64 * p_pow * q;
+    }
+    let c_seg = eta / 2; // C_seg ≈ η/2 (paper's small-c assumption)
+    Ok(((c_seg.max(1)) as f64 * m2 / (eta * eta) as f64).min(1.0))
+}
+
+fn validate(eta: usize, p: f64) -> Result<(), AnalysisError> {
+    if eta == 0 {
+        return Err(AnalysisError::InvalidParameter("path length η must be > 0"));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(AnalysisError::InvalidProbability(p));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_examples() {
+        // v1..v5 (η = 4): {v1, v2, v4} → 0.3125.
+        assert!((traceable_rate_of_bits(&[true, true, false, true]) - 0.3125).abs() < 1e-12);
+        // Consecutive {v2, v3, v4} → bits 0111 → 9/16.
+        assert!((traceable_rate_of_bits(&[false, true, true, true]) - 0.5625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_string_edge_cases() {
+        assert_eq!(traceable_rate_of_bits(&[]), 0.0);
+        assert_eq!(traceable_rate_of_bits(&[false, false]), 0.0);
+        assert_eq!(traceable_rate_of_bits(&[true]), 1.0);
+        assert_eq!(traceable_rate_of_bits(&[true, true, true]), 1.0);
+        // Scattered singles: η = 4, runs 1 and 1 → 2/16.
+        assert!((traceable_rate_of_bits(&[true, false, true, false]) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consecutive_compromise_traces_more() {
+        // Same number of compromised senders, different clustering.
+        let scattered = traceable_rate_of_bits(&[true, false, true, false, true, false]);
+        let clustered = traceable_rate_of_bits(&[true, true, true, false, false, false]);
+        assert!(clustered > scattered);
+    }
+
+    #[test]
+    fn exact_expectation_matches_monte_carlo() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (eta, p) in [(4usize, 0.1f64), (6, 0.3), (11, 0.05), (3, 0.5)] {
+            let trials = 100_000;
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let bits: Vec<bool> = (0..eta).map(|_| rng.gen_bool(p)).collect();
+                total += traceable_rate_of_bits(&bits);
+            }
+            let empirical = total / trials as f64;
+            let model = expected_traceable_rate(eta, p).unwrap();
+            assert!(
+                (empirical - model).abs() < 0.004,
+                "η = {eta}, p = {p}: model {model} vs MC {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(expected_traceable_rate(5, 0.0).unwrap(), 0.0);
+        assert_eq!(expected_traceable_rate(5, 1.0).unwrap(), 1.0);
+        // Single hop: expectation is exactly p.
+        for p in [0.1, 0.4, 0.9] {
+            assert!((expected_traceable_rate(1, p).unwrap() - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_in_compromise_probability() {
+        // Fig. 6's trend.
+        let mut last = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let v = expected_traceable_rate(4, p).unwrap();
+            assert!(v > last, "p = {p}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_path_length() {
+        // Fig. 7's trend: more onion relays → lower traceable rate.
+        let p = 0.2;
+        let mut last = 1.0;
+        for eta in [2usize, 4, 6, 8, 11] {
+            let v = expected_traceable_rate(eta, p).unwrap();
+            assert!(v < last, "η = {eta}: {v} >= {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn paper_approximation_close_for_small_p() {
+        for eta in [4usize, 6, 11] {
+            for p in [0.01, 0.05, 0.1] {
+                let exact = expected_traceable_rate(eta, p).unwrap();
+                let approx = expected_traceable_rate_paper(eta, p).unwrap();
+                let diff = (exact - approx).abs();
+                assert!(
+                    diff < 0.05,
+                    "η = {eta}, p = {p}: exact {exact} vs paper {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_stay_in_unit_interval() {
+        for eta in 1..12usize {
+            for i in 0..=20 {
+                let p = i as f64 / 20.0;
+                let v = expected_traceable_rate(eta, p).unwrap();
+                assert!((0.0..=1.0).contains(&v), "η = {eta}, p = {p}: {v}");
+                let w = expected_traceable_rate_paper(eta, p).unwrap();
+                assert!((0.0..=1.0).contains(&w), "paper η = {eta}, p = {p}: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(expected_traceable_rate(0, 0.5).is_err());
+        assert!(expected_traceable_rate(4, -0.1).is_err());
+        assert!(expected_traceable_rate(4, 1.1).is_err());
+        assert!(expected_traceable_rate(4, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: route-selection policy — uniform random groups (the abstract
+//! protocol) vs ARDEN's destination-group last hop.
+//!
+//! The ARDEN variant anchors the last onion group to the destination's
+//! group, trading route randomness for destination anonymity at the final
+//! hop.
+
+use bench::{default_opts, FigureTable};
+use contact_graph::TimeDelta;
+use onion_routing::{run_random_graph_point, ProtocolConfig, RouteSelection};
+
+fn main() {
+    let opts = default_opts();
+    let mut table = FigureTable::new(
+        "Ablation: route selection policy (Table II defaults, T = 1080 min)",
+        "policy (1=uniform, 2=arden)",
+        vec![
+            "analysis delivery".into(),
+            "sim delivery".into(),
+            "sim anonymity".into(),
+            "sim transmissions".into(),
+        ],
+    );
+
+    for (idx, selection) in [RouteSelection::Uniform, RouteSelection::ArdenLastHop]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = ProtocolConfig {
+            selection,
+            deadline: TimeDelta::new(1080.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let point = run_random_graph_point(&cfg, &opts);
+        table.push_row(
+            (idx + 1) as f64,
+            vec![
+                Some(point.analysis_delivery),
+                Some(point.sim_delivery),
+                point.sim_anonymity,
+                Some(point.sim_transmissions),
+            ],
+        );
+    }
+    table.print();
+    table.save_csv("ablation_group_selection");
+    println!(
+        "Both policies traverse K groups, so cost and delivery should be similar;\n\
+         the ARDEN variant constrains the final group (destination anonymity at the\n\
+         last hop) without changing the analytical model's structure."
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 4: delivery rate w.r.t. deadline for group sizes g ∈ {1, 5, 10}
+//! (single-copy, K = 3, random contact graphs).
+//!
+//! Expected shape (paper): delivery rises with the deadline and larger
+//! groups deliver more (more forwarding opportunities per hop).
+
+use bench::{check_trend, deadline_sweep_minutes, default_opts, FigureTable};
+use onion_routing::{delivery_sweep_random_graph, ProtocolConfig};
+
+fn main() {
+    let deadlines = deadline_sweep_minutes();
+    let gs = [1usize, 5, 10];
+
+    let sweeps: Vec<_> = gs
+        .iter()
+        .map(|&g| {
+            let cfg = ProtocolConfig {
+                group_size: g,
+                ..ProtocolConfig::table2_defaults()
+            };
+            delivery_sweep_random_graph(&cfg, &deadlines, &default_opts())
+        })
+        .collect();
+
+    let mut table = FigureTable::new(
+        "Figure 4: Delivery rate w.r.t. deadline (single-copy, K = 3, varying g)",
+        "deadline_min",
+        gs.iter()
+            .flat_map(|g| [format!("analysis:g={g}"), format!("sim:g={g}")])
+            .collect(),
+    );
+    for (i, &t) in deadlines.iter().enumerate() {
+        let mut row = Vec::new();
+        for sweep in &sweeps {
+            row.push(Some(sweep[i].analysis));
+            row.push(Some(sweep[i].sim));
+        }
+        table.push_row(t, row);
+    }
+    table.print();
+    table.save_csv("fig04_delivery_vs_deadline_group_size");
+
+    // Shape checks: monotone in T; larger g dominates at the final point.
+    for (gi, g) in gs.iter().enumerate() {
+        let sim: Vec<f64> = sweeps[gi].iter().map(|r| r.sim).collect();
+        check_trend(&format!("sim g={g}"), &sim, true, 0.02);
+    }
+    let last = deadlines.len() - 1;
+    check_trend(
+        "delivery increases with g (analysis, final deadline)",
+        &sweeps.iter().map(|s| s[last].analysis).collect::<Vec<_>>(),
+        true,
+        1e-9,
+    );
+}

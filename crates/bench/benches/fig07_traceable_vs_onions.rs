@@ -1,0 +1,48 @@
+//! Figure 7: traceable rate w.r.t. the number of onion relays K, for
+//! compromised rates c/n ∈ {10%, 20%, 30%} (g = 5, random graphs).
+//!
+//! Expected shape (paper): traceable rate falls as K grows (the weighted
+//! compromised segments shrink relative to the path length).
+
+use bench::{check_trend, sweep_opts, FigureTable};
+use onion_routing::{security_sweep_random_graph, ProtocolConfig};
+
+fn main() {
+    let ks: Vec<usize> = (1..=10).collect();
+    let cs = [10usize, 20, 30];
+
+    // One simulation per K, evaluated against all three adversaries.
+    let per_k: Vec<_> = ks
+        .iter()
+        .map(|&k| {
+            let cfg = ProtocolConfig {
+                onions: k,
+                ..ProtocolConfig::table2_defaults()
+            };
+            security_sweep_random_graph(&cfg, &cs, 3, &sweep_opts())
+        })
+        .collect();
+
+    let mut table = FigureTable::new(
+        "Figure 7: Traceable rate w.r.t. number of onion relays (g = 5, varying c/n)",
+        "onion_relays_K",
+        cs.iter()
+            .flat_map(|c| [format!("analysis:c={c}%"), format!("sim:c={c}%")])
+            .collect(),
+    );
+    for (ki, &k) in ks.iter().enumerate() {
+        let mut row = Vec::new();
+        for point in per_k[ki].iter().take(cs.len()) {
+            row.push(Some(point.analysis_traceable));
+            row.push(point.sim_traceable);
+        }
+        table.push_row(k as f64, row);
+    }
+    table.print();
+    table.save_csv("fig07_traceable_vs_onions");
+
+    for (ci, c) in cs.iter().enumerate() {
+        let a: Vec<f64> = per_k.iter().map(|rows| rows[ci].analysis_traceable).collect();
+        check_trend(&format!("analysis c={c}%"), &a, false, 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the simulation substrate: schedule
+//! sampling and full protocol runs (baselines vs onion routing).
+
+use std::time::Duration;
+
+use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_sim::baselines::{Epidemic, SprayAndWait};
+use dtn_sim::{run, Message, MessageId, SimConfig};
+use onion_routing::{ForwardingMode, OnionGroups, OnionRouting};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn messages(n: u32, count: u64, copies: u32, deadline: f64) -> Vec<Message> {
+    (0..count)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: NodeId((i as u32) % (n / 2)),
+            destination: NodeId(n / 2 + (i as u32) % (n / 2)),
+            created: Time::ZERO,
+            deadline: TimeDelta::new(deadline),
+            copies,
+        })
+        .collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = UniformGraphBuilder::new(100).build(&mut rng);
+    group.bench_function("schedule/n=100,T=1080min", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| ContactSchedule::sample(&graph, Time::new(1080.0), &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let graph = UniformGraphBuilder::new(100).build(&mut rng);
+    let schedule = ContactSchedule::sample(&graph, Time::new(360.0), &mut rng);
+    println!("schedule: {} contacts", schedule.len());
+
+    group.bench_function("epidemic/20msg", |b| {
+        let msgs = messages(100, 20, 1, 360.0);
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            run(
+                &schedule,
+                &mut Epidemic,
+                msgs.clone(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .expect("valid")
+        })
+    });
+
+    group.bench_function("spray_source_L4/20msg", |b| {
+        let msgs = messages(100, 20, 4, 360.0);
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            run(
+                &schedule,
+                &mut SprayAndWait::source(),
+                msgs.clone(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .expect("valid")
+        })
+    });
+
+    group.bench_function("onion_single_K3/20msg", |b| {
+        let msgs = messages(100, 20, 1, 360.0);
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            let groups = OnionGroups::random_partition(100, 5, &mut rng);
+            let mut proto = OnionRouting::new(groups, 3, ForwardingMode::SingleCopy);
+            run(&schedule, &mut proto, msgs.clone(), &SimConfig::default(), &mut rng)
+                .expect("valid")
+        })
+    });
+
+    group.bench_function("onion_multi_K3_L5/20msg", |b| {
+        let msgs = messages(100, 20, 5, 360.0);
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let groups = OnionGroups::random_partition(100, 5, &mut rng);
+            let mut proto = OnionRouting::new(groups, 3, ForwardingMode::MultiCopy);
+            run(&schedule, &mut proto, msgs.clone(), &SimConfig::default(), &mut rng)
+                .expect("valid")
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sampling, bench_protocols
+}
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Random-waypoint mobility: contact schedules derived from motion.
+//!
+//! The paper *assumes* exponential inter-contact times (Eq. 3). This
+//! module derives contact events from first principles instead: nodes
+//! move in a square arena under the classic random-waypoint model, and a
+//! contact fires when two nodes come within radio range (rising edge of
+//! proximity). It serves two purposes:
+//!
+//! * experiments on mobility-driven schedules rather than assumed rate
+//!   matrices (the methodology of DTN simulators like the ONE); and
+//! * empirical validation of the exponential-inter-contact premise
+//!   (random waypoint is known to produce approximately exponential
+//!   tails at moderate densities — tested below).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::schedule::{ContactEvent, ContactSchedule};
+use crate::time::Time;
+
+/// Random-waypoint arena parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// Arena side length (meters).
+    pub arena: f64,
+    /// Radio range (meters): a contact fires when distance drops below
+    /// this.
+    pub range: f64,
+    /// Minimum node speed (m per time unit).
+    pub min_speed: f64,
+    /// Maximum node speed.
+    pub max_speed: f64,
+    /// Pause time at each waypoint.
+    pub pause: f64,
+    /// Simulation step for proximity sampling.
+    pub step: f64,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig {
+            arena: 1000.0,
+            range: 50.0,
+            min_speed: 1.0,
+            max_speed: 5.0,
+            pause: 10.0,
+            step: 1.0,
+        }
+    }
+}
+
+impl WaypointConfig {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arena <= 0.0 || self.arena.is_nan() {
+            return Err("arena must be positive".into());
+        }
+        if self.range <= 0.0 || self.range >= self.arena || self.range.is_nan() {
+            return Err("range must be in (0, arena)".into());
+        }
+        if self.min_speed <= 0.0 || self.min_speed > self.max_speed || self.min_speed.is_nan() {
+            return Err("require 0 < min_speed <= max_speed".into());
+        }
+        if self.pause < 0.0 {
+            return Err("pause must be non-negative".into());
+        }
+        if self.step <= 0.0 || self.step.is_nan() {
+            return Err("step must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct NodeState {
+    x: f64,
+    y: f64,
+    target_x: f64,
+    target_y: f64,
+    speed: f64,
+    pause_left: f64,
+}
+
+impl NodeState {
+    fn advance<R: Rng + ?Sized>(&mut self, dt: f64, cfg: &WaypointConfig, rng: &mut R) {
+        if self.pause_left > 0.0 {
+            self.pause_left -= dt;
+            return;
+        }
+        let dx = self.target_x - self.x;
+        let dy = self.target_y - self.y;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let travel = self.speed * dt;
+        if travel >= dist {
+            // Arrived: pause, then pick a new waypoint and speed.
+            self.x = self.target_x;
+            self.y = self.target_y;
+            self.pause_left = cfg.pause;
+            self.target_x = rng.gen_range(0.0..cfg.arena);
+            self.target_y = rng.gen_range(0.0..cfg.arena);
+            self.speed = rng.gen_range(cfg.min_speed..=cfg.max_speed);
+        } else {
+            self.x += dx / dist * travel;
+            self.y += dy / dist * travel;
+        }
+    }
+
+    fn distance2(&self, other: &NodeState) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Simulates `n` random-waypoint nodes for `horizon` time units and
+/// returns the contact schedule (one event per *rising edge* of
+/// proximity, i.e. per encounter, matching the trace format).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation or `n == 0`.
+pub fn waypoint_schedule<R: Rng + ?Sized>(
+    n: usize,
+    horizon: Time,
+    cfg: &WaypointConfig,
+    rng: &mut R,
+) -> ContactSchedule {
+    cfg.validate().expect("valid waypoint parameters");
+    assert!(n > 0, "need at least one node");
+
+    let mut states: Vec<NodeState> = (0..n)
+        .map(|_| NodeState {
+            x: rng.gen_range(0.0..cfg.arena),
+            y: rng.gen_range(0.0..cfg.arena),
+            target_x: rng.gen_range(0.0..cfg.arena),
+            target_y: rng.gen_range(0.0..cfg.arena),
+            speed: rng.gen_range(cfg.min_speed..=cfg.max_speed),
+            pause_left: 0.0,
+        })
+        .collect();
+
+    let range2 = cfg.range * cfg.range;
+    let mut in_range = vec![false; n * n];
+    let mut events = Vec::new();
+
+    let steps = (horizon.as_f64() / cfg.step).ceil() as u64;
+    for step_idx in 0..=steps {
+        let t = (step_idx as f64 * cfg.step).min(horizon.as_f64());
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let near = states[i].distance2(&states[j]) <= range2;
+                let key = i * n + j;
+                if near && !in_range[key] {
+                    events.push(ContactEvent::new(
+                        Time::new(t),
+                        NodeId(i as u32),
+                        NodeId(j as u32),
+                    ));
+                }
+                in_range[key] = near;
+            }
+        }
+        for state in &mut states {
+            state.advance(cfg.step, cfg, rng);
+        }
+    }
+
+    ContactSchedule::from_events(events, n, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn produces_contacts_at_reasonable_density() {
+        let cfg = WaypointConfig {
+            arena: 500.0,
+            range: 50.0,
+            ..WaypointConfig::default()
+        };
+        let s = waypoint_schedule(20, Time::new(5_000.0), &cfg, &mut rng(1));
+        assert!(s.len() > 100, "only {} contacts", s.len());
+        assert!(s.events().windows(2).all(|w| w[0].time <= w[1].time));
+        // Most pairs should have met on a small arena over a long run.
+        assert!(s.estimate_rates().density() > 0.8);
+    }
+
+    #[test]
+    fn rising_edge_only() {
+        // Two nodes that start in range produce one event at t = 0, not
+        // one per step: with a huge range everything is always in range.
+        let cfg = WaypointConfig {
+            arena: 100.0,
+            range: 99.0,
+            ..WaypointConfig::default()
+        };
+        let s = waypoint_schedule(3, Time::new(50.0), &cfg, &mut rng(2));
+        // 3 pairs, each permanently in range → exactly 3 rising edges.
+        assert_eq!(s.len(), 3);
+        assert!(s.events().iter().all(|e| e.time == Time::ZERO));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WaypointConfig::default();
+        let a = waypoint_schedule(10, Time::new(500.0), &cfg, &mut rng(3));
+        let b = waypoint_schedule(10, Time::new(500.0), &cfg, &mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intercontact_times_are_roughly_exponential() {
+        // Validate the paper's premise: the inter-contact CDF of a pair
+        // should be close to exponential with the empirical rate. We pool
+        // gaps across pairs and compare the empirical CDF at the mean
+        // against 1 - 1/e ≈ 0.632.
+        let cfg = WaypointConfig {
+            arena: 800.0,
+            range: 60.0,
+            max_speed: 10.0,
+            pause: 0.0,
+            ..WaypointConfig::default()
+        };
+        let s = waypoint_schedule(12, Time::new(40_000.0), &cfg, &mut rng(4));
+        let mut last: std::collections::HashMap<(NodeId, NodeId), f64> =
+            std::collections::HashMap::new();
+        let mut gaps = Vec::new();
+        for e in s.iter() {
+            if let Some(prev) = last.insert((e.a, e.b), e.time.as_f64()) {
+                gaps.push(e.time.as_f64() - prev);
+            }
+        }
+        assert!(gaps.len() > 300, "need enough gaps, got {}", gaps.len());
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let below_mean = gaps.iter().filter(|&&g| g <= mean).count() as f64 / gaps.len() as f64;
+        // Exponential: P(X <= mean) = 0.632. Random waypoint has a
+        // heavier head; accept a moderate band.
+        assert!(
+            (0.55..0.80).contains(&below_mean),
+            "P(gap <= mean) = {below_mean}, not exponential-like"
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let cfg = WaypointConfig { range: 0.0, ..WaypointConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = WaypointConfig { min_speed: 0.0, ..WaypointConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = WaypointConfig {
+            min_speed: 10.0,
+            max_speed: 5.0,
+            ..WaypointConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = WaypointConfig { step: 0.0, ..WaypointConfig::default() };
+        assert!(cfg.validate().is_err());
+        assert!(WaypointConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn nodes_stay_in_arena() {
+        // Indirect check: with a range equal to the arena diagonal no
+        // contact is ever missed, meaning coordinates stayed bounded
+        // enough to remain in range.
+        let cfg = WaypointConfig {
+            arena: 200.0,
+            range: 199.0,
+            ..WaypointConfig::default()
+        };
+        let s = waypoint_schedule(2, Time::new(2_000.0), &cfg, &mut rng(5));
+        // They start in range and never leave a 200 m arena with a 199 m
+        // range ⇒ exactly one rising edge... unless they separate past
+        // the diagonal, which cannot happen inside the arena except at
+        // the far corners. Accept 1..=3 edges.
+        assert!((1..=3).contains(&s.len()), "{} edges", s.len());
+    }
+}

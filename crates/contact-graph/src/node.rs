@@ -1,0 +1,57 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a contact graph.
+///
+/// A dense index in `0..n`; see [`crate::ContactGraph::len`].
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let id = NodeId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(id.to_string(), "v7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

@@ -1,0 +1,340 @@
+//! Contact events and schedules.
+//!
+//! A [`ContactSchedule`] is a time-ordered list of pairwise contact events
+//! over a finite horizon. Schedules are either *sampled* from a
+//! [`ContactGraph`] (exponential inter-contact times, the paper's random
+//! graphs) or loaded from a trace (the Haggle datasets). The simulator in
+//! `dtn-sim` replays schedules, which keeps random-graph and trace-driven
+//! experiments on one code path.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::ContactGraph;
+use crate::node::NodeId;
+use crate::time::{Rate, Time, TimeDelta};
+
+/// A single contact: nodes `a` and `b` meet at `time` and can exchange one
+/// message in each direction (the paper assumes link durations long enough
+/// for a complete transfer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ContactEvent {
+    /// When the contact occurs.
+    pub time: Time,
+    /// One endpoint (the smaller id by convention after normalization).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+}
+
+impl ContactEvent {
+    /// Creates an event, normalizing endpoint order so `a <= b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(time: Time, a: NodeId, b: NodeId) -> Self {
+        assert!(a != b, "a contact needs two distinct nodes");
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        ContactEvent { time, a, b }
+    }
+
+    /// Whether this contact involves `node`.
+    pub fn involves(&self, node: NodeId) -> bool {
+        self.a == node || self.b == node
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> NodeId {
+        if self.a == node {
+            self.b
+        } else if self.b == node {
+            self.a
+        } else {
+            panic!("{node} is not part of this contact");
+        }
+    }
+}
+
+/// Samples an exponential inter-contact time for `rate`.
+///
+/// Returns `None` for a zero rate (the pair never meets).
+pub fn sample_intercontact<R: Rng + ?Sized>(rate: Rate, rng: &mut R) -> Option<TimeDelta> {
+    if rate.is_zero() {
+        return None;
+    }
+    // Inverse-CDF sampling; `gen::<f64>()` is in [0, 1), so 1 - u is in
+    // (0, 1] and the log is finite.
+    let u: f64 = rng.gen();
+    Some(TimeDelta::new(-(1.0 - u).ln() / rate.as_f64()))
+}
+
+/// A time-ordered contact schedule over `[0, horizon]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContactSchedule {
+    events: Vec<ContactEvent>,
+    horizon: Time,
+    node_count: usize,
+}
+
+impl ContactSchedule {
+    /// Builds a schedule from raw events (sorted internally).
+    ///
+    /// `node_count` must exceed every node id in `events`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a node `>= node_count` or lies after
+    /// `horizon`.
+    pub fn from_events(
+        mut events: Vec<ContactEvent>,
+        node_count: usize,
+        horizon: Time,
+    ) -> Self {
+        for e in &events {
+            assert!(
+                e.a.index() < node_count && e.b.index() < node_count,
+                "event references node out of range"
+            );
+            assert!(e.time <= horizon, "event after horizon");
+        }
+        events.sort();
+        ContactSchedule {
+            events,
+            horizon,
+            node_count,
+        }
+    }
+
+    /// Samples a schedule from `graph`: each connected pair generates a
+    /// Poisson process of contacts with its rate, truncated at `horizon`.
+    pub fn sample<R: Rng + ?Sized>(graph: &ContactGraph, horizon: Time, rng: &mut R) -> Self {
+        let mut events = Vec::new();
+        let n = graph.len() as u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let rate = graph.rate(NodeId(i), NodeId(j));
+                if rate.is_zero() {
+                    continue;
+                }
+                let mut t = Time::ZERO;
+                while let Some(gap) = sample_intercontact(rate, rng) {
+                    t += gap;
+                    if t > horizon {
+                        break;
+                    }
+                    events.push(ContactEvent::new(t, NodeId(i), NodeId(j)));
+                }
+            }
+        }
+        events.sort();
+        ContactSchedule {
+            events,
+            horizon,
+            node_count: graph.len(),
+        }
+    }
+
+    /// The time-ordered events.
+    pub fn events(&self) -> &[ContactEvent] {
+        &self.events
+    }
+
+    /// Iterates over events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ContactEvent> {
+        self.events.iter()
+    }
+
+    /// Number of contact events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// End of the covered time window.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Number of nodes the schedule is defined over.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Events in the half-open window `[from, to)`.
+    pub fn window(&self, from: Time, to: Time) -> &[ContactEvent] {
+        let lo = self.events.partition_point(|e| e.time < from);
+        let hi = self.events.partition_point(|e| e.time < to);
+        &self.events[lo..hi]
+    }
+
+    /// The first event at or after `t`, if any.
+    pub fn next_event_at_or_after(&self, t: Time) -> Option<&ContactEvent> {
+        let idx = self.events.partition_point(|e| e.time < t);
+        self.events.get(idx)
+    }
+
+    /// Estimates pairwise contact rates by event counting:
+    /// `λ̂_{i,j} = count(i,j) / horizon`.
+    ///
+    /// This is the "training" step the paper applies to the Haggle traces
+    /// before evaluating the analytical models on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero.
+    pub fn estimate_rates(&self) -> ContactGraph {
+        assert!(self.horizon > Time::ZERO, "cannot estimate rates over an empty window");
+        let mut counts = std::collections::HashMap::new();
+        for e in &self.events {
+            *counts.entry((e.a, e.b)).or_insert(0u64) += 1;
+        }
+        let mut g = ContactGraph::new(self.node_count);
+        for ((a, b), c) in counts {
+            g.set_rate(a, b, Rate::new(c as f64 / self.horizon.as_f64()));
+        }
+        g
+    }
+
+    /// Total contacts per node, useful for trace statistics.
+    pub fn contacts_per_node(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.node_count];
+        for e in &self.events {
+            counts[e.a.index()] += 1;
+            counts[e.b.index()] += 1;
+        }
+        counts
+    }
+}
+
+impl<'a> IntoIterator for &'a ContactSchedule {
+    type Item = &'a ContactEvent;
+    type IntoIter = std::slice::Iter<'a, ContactEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::UniformGraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn event_normalizes_order() {
+        let e = ContactEvent::new(Time::new(5.0), NodeId(9), NodeId(2));
+        assert_eq!((e.a, e.b), (NodeId(2), NodeId(9)));
+        assert!(e.involves(NodeId(9)));
+        assert!(!e.involves(NodeId(3)));
+        assert_eq!(e.peer_of(NodeId(2)), NodeId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_contact_rejected() {
+        let _ = ContactEvent::new(Time::ZERO, NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn exponential_sampling_mean() {
+        let mut r = rng(1);
+        let rate = Rate::new(0.5);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| sample_intercontact(rate, &mut r).unwrap().as_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "sample mean {mean}");
+        assert_eq!(sample_intercontact(Rate::ZERO, &mut r), None);
+    }
+
+    #[test]
+    fn sampled_schedule_is_sorted_and_bounded() {
+        let g = UniformGraphBuilder::new(10).build(&mut rng(2));
+        let horizon = Time::new(100.0);
+        let s = ContactSchedule::sample(&g, horizon, &mut rng(3));
+        assert!(!s.is_empty());
+        assert!(s.events().windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(s.events().iter().all(|e| e.time <= horizon));
+        assert_eq!(s.node_count(), 10);
+    }
+
+    #[test]
+    fn event_count_matches_poisson_expectation() {
+        // Single pair with rate 0.2 over horizon 10_000: expect ~2000.
+        let mut g = ContactGraph::new(2);
+        g.set_rate(NodeId(0), NodeId(1), Rate::new(0.2));
+        let s = ContactSchedule::sample(&g, Time::new(10_000.0), &mut rng(4));
+        let count = s.len() as f64;
+        assert!((count - 2000.0).abs() < 150.0, "count {count}");
+    }
+
+    #[test]
+    fn window_query() {
+        let events = vec![
+            ContactEvent::new(Time::new(1.0), NodeId(0), NodeId(1)),
+            ContactEvent::new(Time::new(2.0), NodeId(0), NodeId(2)),
+            ContactEvent::new(Time::new(3.0), NodeId(1), NodeId(2)),
+        ];
+        let s = ContactSchedule::from_events(events, 3, Time::new(10.0));
+        assert_eq!(s.window(Time::new(1.5), Time::new(3.0)).len(), 1);
+        assert_eq!(s.window(Time::ZERO, Time::new(10.0)).len(), 3);
+        assert_eq!(
+            s.next_event_at_or_after(Time::new(2.5)).unwrap().time,
+            Time::new(3.0)
+        );
+        assert!(s.next_event_at_or_after(Time::new(3.5)).is_none());
+    }
+
+    #[test]
+    fn rate_estimation_recovers_rates() {
+        let mut g = ContactGraph::new(3);
+        g.set_rate(NodeId(0), NodeId(1), Rate::new(0.5));
+        g.set_rate(NodeId(1), NodeId(2), Rate::new(0.1));
+        let s = ContactSchedule::sample(&g, Time::new(50_000.0), &mut rng(5));
+        let est = s.estimate_rates();
+        let e01 = est.rate(NodeId(0), NodeId(1)).as_f64();
+        let e12 = est.rate(NodeId(1), NodeId(2)).as_f64();
+        assert!((e01 - 0.5).abs() < 0.03, "estimated {e01}");
+        assert!((e12 - 0.1).abs() < 0.015, "estimated {e12}");
+        assert!(est.rate(NodeId(0), NodeId(2)).is_zero());
+    }
+
+    #[test]
+    fn contacts_per_node_counts_both_endpoints() {
+        let events = vec![
+            ContactEvent::new(Time::new(1.0), NodeId(0), NodeId(1)),
+            ContactEvent::new(Time::new(2.0), NodeId(0), NodeId(2)),
+        ];
+        let s = ContactSchedule::from_events(events, 3, Time::new(5.0));
+        assert_eq!(s.contacts_per_node(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_events_validates_ids() {
+        let events = vec![ContactEvent::new(Time::new(1.0), NodeId(0), NodeId(9))];
+        let _ = ContactSchedule::from_events(events, 3, Time::new(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "after horizon")]
+    fn from_events_validates_horizon() {
+        let events = vec![ContactEvent::new(Time::new(6.0), NodeId(0), NodeId(1))];
+        let _ = ContactSchedule::from_events(events, 3, Time::new(5.0));
+    }
+}

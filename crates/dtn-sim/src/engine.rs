@@ -1,0 +1,783 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine replays a [`ContactSchedule`], owns every node's buffer and
+//! per-copy ticket state, enforces message deadlines, and records the
+//! statistics the experiments need (delivery times, transmission counts,
+//! and the full forwarding log from which realized routing paths are
+//! reconstructed for the security analyses).
+
+use std::collections::{BTreeMap, HashSet};
+
+use contact_graph::{ContactSchedule, NodeId, Time};
+use rand::RngCore;
+
+use crate::message::{CopyState, Message, MessageId};
+use crate::protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
+use crate::report::{ForwardRecord, SimReport};
+
+/// What to do when a transfer arrives at a full buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Refuse the incoming copy (the transfer never happens).
+    #[default]
+    DropIncoming,
+    /// Evict the oldest buffered copy (by creation time) to make room.
+    DropOldest,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Whether to keep the full forwarding log (needed for path
+    /// reconstruction; disable only for throughput benchmarks).
+    pub record_forwarding: bool,
+    /// Whether a node that has already carried a message refuses to accept
+    /// it again (summary-vector behaviour; prevents ping-pong forwarding).
+    pub reject_seen: bool,
+    /// Per-node buffer capacity in messages; `None` models the paper's
+    /// unlimited buffers.
+    pub buffer_capacity: Option<usize>,
+    /// Behaviour at a full buffer (only relevant with a capacity).
+    pub drop_policy: DropPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record_forwarding: true,
+            reject_seen: true,
+            buffer_capacity: None,
+            drop_policy: DropPolicy::DropIncoming,
+        }
+    }
+}
+
+/// Errors detected while setting up a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A message's source or destination is outside the schedule's node
+    /// range.
+    NodeOutOfRange(MessageId),
+    /// A message's source equals its destination.
+    SelfAddressed(MessageId),
+    /// Two injected messages share an id.
+    DuplicateId(MessageId),
+    /// A message allows zero copies.
+    ZeroCopies(MessageId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NodeOutOfRange(id) => {
+                write!(f, "message {id} references a node outside the schedule")
+            }
+            SimError::SelfAddressed(id) => {
+                write!(f, "message {id} has source equal to destination")
+            }
+            SimError::DuplicateId(id) => write!(f, "duplicate message id {id}"),
+            SimError::ZeroCopies(id) => write!(f, "message {id} allows zero copies"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct SimState {
+    messages: BTreeMap<MessageId, Message>,
+    /// Per-node buffer: message id → copy state.
+    buffers: Vec<BTreeMap<MessageId, CopyState>>,
+    /// Per-node set of message ids ever carried.
+    seen: Vec<HashSet<MessageId>>,
+    delivered: BTreeMap<MessageId, Time>,
+    transmissions: BTreeMap<MessageId, u64>,
+    forward_log: Vec<ForwardRecord>,
+    rejected_forwards: u64,
+    buffer_drops: u64,
+}
+
+/// Makes room at `node` for one more copy, per the drop policy. Returns
+/// false if the incoming copy should be refused instead.
+fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
+    let Some(capacity) = config.buffer_capacity else {
+        return true;
+    };
+    if state.buffers[node.index()].len() < capacity {
+        return true;
+    }
+    match config.drop_policy {
+        DropPolicy::DropIncoming => {
+            state.buffer_drops += 1;
+            false
+        }
+        DropPolicy::DropOldest => {
+            let oldest = state.buffers[node.index()]
+                .keys()
+                .min_by_key(|id| state.messages[id].created)
+                .copied();
+            if let Some(victim) = oldest {
+                state.buffers[node.index()].remove(&victim);
+                state.buffer_drops += 1;
+                true
+            } else {
+                // Capacity is zero.
+                state.buffer_drops += 1;
+                false
+            }
+        }
+    }
+}
+
+struct View<'a> {
+    now: Time,
+    carrier: NodeId,
+    peer: NodeId,
+    state: &'a SimState,
+}
+
+impl ContactView for View<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn carrier(&self) -> NodeId {
+        self.carrier
+    }
+    fn peer(&self) -> NodeId {
+        self.peer
+    }
+    fn carried(&self) -> Vec<(MessageId, CopyState)> {
+        self.state.buffers[self.carrier.index()]
+            .iter()
+            .map(|(&id, &cs)| (id, cs))
+            .collect()
+    }
+    fn peer_has(&self, message: MessageId) -> bool {
+        self.state.seen[self.peer.index()].contains(&message)
+    }
+    fn is_delivered(&self, message: MessageId) -> bool {
+        self.state.delivered.contains_key(&message)
+    }
+    fn message(&self, id: MessageId) -> &Message {
+        &self.state.messages[&id]
+    }
+}
+
+/// Runs `protocol` over `schedule`, injecting `messages` at their creation
+/// times.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if any message is malformed for this schedule.
+pub fn run<P, R>(
+    schedule: &ContactSchedule,
+    protocol: &mut P,
+    messages: Vec<Message>,
+    config: &SimConfig,
+    rng: &mut R,
+) -> Result<SimReport, SimError>
+where
+    P: RoutingProtocol + ?Sized,
+    R: RngCore,
+{
+    let n = schedule.node_count();
+    let mut ids = HashSet::new();
+    for m in &messages {
+        if m.source.index() >= n || m.destination.index() >= n {
+            return Err(SimError::NodeOutOfRange(m.id));
+        }
+        if m.source == m.destination {
+            return Err(SimError::SelfAddressed(m.id));
+        }
+        if m.copies == 0 {
+            return Err(SimError::ZeroCopies(m.id));
+        }
+        if !ids.insert(m.id) {
+            return Err(SimError::DuplicateId(m.id));
+        }
+    }
+
+    let mut pending: Vec<Message> = messages.clone();
+    // Inject latest-first so we can pop from the back as time advances.
+    pending.sort_by_key(|m| std::cmp::Reverse(m.created));
+
+    let mut state = SimState {
+        messages: BTreeMap::new(),
+        buffers: vec![BTreeMap::new(); n],
+        seen: vec![HashSet::new(); n],
+        delivered: BTreeMap::new(),
+        transmissions: BTreeMap::new(),
+        forward_log: Vec::new(),
+        rejected_forwards: 0,
+        buffer_drops: 0,
+    };
+
+    let injected: Vec<MessageId> = messages.iter().map(|m| m.id).collect();
+
+    let inject_due = |state: &mut SimState,
+                          pending: &mut Vec<Message>,
+                          protocol: &mut P,
+                          rng: &mut R,
+                          now: Time| {
+        while pending.last().is_some_and(|m| m.created <= now) {
+            let m = pending.pop().expect("checked non-empty");
+            let cs = protocol.on_inject(&m, rng);
+            state.seen[m.source.index()].insert(m.id);
+            state.transmissions.insert(m.id, 0);
+            let source = m.source;
+            let id = m.id;
+            state.messages.insert(m.id, m);
+            // A full source buffer refuses (or evicts for) the new
+            // message, per the drop policy.
+            if make_room(state, config, source) {
+                state.buffers[source.index()].insert(id, cs);
+            }
+        }
+    };
+
+    for event in schedule.iter() {
+        inject_due(&mut state, &mut pending, protocol, rng, event.time);
+
+        // Let utility-based protocols observe every encounter.
+        protocol.on_contact_observed(event.a, event.b, event.time);
+
+        // Enforce deadlines lazily at the two endpoints.
+        for node in [event.a, event.b] {
+            let buf = &mut state.buffers[node.index()];
+            let msgs = &state.messages;
+            buf.retain(|id, _| !msgs[id].is_expired(event.time));
+        }
+
+        if state.buffers[event.a.index()].is_empty() && state.buffers[event.b.index()].is_empty()
+        {
+            continue;
+        }
+
+        // Decisions for both directions are computed on the pre-transfer
+        // state, then applied, so a message cannot hop twice in one
+        // contact.
+        let decisions_ab = {
+            let view = View {
+                now: event.time,
+                carrier: event.a,
+                peer: event.b,
+                state: &state,
+            };
+            if view.carried().is_empty() {
+                Vec::new()
+            } else {
+                protocol.on_contact(&view, rng)
+            }
+        };
+        let decisions_ba = {
+            let view = View {
+                now: event.time,
+                carrier: event.b,
+                peer: event.a,
+                state: &state,
+            };
+            if view.carried().is_empty() {
+                Vec::new()
+            } else {
+                protocol.on_contact(&view, rng)
+            }
+        };
+
+        apply(&mut state, config, event.time, event.a, event.b, &decisions_ab);
+        apply(&mut state, config, event.time, event.b, event.a, &decisions_ba);
+    }
+
+    // Inject anything scheduled after the last contact so the report's
+    // injected set is complete (they can never be delivered).
+    inject_due(
+        &mut state,
+        &mut pending,
+        protocol,
+        rng,
+        schedule.horizon(),
+    );
+
+    Ok(SimReport::new(
+        protocol.name().to_string(),
+        state.messages.into_values().collect(),
+        injected,
+        state.delivered,
+        state.transmissions,
+        state.forward_log,
+        state.rejected_forwards,
+        state.buffer_drops,
+    ))
+}
+
+fn apply(
+    state: &mut SimState,
+    config: &SimConfig,
+    now: Time,
+    carrier: NodeId,
+    peer: NodeId,
+    decisions: &[Forward],
+) {
+    for fwd in decisions {
+        let Some(&copy) = state.buffers[carrier.index()].get(&fwd.message) else {
+            // The protocol referenced a message the carrier no longer
+            // holds; ignore but count.
+            state.rejected_forwards += 1;
+            continue;
+        };
+        let destination = state.messages[&fwd.message].destination;
+
+        // Never forward to a node already holding or having held the copy.
+        let peer_holds = state.buffers[peer.index()].contains_key(&fwd.message);
+        let peer_seen = state.seen[peer.index()].contains(&fwd.message);
+        if peer_holds || (config.reject_seen && peer_seen && peer != destination) {
+            state.rejected_forwards += 1;
+            continue;
+        }
+        // Suppress transfers of already-delivered messages to the
+        // destination (it has the message).
+        if peer == destination && state.delivered.contains_key(&fwd.message) {
+            state.rejected_forwards += 1;
+            continue;
+        }
+        // Buffer admission at the receiver (destinations consume without
+        // buffering). Must happen before any carrier-side mutation.
+        if peer != destination && !make_room(state, config, peer) {
+            continue;
+        }
+
+        // Ticket accounting on the carrier side.
+        let receiver_tickets = match fwd.kind {
+            ForwardKind::Handoff => {
+                state.buffers[carrier.index()].remove(&fwd.message);
+                copy.tickets
+            }
+            ForwardKind::Split {
+                tickets_to_receiver,
+            } => {
+                if tickets_to_receiver == 0 || tickets_to_receiver > copy.tickets {
+                    state.rejected_forwards += 1;
+                    continue;
+                }
+                let remaining = copy.tickets - tickets_to_receiver;
+                if remaining == 0 {
+                    state.buffers[carrier.index()].remove(&fwd.message);
+                } else {
+                    state.buffers[carrier.index()].insert(
+                        fwd.message,
+                        CopyState {
+                            tickets: remaining,
+                            tag: copy.tag,
+                        },
+                    );
+                }
+                tickets_to_receiver
+            }
+            ForwardKind::Replicate => copy.tickets,
+        };
+
+        // The transmission happens.
+        *state.transmissions.entry(fwd.message).or_insert(0) += 1;
+        if config.record_forwarding {
+            state.forward_log.push(ForwardRecord {
+                time: now,
+                message: fwd.message,
+                from: carrier,
+                to: peer,
+                receiver_tag: fwd.receiver_tag,
+            });
+        }
+        state.seen[peer.index()].insert(fwd.message);
+
+        if peer == destination {
+            // Delivery: the destination consumes the copy.
+            state.delivered.entry(fwd.message).or_insert(now);
+        } else {
+            state.buffers[peer.index()].insert(
+                fwd.message,
+                CopyState {
+                    tickets: receiver_tickets,
+                    tag: fwd.receiver_tag,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::{ContactEvent, TimeDelta};
+    use rand::rngs::mock::StepRng;
+
+    /// Forwards everything to anyone who hasn't seen it (epidemic-like).
+    struct Flood;
+    impl RoutingProtocol for Flood {
+        fn name(&self) -> &str {
+            "flood"
+        }
+        fn on_contact(&mut self, view: &dyn ContactView, _: &mut dyn RngCore) -> Vec<Forward> {
+            view.carried()
+                .into_iter()
+                .filter(|(id, _)| !view.peer_has(*id) && !view.is_delivered(*id))
+                .map(|(id, _)| Forward {
+                    message: id,
+                    kind: ForwardKind::Replicate,
+                    receiver_tag: 0,
+                })
+                .collect()
+        }
+    }
+
+    fn schedule(events: Vec<(f64, u32, u32)>, n: usize, horizon: f64) -> ContactSchedule {
+        let evs = events
+            .into_iter()
+            .map(|(t, a, b)| ContactEvent::new(Time::new(t), NodeId(a), NodeId(b)))
+            .collect();
+        ContactSchedule::from_events(evs, n, Time::new(horizon))
+    }
+
+    fn msg(id: u64, src: u32, dst: u32, created: f64, deadline: f64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: NodeId(src),
+            destination: NodeId(dst),
+            created: Time::new(created),
+            deadline: TimeDelta::new(deadline),
+            copies: 1,
+        }
+    }
+
+    fn rng() -> StepRng {
+        StepRng::new(0, 1)
+    }
+
+    #[test]
+    fn two_hop_delivery() {
+        // 0 meets 1 at t=1, 1 meets 2 at t=2: flood delivers 0→2 via 1.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 1, 2)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 0.0, 10.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(report.delivery_time(MessageId(1)), Some(Time::new(2.0)));
+        assert_eq!(report.transmissions_for(MessageId(1)), 2);
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(
+            report.delivered_path(MessageId(1)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        // The only path takes until t=5 but the deadline is 3.
+        let s = schedule(vec![(1.0, 0, 1), (5.0, 1, 2)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 0.0, 3.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(report.delivery_rate(), 0.0);
+        assert!(report.delivery_time(MessageId(1)).is_none());
+    }
+
+    #[test]
+    fn delivery_exactly_at_deadline_counts() {
+        let s = schedule(vec![(3.0, 0, 2)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 0.0, 3.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(report.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn no_double_hop_in_one_contact() {
+        // 0 meets 1 at t=1; 1 meets 2 at t=1 as well, but the message
+        // arrives at 1 during the same instant's first contact — it may
+        // still move on the *second* contact event (distinct event), so
+        // use a single event to check the in-contact barrier: 0-2 direct.
+        let s = schedule(vec![(1.0, 0, 1)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 0.0, 10.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        // Message moved 0→1 only; not delivered.
+        assert_eq!(report.delivery_rate(), 0.0);
+        assert_eq!(report.transmissions_for(MessageId(1)), 1);
+    }
+
+    #[test]
+    fn seen_rejection_prevents_pingpong() {
+        // 0→1, then 1 meets 0 again: the message must not bounce back.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 0, 1), (3.0, 1, 2)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 0.0, 10.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(report.transmissions_for(MessageId(1)), 2); // 0→1, 1→2
+        assert_eq!(report.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn injection_after_contacts_is_counted_but_undelivered() {
+        let s = schedule(vec![(1.0, 0, 1)], 3, 10.0);
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 2, 5.0, 4.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(report.injected_count(), 1);
+        assert_eq!(report.delivery_rate(), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let e = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 5, 0.0, 1.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap_err();
+        assert_eq!(e, SimError::NodeOutOfRange(MessageId(1)));
+
+        let e = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 0, 0.0, 1.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap_err();
+        assert_eq!(e, SimError::SelfAddressed(MessageId(1)));
+
+        let e = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 1, 0.0, 1.0), msg(1, 1, 0, 0.0, 1.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap_err();
+        assert_eq!(e, SimError::DuplicateId(MessageId(1)));
+
+        let mut m = msg(1, 0, 1, 0.0, 1.0);
+        m.copies = 0;
+        let e = run(&s, &mut Flood, vec![m], &SimConfig::default(), &mut rng()).unwrap_err();
+        assert_eq!(e, SimError::ZeroCopies(MessageId(1)));
+    }
+
+    /// Splits one ticket to any peer (source-spray-like) to test ticket
+    /// accounting.
+    struct Spray;
+    impl RoutingProtocol for Spray {
+        fn name(&self) -> &str {
+            "spray-test"
+        }
+        fn on_contact(&mut self, view: &dyn ContactView, _: &mut dyn RngCore) -> Vec<Forward> {
+            view.carried()
+                .into_iter()
+                .filter(|(id, _)| !view.peer_has(*id))
+                .map(|(id, _)| Forward {
+                    message: id,
+                    kind: ForwardKind::Split {
+                        tickets_to_receiver: 1,
+                    },
+                    receiver_tag: 0,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn ticket_split_conserves_total() {
+        // Source has 2 tickets; meets 1 then 2; after both forwards its
+        // copy is gone, so the third contact transfers nothing.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 0, 2), (3.0, 0, 3)], 5, 10.0);
+        let mut m = msg(1, 0, 4, 0.0, 10.0);
+        m.copies = 2;
+        let report = run(&s, &mut Spray, vec![m], &SimConfig::default(), &mut rng()).unwrap();
+        assert_eq!(report.transmissions_for(MessageId(1)), 2);
+    }
+
+    #[test]
+    fn delivered_message_not_redelivered() {
+        // Two relays each hold a copy; both meet the destination.
+        let s = schedule(
+            vec![(1.0, 0, 1), (2.0, 0, 2), (3.0, 1, 4), (4.0, 2, 4)],
+            5,
+            10.0,
+        );
+        let mut m = msg(1, 0, 4, 0.0, 10.0);
+        m.copies = 3;
+        let report = run(&s, &mut Flood, vec![m], &SimConfig::default(), &mut rng()).unwrap();
+        assert_eq!(report.delivery_time(MessageId(1)), Some(Time::new(3.0)));
+        // The t=4 transfer to the destination was suppressed.
+        assert_eq!(report.transmissions_for(MessageId(1)), 3);
+    }
+
+    #[test]
+    fn forwarding_log_disabled() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let cfg = SimConfig {
+            record_forwarding: false,
+            ..SimConfig::default()
+        };
+        let report = run(&s, &mut Flood, vec![msg(1, 0, 1, 0.0, 10.0)], &cfg, &mut rng()).unwrap();
+        assert!(report.forward_log().is_empty());
+        assert_eq!(report.delivery_rate(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod buffer_tests {
+    use super::*;
+    use crate::baselines::Epidemic;
+    use contact_graph::{ContactEvent, ContactSchedule, TimeDelta};
+    use rand::rngs::mock::StepRng;
+
+    fn schedule(events: Vec<(f64, u32, u32)>, n: usize, horizon: f64) -> ContactSchedule {
+        let evs = events
+            .into_iter()
+            .map(|(t, a, b)| ContactEvent::new(Time::new(t), NodeId(a), NodeId(b)))
+            .collect();
+        ContactSchedule::from_events(evs, n, Time::new(horizon))
+    }
+
+    fn msg(id: u64, src: u32, dst: u32, created: f64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: NodeId(src),
+            destination: NodeId(dst),
+            created: Time::new(created),
+            deadline: TimeDelta::new(100.0),
+            copies: 1,
+        }
+    }
+
+    fn cfg(capacity: usize, policy: DropPolicy) -> SimConfig {
+        SimConfig {
+            buffer_capacity: Some(capacity),
+            drop_policy: policy,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn drop_incoming_refuses_transfer_at_full_buffer() {
+        // t=1: m1 hops 0→1. t=2 contact (1,2): the 1→2 direction applies
+        // first (events normalize a < b): node 2 is full with m2 → drop;
+        // then 2→1: node 1 is full with m1 → drop. t=3: m1 delivers.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 2, 1), (3.0, 1, 4)], 5, 10.0);
+        let report = run(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 4, 0.0), msg(2, 2, 4, 0.0)],
+            &cfg(1, DropPolicy::DropIncoming),
+            &mut StepRng::new(0, 1),
+        )
+        .unwrap();
+        assert_eq!(report.buffer_drops(), 2);
+        // m1 made it; m2 stayed at node 2 and never met node 4.
+        assert!(report.delivery_time(MessageId(1)).is_some());
+        assert!(report.delivery_time(MessageId(2)).is_none());
+        // Refused transfers cost no transmissions.
+        assert_eq!(report.transmissions_for(MessageId(2)), 0);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_and_accepts() {
+        // Same scenario with DropOldest: at t=2 the 1→2 direction applies
+        // first, evicting m2 from node 2 in favour of m1; the reverse
+        // transfer then finds m2 gone (rejected, no transmission). m1
+        // delivers; m2 is lost — eviction has victims, which is the point.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 2, 1), (3.0, 1, 4)], 5, 10.0);
+        let report = run(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 4, 0.0), msg(2, 2, 4, 0.5)],
+            &cfg(1, DropPolicy::DropOldest),
+            &mut StepRng::new(0, 1),
+        )
+        .unwrap();
+        assert_eq!(report.buffer_drops(), 1);
+        assert_eq!(report.rejected_forwards(), 1);
+        assert!(report.delivery_time(MessageId(1)).is_some());
+        assert!(report.delivery_time(MessageId(2)).is_none());
+    }
+
+    #[test]
+    fn destination_never_blocked_by_buffer() {
+        // Destination's buffer is full, but delivery consumes without
+        // buffering and must succeed.
+        let s = schedule(vec![(1.0, 0, 4), (2.0, 1, 4)], 5, 10.0);
+        let report = run(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 4, 0.0), msg(2, 1, 4, 0.0)],
+            &cfg(0, DropPolicy::DropIncoming),
+            &mut StepRng::new(0, 1),
+        )
+        .unwrap();
+        // Capacity 0 blocks the *source* buffers at injection instead.
+        // Messages never even sit at their sources, so nothing delivers —
+        // but no panic; and drops were counted.
+        assert_eq!(report.buffer_drops(), 2);
+        assert_eq!(report.delivered_count(), 0);
+    }
+
+    #[test]
+    fn unlimited_buffers_never_drop() {
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 1, 2), (3.0, 2, 4)], 5, 10.0);
+        let report = run(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 4, 0.0), msg(2, 0, 3, 0.0)],
+            &SimConfig::default(),
+            &mut StepRng::new(0, 1),
+        )
+        .unwrap();
+        assert_eq!(report.buffer_drops(), 0);
+    }
+
+    #[test]
+    fn capacity_one_destination_still_reached() {
+        // With capacity 1 everywhere a single message still flows.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 1, 4)], 5, 10.0);
+        let report = run(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 4, 0.0)],
+            &cfg(1, DropPolicy::DropIncoming),
+            &mut StepRng::new(0, 1),
+        )
+        .unwrap();
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(report.buffer_drops(), 0);
+    }
+}

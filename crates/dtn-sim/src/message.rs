@@ -1,0 +1,108 @@
+//! Messages and per-copy custody state.
+
+use contact_graph::{NodeId, Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Unique message identifier within one simulation.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct MessageId(pub u64);
+
+impl std::fmt::Display for MessageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An application message: `v_s` wants `m` delivered to `v_d` within the
+/// deadline `T`, with at most `L` copies in the network (Table I).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Unique id.
+    pub id: MessageId,
+    /// Source node `v_s`.
+    pub source: NodeId,
+    /// Destination node `v_d`.
+    pub destination: NodeId,
+    /// Injection time.
+    pub created: Time,
+    /// Relative deadline `T`: the message must be delivered by
+    /// `created + deadline` or it is discarded.
+    pub deadline: TimeDelta,
+    /// Maximum number of copies `L` (1 = single-copy forwarding).
+    pub copies: u32,
+}
+
+impl Message {
+    /// Absolute expiry instant.
+    pub fn expires_at(&self) -> Time {
+        self.created + self.deadline
+    }
+
+    /// Whether the message is expired at `now`.
+    pub fn is_expired(&self, now: Time) -> bool {
+        now > self.expires_at()
+    }
+}
+
+/// Custody state of one copy of a message at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyState {
+    /// Remaining forwarding tickets (Algorithm 2's `v_i.ticket`).
+    pub tickets: u32,
+    /// Protocol-defined tag. The onion protocols store the current hop
+    /// index `k` (how many onion groups the copy has traversed); baselines
+    /// ignore it.
+    pub tag: u64,
+}
+
+impl CopyState {
+    /// A fresh copy with `tickets` tickets and a zero tag.
+    pub fn new(tickets: u32) -> Self {
+        CopyState { tickets, tag: 0 }
+    }
+
+    /// A fresh copy with an explicit protocol tag.
+    pub fn with_tag(tickets: u32, tag: u64) -> Self {
+        CopyState { tickets, tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message {
+            id: MessageId(1),
+            source: NodeId(0),
+            destination: NodeId(9),
+            created: Time::new(100.0),
+            deadline: TimeDelta::new(50.0),
+            copies: 3,
+        }
+    }
+
+    #[test]
+    fn expiry() {
+        let m = msg();
+        assert_eq!(m.expires_at(), Time::new(150.0));
+        assert!(!m.is_expired(Time::new(150.0)));
+        assert!(m.is_expired(Time::new(150.1)));
+    }
+
+    #[test]
+    fn copy_state_constructors() {
+        assert_eq!(CopyState::new(5), CopyState { tickets: 5, tag: 0 });
+        assert_eq!(
+            CopyState::with_tag(1, 42),
+            CopyState { tickets: 1, tag: 42 }
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MessageId(7).to_string(), "m7");
+    }
+}

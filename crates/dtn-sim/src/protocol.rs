@@ -1,0 +1,120 @@
+//! The routing-protocol interface.
+//!
+//! The engine replays a contact schedule and, at each contact and for each
+//! direction, asks the protocol which messages to transfer. Protocols are
+//! stateless with respect to buffers — the engine owns custody — but may
+//! keep their own routing state (e.g. the onion group sequence chosen per
+//! message).
+
+use contact_graph::{NodeId, Time};
+use rand::RngCore;
+
+use crate::message::{CopyState, Message, MessageId};
+
+/// How a message moves from carrier to peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardKind {
+    /// Hand off the only copy: the carrier drops its copy, the peer
+    /// receives it (ticket count preserved).
+    Handoff,
+    /// Split tickets: the peer receives a copy with `tickets_to_receiver`
+    /// tickets and the carrier keeps the rest. If the carrier's remainder
+    /// hits zero its copy is dropped (Algorithm 2).
+    Split {
+        /// Tickets granted to the receiving copy (must be >= 1 and <= the
+        /// carrier's current tickets).
+        tickets_to_receiver: u32,
+    },
+    /// Unbounded replication (epidemic): the peer receives a copy with the
+    /// same ticket count; the carrier keeps its copy.
+    Replicate,
+}
+
+/// One forwarding decision returned by a protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Forward {
+    /// Which message to transfer.
+    pub message: MessageId,
+    /// Transfer semantics.
+    pub kind: ForwardKind,
+    /// Protocol tag for the receiver's copy (e.g. the onion hop index the
+    /// copy will be at after this transfer).
+    pub receiver_tag: u64,
+}
+
+/// Read-only view of the simulation handed to protocols at a contact.
+pub trait ContactView {
+    /// Current simulation time.
+    fn now(&self) -> Time;
+    /// The node currently making forwarding decisions.
+    fn carrier(&self) -> NodeId;
+    /// The node it met.
+    fn peer(&self) -> NodeId;
+    /// Messages (with copy state) buffered at the carrier.
+    fn carried(&self) -> Vec<(MessageId, CopyState)>;
+    /// Whether the peer already buffers (or has already seen) `message`.
+    fn peer_has(&self, message: MessageId) -> bool;
+    /// Whether `message` has already been delivered to its destination.
+    fn is_delivered(&self, message: MessageId) -> bool;
+    /// Message metadata.
+    fn message(&self, id: MessageId) -> &Message;
+}
+
+/// A DTN routing protocol.
+///
+/// Implementations decide what to do at injection time and at contacts;
+/// the engine owns buffers, tickets, deadlines, and statistics.
+pub trait RoutingProtocol {
+    /// Short protocol name for reports.
+    fn name(&self) -> &str;
+
+    /// Called when a message enters the network at its source. Returns the
+    /// initial copy state (default: `copies` tickets, tag 0).
+    fn on_inject(&mut self, message: &Message, rng: &mut dyn RngCore) -> CopyState {
+        let _ = rng;
+        CopyState::new(message.copies)
+    }
+
+    /// Called for *every* contact, before any forwarding decisions and
+    /// regardless of buffer contents — lets utility-based protocols (e.g.
+    /// PRoPHET) learn encounter statistics. Default: no-op.
+    fn on_contact_observed(&mut self, a: NodeId, b: NodeId, time: Time) {
+        let _ = (a, b, time);
+    }
+
+    /// Called once per direction at each contact. Returns the transfers the
+    /// carrier performs toward the peer.
+    fn on_contact(&mut self, view: &dyn ContactView, rng: &mut dyn RngCore) -> Vec<Forward>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::TimeDelta;
+
+    struct Null;
+    impl RoutingProtocol for Null {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn on_contact(&mut self, _: &dyn ContactView, _: &mut dyn RngCore) -> Vec<Forward> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_inject_uses_message_copies() {
+        let mut p = Null;
+        let m = Message {
+            id: MessageId(0),
+            source: NodeId(0),
+            destination: NodeId(1),
+            created: Time::ZERO,
+            deadline: TimeDelta::new(10.0),
+            copies: 4,
+        };
+        let state = p.on_inject(&m, &mut rand::thread_rng());
+        assert_eq!(state, CopyState::new(4));
+        assert_eq!(p.name(), "null");
+    }
+}

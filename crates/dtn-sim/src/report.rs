@@ -1,0 +1,381 @@
+//! Simulation results: delivery, cost, and the forwarding log.
+
+use std::collections::BTreeMap;
+
+use contact_graph::{NodeId, Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+use crate::message::{Message, MessageId};
+
+/// One recorded transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForwardRecord {
+    /// When the transfer happened.
+    pub time: Time,
+    /// Which message moved.
+    pub message: MessageId,
+    /// Sending custodian.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Protocol tag assigned to the receiver's copy (onion protocols store
+    /// the hop index here).
+    pub receiver_tag: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    protocol: String,
+    messages: Vec<Message>,
+    injected: Vec<MessageId>,
+    delivered: BTreeMap<MessageId, Time>,
+    transmissions: BTreeMap<MessageId, u64>,
+    forward_log: Vec<ForwardRecord>,
+    rejected_forwards: u64,
+    buffer_drops: u64,
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        protocol: String,
+        messages: Vec<Message>,
+        injected: Vec<MessageId>,
+        delivered: BTreeMap<MessageId, Time>,
+        transmissions: BTreeMap<MessageId, u64>,
+        forward_log: Vec<ForwardRecord>,
+        rejected_forwards: u64,
+        buffer_drops: u64,
+    ) -> Self {
+        SimReport {
+            protocol,
+            messages,
+            injected,
+            delivered,
+            transmissions,
+            forward_log,
+            rejected_forwards,
+            buffer_drops,
+        }
+    }
+
+    /// Name of the protocol that produced this report.
+    pub fn protocol(&self) -> &str {
+        &self.protocol
+    }
+
+    /// Number of injected messages.
+    pub fn injected_count(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// Ids of injected messages.
+    pub fn injected(&self) -> &[MessageId] {
+        &self.injected
+    }
+
+    /// Number of messages delivered within their deadlines.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Fraction of injected messages delivered within their deadlines.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected.is_empty() {
+            return 0.0;
+        }
+        self.delivered.len() as f64 / self.injected.len() as f64
+    }
+
+    /// First delivery time of `message`, if delivered.
+    pub fn delivery_time(&self, message: MessageId) -> Option<Time> {
+        self.delivered.get(&message).copied()
+    }
+
+    /// End-to-end delay of `message`, if delivered.
+    pub fn delivery_delay(&self, message: MessageId) -> Option<TimeDelta> {
+        let t = self.delivery_time(message)?;
+        let m = self.message_meta(message)?;
+        Some(t - m.created)
+    }
+
+    /// Mean delay over delivered messages; `None` if nothing was delivered.
+    pub fn mean_delay(&self) -> Option<TimeDelta> {
+        if self.delivered.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .delivered
+            .keys()
+            .filter_map(|&id| self.delivery_delay(id))
+            .map(|d| d.as_f64())
+            .sum();
+        Some(TimeDelta::new(total / self.delivered.len() as f64))
+    }
+
+    /// All delivery delays, sorted ascending (one per delivered message).
+    pub fn delays_sorted(&self) -> Vec<TimeDelta> {
+        let mut delays: Vec<TimeDelta> = self
+            .delivered
+            .keys()
+            .filter_map(|&id| self.delivery_delay(id))
+            .collect();
+        delays.sort();
+        delays
+    }
+
+    /// The `q`-quantile of the delivery delay over delivered messages
+    /// (nearest-rank), or `None` if nothing was delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn delay_quantile(&self, q: f64) -> Option<TimeDelta> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let delays = self.delays_sorted();
+        if delays.is_empty() {
+            return None;
+        }
+        let rank = ((q * delays.len() as f64).ceil() as usize).clamp(1, delays.len());
+        Some(delays[rank - 1])
+    }
+
+    /// Median delivery delay, if anything was delivered.
+    pub fn median_delay(&self) -> Option<TimeDelta> {
+        self.delay_quantile(0.5)
+    }
+
+    /// Empirical delivery rate as a function of deadline: the fraction of
+    /// injected messages with delay `≤ t` (the curve the paper's
+    /// delivery figures plot).
+    pub fn delivery_rate_within(&self, t: TimeDelta) -> f64 {
+        if self.injected.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .injected
+            .iter()
+            .filter(|&&id| self.delivery_delay(id).is_some_and(|d| d <= t))
+            .count();
+        hits as f64 / self.injected.len() as f64
+    }
+
+    /// Number of transmissions of `message` (0 if unknown).
+    pub fn transmissions_for(&self, message: MessageId) -> u64 {
+        self.transmissions.get(&message).copied().unwrap_or(0)
+    }
+
+    /// Total transmissions across all messages.
+    pub fn total_transmissions(&self) -> u64 {
+        self.transmissions.values().sum()
+    }
+
+    /// Mean transmissions per injected message.
+    pub fn mean_transmissions(&self) -> f64 {
+        if self.injected.is_empty() {
+            return 0.0;
+        }
+        self.total_transmissions() as f64 / self.injected.len() as f64
+    }
+
+    /// The full forwarding log (empty if recording was disabled).
+    pub fn forward_log(&self) -> &[ForwardRecord] {
+        &self.forward_log
+    }
+
+    /// Forwards the engine refused (protocol proposed an invalid transfer
+    /// or the receiver already had the copy).
+    pub fn rejected_forwards(&self) -> u64 {
+        self.rejected_forwards
+    }
+
+    /// Copies dropped (or refused) because of finite buffers.
+    pub fn buffer_drops(&self) -> u64 {
+        self.buffer_drops
+    }
+
+    /// Metadata of `message`.
+    pub fn message_meta(&self, message: MessageId) -> Option<&Message> {
+        self.messages.iter().find(|m| m.id == message)
+    }
+
+    /// Reconstructs the custody chain of the copy that was delivered:
+    /// `[source, relay_1, …, destination]`. `None` if the message was not
+    /// delivered or the forwarding log was disabled.
+    ///
+    /// For multi-copy runs this traces the *winning* copy backwards from
+    /// the delivery record.
+    pub fn delivered_path(&self, message: MessageId) -> Option<Vec<NodeId>> {
+        let delivery_time = self.delivery_time(message)?;
+        let meta = self.message_meta(message)?;
+        // Find the record that performed the delivery.
+        let mut current = self
+            .forward_log
+            .iter()
+            .find(|r| {
+                r.message == message && r.to == meta.destination && r.time == delivery_time
+            })?;
+        let mut path = vec![current.to, current.from];
+        // Walk backwards: who gave the copy to `current.from`?
+        while current.from != meta.source {
+            let prev = self
+                .forward_log
+                .iter()
+                .filter(|r| {
+                    r.message == message && r.to == current.from && r.time <= current.time
+                })
+                .max_by(|x, y| x.time.cmp(&y.time))?;
+            path.push(prev.from);
+            current = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Hop count of the delivered path (transmissions along the winning
+    /// chain), if reconstructible.
+    pub fn delivered_hop_count(&self, message: MessageId) -> Option<usize> {
+        Some(self.delivered_path(message)?.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::TimeDelta;
+
+    fn report() -> SimReport {
+        let m1 = Message {
+            id: MessageId(1),
+            source: NodeId(0),
+            destination: NodeId(3),
+            created: Time::new(0.0),
+            deadline: TimeDelta::new(100.0),
+            copies: 2,
+        };
+        let m2 = Message {
+            id: MessageId(2),
+            source: NodeId(1),
+            destination: NodeId(3),
+            created: Time::new(5.0),
+            deadline: TimeDelta::new(100.0),
+            copies: 1,
+        };
+        let mut delivered = BTreeMap::new();
+        delivered.insert(MessageId(1), Time::new(30.0));
+        let mut transmissions = BTreeMap::new();
+        transmissions.insert(MessageId(1), 4);
+        transmissions.insert(MessageId(2), 1);
+        // Winning chain: 0 → 2 → 3; a losing copy went 0 → 1.
+        let log = vec![
+            ForwardRecord {
+                time: Time::new(10.0),
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                receiver_tag: 0,
+            },
+            ForwardRecord {
+                time: Time::new(20.0),
+                message: MessageId(1),
+                from: NodeId(0),
+                to: NodeId(2),
+                receiver_tag: 1,
+            },
+            ForwardRecord {
+                time: Time::new(30.0),
+                message: MessageId(1),
+                from: NodeId(2),
+                to: NodeId(3),
+                receiver_tag: 2,
+            },
+            ForwardRecord {
+                time: Time::new(40.0),
+                message: MessageId(2),
+                from: NodeId(1),
+                to: NodeId(2),
+                receiver_tag: 0,
+            },
+        ];
+        SimReport::new(
+            "test".into(),
+            vec![m1, m2],
+            vec![MessageId(1), MessageId(2)],
+            delivered,
+            transmissions,
+            log,
+            3,
+            0,
+        )
+    }
+
+    #[test]
+    fn rates_and_counts() {
+        let r = report();
+        assert_eq!(r.protocol(), "test");
+        assert_eq!(r.injected_count(), 2);
+        assert_eq!(r.delivered_count(), 1);
+        assert_eq!(r.delivery_rate(), 0.5);
+        assert_eq!(r.total_transmissions(), 5);
+        assert_eq!(r.mean_transmissions(), 2.5);
+        assert_eq!(r.rejected_forwards(), 3);
+    }
+
+    #[test]
+    fn delays() {
+        let r = report();
+        assert_eq!(r.delivery_delay(MessageId(1)), Some(TimeDelta::new(30.0)));
+        assert_eq!(r.delivery_delay(MessageId(2)), None);
+        assert_eq!(r.mean_delay(), Some(TimeDelta::new(30.0)));
+    }
+
+    #[test]
+    fn path_reconstruction_follows_winning_copy() {
+        let r = report();
+        assert_eq!(
+            r.delivered_path(MessageId(1)),
+            Some(vec![NodeId(0), NodeId(2), NodeId(3)])
+        );
+        assert_eq!(r.delivered_hop_count(MessageId(1)), Some(2));
+        assert_eq!(r.delivered_path(MessageId(2)), None);
+    }
+
+    #[test]
+    fn delay_quantiles_and_curve() {
+        let r = report();
+        // One delivered message with delay 30.
+        assert_eq!(r.delays_sorted(), vec![TimeDelta::new(30.0)]);
+        assert_eq!(r.median_delay(), Some(TimeDelta::new(30.0)));
+        assert_eq!(r.delay_quantile(0.01), Some(TimeDelta::new(30.0)));
+        assert_eq!(r.delay_quantile(1.0), Some(TimeDelta::new(30.0)));
+        // Delivery-vs-deadline curve: 0 below 30, 0.5 at/after 30 (one of
+        // two messages delivered).
+        assert_eq!(r.delivery_rate_within(TimeDelta::new(29.9)), 0.0);
+        assert_eq!(r.delivery_rate_within(TimeDelta::new(30.0)), 0.5);
+        assert_eq!(r.delivery_rate_within(TimeDelta::new(1e9)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        let _ = report().delay_quantile(1.5);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = SimReport::new(
+            "empty".into(),
+            vec![],
+            vec![],
+            BTreeMap::new(),
+            BTreeMap::new(),
+            vec![],
+            0,
+            0,
+        );
+        assert_eq!(r.delivery_rate(), 0.0);
+        assert_eq!(r.mean_transmissions(), 0.0);
+        assert!(r.mean_delay().is_none());
+    }
+}

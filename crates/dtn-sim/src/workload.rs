@@ -1,0 +1,265 @@
+//! Workload generation: batches of messages with configurable endpoints,
+//! start times, copy counts, and deadlines.
+//!
+//! Encapsulates the message-generation conventions of the paper's
+//! evaluation: uniformly random distinct source/destination pairs, and
+//! either synchronized starts (random graphs) or starts at a random
+//! contact of the source (the traces' business-hours policy).
+
+use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta};
+use rand::Rng;
+
+use crate::message::{Message, MessageId};
+
+/// When each message's transmission begins.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StartPolicy {
+    /// All messages start at `t = 0` (the random-graph experiments).
+    AtZero,
+    /// Start times uniform in `[0, until)`.
+    UniformUntil(Time),
+    /// Start at a uniformly random contact event involving the source
+    /// (the paper's trace policy); falls back to `t = 0` for isolated
+    /// sources. Requires building against a schedule.
+    AtContactOfSource,
+}
+
+/// Builder for message batches.
+///
+/// # Examples
+///
+/// ```
+/// use dtn_sim::{StartPolicy, WorkloadBuilder};
+/// use contact_graph::TimeDelta;
+///
+/// let mut rng = rand::thread_rng();
+/// let messages = WorkloadBuilder::new(20, TimeDelta::new(360.0))
+///     .copies(3)
+///     .build(100, &mut rng);
+/// assert_eq!(messages.len(), 20);
+/// assert!(messages.iter().all(|m| m.source != m.destination));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    count: usize,
+    deadline: TimeDelta,
+    copies: u32,
+    start: StartPolicy,
+    first_id: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for `count` single-copy messages with the given
+    /// relative deadline, all created at `t = 0`.
+    pub fn new(count: usize, deadline: TimeDelta) -> Self {
+        WorkloadBuilder {
+            count,
+            deadline,
+            copies: 1,
+            start: StartPolicy::AtZero,
+            first_id: 0,
+        }
+    }
+
+    /// Sets the copy budget `L` for every message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn copies(mut self, copies: u32) -> Self {
+        assert!(copies > 0, "L must be positive");
+        self.copies = copies;
+        self
+    }
+
+    /// Sets the start-time policy.
+    pub fn start_policy(mut self, policy: StartPolicy) -> Self {
+        self.start = policy;
+        self
+    }
+
+    /// Sets the first message id (ids are consecutive).
+    pub fn first_id(mut self, id: u64) -> Self {
+        self.first_id = id;
+        self
+    }
+
+    /// Builds the batch over an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the policy is
+    /// [`StartPolicy::AtContactOfSource`] (use
+    /// [`Self::build_for_schedule`]).
+    pub fn build<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Message> {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(
+            self.start != StartPolicy::AtContactOfSource,
+            "AtContactOfSource requires build_for_schedule"
+        );
+        self.generate(n, None, rng)
+    }
+
+    /// Builds the batch against a concrete schedule (required for
+    /// [`StartPolicy::AtContactOfSource`], allowed for all policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule has fewer than two nodes.
+    pub fn build_for_schedule<R: Rng + ?Sized>(
+        &self,
+        schedule: &ContactSchedule,
+        rng: &mut R,
+    ) -> Vec<Message> {
+        assert!(schedule.node_count() >= 2, "need at least two nodes");
+        self.generate(schedule.node_count(), Some(schedule), rng)
+    }
+
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        schedule: Option<&ContactSchedule>,
+        rng: &mut R,
+    ) -> Vec<Message> {
+        (0..self.count as u64)
+            .map(|i| {
+                let source = NodeId(rng.gen_range(0..n as u32));
+                let mut destination = NodeId(rng.gen_range(0..n as u32));
+                while destination == source {
+                    destination = NodeId(rng.gen_range(0..n as u32));
+                }
+                let created = match self.start {
+                    StartPolicy::AtZero => Time::ZERO,
+                    StartPolicy::UniformUntil(until) => {
+                        Time::new(rng.gen_range(0.0..until.as_f64().max(f64::MIN_POSITIVE)))
+                    }
+                    StartPolicy::AtContactOfSource => {
+                        let schedule = schedule.expect("checked by build()");
+                        let candidates: Vec<Time> = schedule
+                            .iter()
+                            .filter(|e| e.involves(source))
+                            .map(|e| e.time)
+                            .collect();
+                        if candidates.is_empty() {
+                            Time::ZERO
+                        } else {
+                            candidates[rng.gen_range(0..candidates.len())]
+                        }
+                    }
+                };
+                Message {
+                    id: MessageId(self.first_id + i),
+                    source,
+                    destination,
+                    created,
+                    deadline: self.deadline,
+                    copies: self.copies,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::{ContactEvent, UniformGraphBuilder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn basic_batch() {
+        let msgs = WorkloadBuilder::new(50, TimeDelta::new(100.0))
+            .copies(4)
+            .first_id(1000)
+            .build(30, &mut rng(1));
+        assert_eq!(msgs.len(), 50);
+        assert_eq!(msgs[0].id, MessageId(1000));
+        assert_eq!(msgs[49].id, MessageId(1049));
+        for m in &msgs {
+            assert_ne!(m.source, m.destination);
+            assert!(m.source.index() < 30 && m.destination.index() < 30);
+            assert_eq!(m.copies, 4);
+            assert_eq!(m.created, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn uniform_start_policy() {
+        let msgs = WorkloadBuilder::new(200, TimeDelta::new(10.0))
+            .start_policy(StartPolicy::UniformUntil(Time::new(500.0)))
+            .build(10, &mut rng(2));
+        assert!(msgs.iter().all(|m| m.created < Time::new(500.0)));
+        // Spread out: both halves of the window populated.
+        assert!(msgs.iter().any(|m| m.created < Time::new(250.0)));
+        assert!(msgs.iter().any(|m| m.created > Time::new(250.0)));
+    }
+
+    #[test]
+    fn contact_start_policy_uses_source_contacts() {
+        let mut r = rng(3);
+        let graph = UniformGraphBuilder::new(10).build(&mut r);
+        let schedule = contact_graph::ContactSchedule::sample(&graph, Time::new(50.0), &mut r);
+        let msgs = WorkloadBuilder::new(20, TimeDelta::new(10.0))
+            .start_policy(StartPolicy::AtContactOfSource)
+            .build_for_schedule(&schedule, &mut r);
+        for m in &msgs {
+            assert!(
+                schedule
+                    .iter()
+                    .any(|e| e.time == m.created && e.involves(m.source)),
+                "start {} is not a contact of {}",
+                m.created,
+                m.source
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_source_falls_back_to_zero() {
+        // Schedule where node 2 never appears.
+        let events = vec![ContactEvent::new(Time::new(1.0), NodeId(0), NodeId(1))];
+        let schedule = ContactSchedule::from_events(events, 3, Time::new(5.0));
+        let msgs = WorkloadBuilder::new(50, TimeDelta::new(5.0))
+            .start_policy(StartPolicy::AtContactOfSource)
+            .build_for_schedule(&schedule, &mut rng(4));
+        for m in msgs.iter().filter(|m| m.source == NodeId(2)) {
+            assert_eq!(m.created, Time::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "build_for_schedule")]
+    fn contact_policy_requires_schedule() {
+        let _ = WorkloadBuilder::new(1, TimeDelta::new(1.0))
+            .start_policy(StartPolicy::AtContactOfSource)
+            .build(5, &mut rng(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn tiny_network_rejected() {
+        let _ = WorkloadBuilder::new(1, TimeDelta::new(1.0)).build(1, &mut rng(6));
+    }
+
+    #[test]
+    fn batch_is_valid_sim_input() {
+        let mut r = rng(7);
+        let graph = UniformGraphBuilder::new(20).build(&mut r);
+        let schedule = contact_graph::ContactSchedule::sample(&graph, Time::new(100.0), &mut r);
+        let msgs = WorkloadBuilder::new(10, TimeDelta::new(100.0)).build(20, &mut r);
+        let report = crate::run(
+            &schedule,
+            &mut crate::baselines::Epidemic,
+            msgs,
+            &crate::SimConfig::default(),
+            &mut r,
+        )
+        .expect("workload is always valid input");
+        assert_eq!(report.injected_count(), 10);
+    }
+}

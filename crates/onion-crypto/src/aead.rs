@@ -1,0 +1,214 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439), verified against the RFC test vector.
+//!
+//! This is the cipher used for every onion layer: authenticity lets a relay
+//! detect that it holds a well-formed layer it can actually peel, and
+//! confidentiality hides the remaining route.
+
+use crate::chacha20;
+use crate::error::CryptoError;
+use crate::hmac::constant_time_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// AEAD key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// AEAD nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// A 256-bit AEAD key.
+///
+/// Wrapped in a newtype so keys cannot be confused with other 32-byte
+/// values, and so `Debug` never leaks key material.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AeadKey(pub(crate) [u8; KEY_LEN]);
+
+impl AeadKey {
+    /// Constructs a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        AeadKey(bytes)
+    }
+
+    /// Returns the raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for AeadKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AeadKey(..)")
+    }
+}
+
+impl From<[u8; KEY_LEN]> for AeadKey {
+    fn from(bytes: [u8; KEY_LEN]) -> Self {
+        AeadKey(bytes)
+    }
+}
+
+fn poly_key(key: &AeadKey, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    // The one-time Poly1305 key is the first 32 bytes of ChaCha20 block 0.
+    let block = chacha20::block(&key.0, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+fn compute_tag(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; TAG_LEN] {
+    let pk = poly_key(key, nonce);
+    let mut mac = Poly1305::new(&pk);
+    mac.update(aad);
+    let pad = [0u8; 16];
+    if !aad.len().is_multiple_of(16) {
+        mac.update(&pad[..16 - aad.len() % 16]);
+    }
+    mac.update(ciphertext);
+    if !ciphertext.len().is_multiple_of(16) {
+        mac.update(&pad[..16 - ciphertext.len() % 16]);
+    }
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// Encrypts `plaintext` with associated data `aad`.
+///
+/// Returns `ciphertext || tag` (the tag occupies the final 16 bytes).
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::aead::{seal, open, AeadKey};
+///
+/// let key = AeadKey::from_bytes([7u8; 32]);
+/// let nonce = [0u8; 12];
+/// let boxed = seal(&key, &nonce, b"header", b"secret");
+/// let opened = open(&key, &nonce, b"header", &boxed).unwrap();
+/// assert_eq!(opened, b"secret");
+/// ```
+pub fn seal(key: &AeadKey, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20::xor_in_place(&key.0, nonce, 1, &mut out);
+    let tag = compute_tag(key, nonce, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts `ciphertext || tag` produced by [`seal`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::AuthenticationFailed`] if the tag does not verify
+/// (wrong key, wrong nonce, wrong AAD, or corrupted ciphertext), and
+/// [`CryptoError::LengthMismatch`] if the input is shorter than a tag.
+pub fn open(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    boxed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if boxed.len() < TAG_LEN {
+        return Err(CryptoError::LengthMismatch {
+            expected: TAG_LEN,
+            actual: boxed.len(),
+        });
+    }
+    let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
+    let expected = compute_tag(key, nonce, aad, ciphertext);
+    if !constant_time_eq(&expected, tag) {
+        return Err(CryptoError::AuthenticationFailed);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20::xor_in_place(&key.0, nonce, 1, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 section 2.8.2.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key = AeadKey::from_bytes(
+            hex::decode_array::<32>(
+                "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+            )
+            .unwrap(),
+        );
+        let nonce = hex::decode_array::<12>("070000004041424344454647").unwrap();
+        let aad = hex::decode("50515253c0c1c2c3c4c5c6c7").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+
+        let boxed = seal(&key, &nonce, &aad, plaintext);
+        let (ct, tag) = boxed.split_at(boxed.len() - TAG_LEN);
+        assert_eq!(hex::encode(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(hex::encode(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
+        assert_eq!(open(&key, &nonce, &aad, &boxed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = AeadKey::from_bytes([1u8; 32]);
+        let nonce = [2u8; 12];
+        let boxed = seal(&key, &nonce, b"aad", b"payload");
+
+        // Flip each region: ciphertext, tag, aad, nonce, key.
+        let mut bad = boxed.clone();
+        bad[0] ^= 1;
+        assert_eq!(
+            open(&key, &nonce, b"aad", &bad),
+            Err(CryptoError::AuthenticationFailed)
+        );
+
+        let mut bad = boxed.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert!(open(&key, &nonce, b"aad", &bad).is_err());
+
+        assert!(open(&key, &nonce, b"AAD", &boxed).is_err());
+        assert!(open(&key, &[3u8; 12], b"aad", &boxed).is_err());
+        assert!(open(&AeadKey::from_bytes([9u8; 32]), &nonce, b"aad", &boxed).is_err());
+    }
+
+    #[test]
+    fn short_input_is_length_error() {
+        let key = AeadKey::from_bytes([0u8; 32]);
+        assert!(matches!(
+            open(&key, &[0u8; 12], b"", &[0u8; 5]),
+            Err(CryptoError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let key = AeadKey::from_bytes([5u8; 32]);
+        let nonce = [6u8; 12];
+        let boxed = seal(&key, &nonce, b"", b"");
+        assert_eq!(boxed.len(), TAG_LEN);
+        assert_eq!(open(&key, &nonce, b"", &boxed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn key_debug_hides_material() {
+        let key = AeadKey::from_bytes([0xAB; 32]);
+        assert_eq!(format!("{key:?}"), "AeadKey(..)");
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = AeadKey::from_bytes([3u8; 32]);
+        let nonce = [4u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 64, 1000] {
+            let pt = vec![0x5Au8; len];
+            let boxed = seal(&key, &nonce, b"x", &pt);
+            assert_eq!(open(&key, &nonce, b"x", &boxed).unwrap(), pt, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Constant-size onion packets.
+//!
+//! The nested format in [`crate::onion`] shrinks by
+//! [`crate::onion::LAYER_OVERHEAD`] bytes at every peel, so an observer
+//! (or a curious relay) can infer *how deep in the route* a packet is
+//! from its length — weakening exactly the path anonymity the protocol
+//! exists to protect. This module provides a constant-size alternative:
+//! the wire size is identical at every hop; after peeling, a relay
+//! restores the packet to the fixed capacity with fresh random filler.
+//!
+//! Layer layout (capacity = `payload_len + PER_LAYER · K`):
+//!
+//! ```text
+//! blob   = nonce (12) || masked_len (4) || AEAD(header || inner) || filler
+//! header = type (1) || id (4)
+//! ```
+//!
+//! The length field locates the authenticated region and is masked with
+//! key stream the AEAD never uses (bytes 32..36 of ChaCha20 block 0 —
+//! RFC 8439 discards them), so it leaks nothing. It is *not* itself
+//! authenticated: flipping its bits merely shifts the AEAD window, which
+//! then fails to verify (integrity is preserved; the field only enables
+//! denial of service, which a packet-dropping relay could do anyway).
+
+use rand::RngCore;
+
+use crate::aead::{self, AeadKey, NONCE_LEN};
+use crate::chacha20;
+use crate::error::CryptoError;
+use crate::onion::{OnionLayerSpec, RouteTarget};
+use crate::poly1305::TAG_LEN;
+
+const TY_GROUP: u8 = 0x01;
+const TY_NODE_CLEAR: u8 = 0x04;
+const HEADER_LEN: usize = 1 + 4;
+const LEN_FIELD: usize = 4;
+
+/// Bytes of capacity consumed per layer
+/// (nonce + masked length + tag + header).
+pub const PER_LAYER: usize = NONCE_LEN + LEN_FIELD + TAG_LEN + HEADER_LEN;
+
+/// Result of peeling one fixed-size layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FixedPeeled {
+    /// Forward the restored, constant-size inner onion to `next`.
+    Forward {
+        /// Next eligible hop.
+        next: RouteTarget,
+        /// The inner onion, re-padded to the original capacity.
+        onion: FixedSizeOnion,
+    },
+    /// Forward the recovered payload to the destination node.
+    ForwardClear {
+        /// Destination node id.
+        node: u32,
+        /// The application payload (true length restored).
+        payload: Vec<u8>,
+    },
+}
+
+/// An onion packet whose wire size never changes across hops.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FixedSizeOnion {
+    target: RouteTarget,
+    blob: Vec<u8>,
+}
+
+impl std::fmt::Debug for FixedSizeOnion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FixedSizeOnion")
+            .field("target", &self.target)
+            .field("capacity", &self.blob.len())
+            .finish()
+    }
+}
+
+/// Key-stream mask for the length field: bytes 32..36 of ChaCha20 block
+/// 0, which RFC 8439's AEAD construction discards.
+fn len_mask(key: &AeadKey, nonce: &[u8; NONCE_LEN]) -> [u8; LEN_FIELD] {
+    let block = chacha20::block(key.as_bytes(), 0, nonce);
+    [block[32], block[33], block[34], block[35]]
+}
+
+fn seal_fixed_layer<R: RngCore + ?Sized>(
+    key: &AeadKey,
+    ty: u8,
+    id: u32,
+    inner: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+
+    let mut plain = Vec::with_capacity(HEADER_LEN + inner.len());
+    plain.push(ty);
+    plain.extend_from_slice(&id.to_le_bytes());
+    plain.extend_from_slice(inner);
+    let boxed = aead::seal(key, &nonce, b"onion-dtn/v1 fixed", &plain);
+
+    let mask = len_mask(key, &nonce);
+    let len_bytes = (boxed.len() as u32).to_le_bytes();
+    let masked: Vec<u8> = len_bytes
+        .iter()
+        .zip(mask.iter())
+        .map(|(a, b)| a ^ b)
+        .collect();
+
+    let mut blob = Vec::with_capacity(NONCE_LEN + LEN_FIELD + boxed.len());
+    blob.extend_from_slice(&nonce);
+    blob.extend_from_slice(&masked);
+    blob.extend_from_slice(&boxed);
+    blob
+}
+
+impl FixedSizeOnion {
+    /// Builds a constant-size onion for `route` delivering `payload` to
+    /// node `destination`. The capacity is
+    /// `payload.len() + PER_LAYER · route.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::EmptyRoute`] if `route` is empty.
+    pub fn build<R: RngCore + ?Sized>(
+        route: &[OnionLayerSpec],
+        destination: u32,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        if route.is_empty() {
+            return Err(CryptoError::EmptyRoute);
+        }
+        let capacity = payload.len() + PER_LAYER * route.len();
+
+        let mut inner: Vec<u8> = payload.to_vec();
+        let mut inner_ty = TY_NODE_CLEAR;
+        let mut inner_id = destination;
+        for spec in route.iter().rev() {
+            inner = seal_fixed_layer(&spec.key, inner_ty, inner_id, &inner, rng);
+            inner_ty = TY_GROUP;
+            inner_id = spec.group;
+        }
+        debug_assert_eq!(inner.len(), capacity);
+
+        Ok(FixedSizeOnion {
+            target: RouteTarget::Group(route[0].group),
+            blob: inner,
+        })
+    }
+
+    /// The hop that may receive (and peel) this packet.
+    pub fn target(&self) -> RouteTarget {
+        self.target
+    }
+
+    /// The constant wire size.
+    pub fn capacity(&self) -> usize {
+        self.blob.len()
+    }
+
+    /// Reassembles a packet from its parts (after network transfer).
+    pub fn from_parts(target: RouteTarget, blob: Vec<u8>) -> Self {
+        FixedSizeOnion { target, blob }
+    }
+
+    /// Peels one layer and restores the inner packet to the same
+    /// capacity with fresh random filler (hence the `rng`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::AuthenticationFailed`] — wrong key or tampering
+    ///   anywhere in the true region (a corrupted length field also lands
+    ///   here, as it shifts the AEAD window);
+    /// * [`CryptoError::MalformedOnion`] — structural corruption.
+    pub fn peel<R: RngCore + ?Sized>(
+        &self,
+        key: &AeadKey,
+        rng: &mut R,
+    ) -> Result<FixedPeeled, CryptoError> {
+        if self.blob.len() < PER_LAYER {
+            return Err(CryptoError::MalformedOnion("blob below minimum size"));
+        }
+        let nonce: [u8; NONCE_LEN] = self.blob[..NONCE_LEN].try_into().expect("sized");
+        let mask = len_mask(key, &nonce);
+        let masked = &self.blob[NONCE_LEN..NONCE_LEN + LEN_FIELD];
+        let len = u32::from_le_bytes([
+            masked[0] ^ mask[0],
+            masked[1] ^ mask[1],
+            masked[2] ^ mask[2],
+            masked[3] ^ mask[3],
+        ]) as usize;
+        let start = NONCE_LEN + LEN_FIELD;
+        if len < TAG_LEN + HEADER_LEN || start + len > self.blob.len() {
+            // A wrong key scrambles the length; report it as an
+            // authentication failure, matching the nested format.
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let plain = aead::open(key, &nonce, b"onion-dtn/v1 fixed", &self.blob[start..start + len])?;
+        let ty = plain[0];
+        let id = u32::from_le_bytes([plain[1], plain[2], plain[3], plain[4]]);
+        let inner = &plain[HEADER_LEN..];
+        match ty {
+            TY_GROUP => {
+                let mut blob = inner.to_vec();
+                let mut filler = vec![0u8; self.blob.len() - inner.len()];
+                rng.fill_bytes(&mut filler);
+                blob.extend_from_slice(&filler);
+                Ok(FixedPeeled::Forward {
+                    next: RouteTarget::Group(id),
+                    onion: FixedSizeOnion {
+                        target: RouteTarget::Group(id),
+                        blob,
+                    },
+                })
+            }
+            TY_NODE_CLEAR => Ok(FixedPeeled::ForwardClear {
+                node: id,
+                payload: inner.to_vec(),
+            }),
+            _ => Err(CryptoError::MalformedOnion("unknown layer type")),
+        }
+    }
+}
+
+/// Predicts the constant wire size of a [`FixedSizeOnion`].
+pub fn fixed_capacity(layers: usize, payload_len: usize) -> usize {
+    payload_len + layers * PER_LAYER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::derive_group_key;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    fn route(master: &[u8; 32], k: usize) -> Vec<OnionLayerSpec> {
+        (0..k as u32)
+            .map(|g| OnionLayerSpec {
+                group: g + 10,
+                key: derive_group_key(master, g + 10),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn size_is_constant_across_all_hops() {
+        let master = [5u8; 32];
+        let specs = route(&master, 5);
+        let mut r = rng();
+        let onion = FixedSizeOnion::build(&specs, 99, b"constant size!", &mut r).unwrap();
+        let capacity = onion.capacity();
+        assert_eq!(capacity, fixed_capacity(5, 14));
+
+        let mut pkt = onion;
+        for (i, spec) in specs.iter().enumerate() {
+            match pkt.peel(&spec.key, &mut r).unwrap() {
+                FixedPeeled::Forward { next, onion } => {
+                    assert!(i + 1 < specs.len());
+                    assert_eq!(next, RouteTarget::Group(specs[i + 1].group));
+                    // The crucial property: size never changes.
+                    assert_eq!(onion.capacity(), capacity, "hop {i} leaked size");
+                    pkt = onion;
+                }
+                FixedPeeled::ForwardClear { node, payload } => {
+                    assert_eq!(i + 1, specs.len());
+                    assert_eq!(node, 99);
+                    assert_eq!(payload, b"constant size!");
+                    return;
+                }
+            }
+        }
+        panic!("payload never recovered");
+    }
+
+    #[test]
+    fn filler_does_not_break_inner_layers() {
+        // Two peels of the same packet use different random filler; both
+        // restored packets still peel correctly (filler is outside the
+        // authenticated region).
+        let master = [6u8; 32];
+        let specs = route(&master, 3);
+        let mut r = rng();
+        let onion = FixedSizeOnion::build(&specs, 7, b"abc", &mut r).unwrap();
+
+        let mut r1 = ChaCha8Rng::seed_from_u64(100);
+        let mut r2 = ChaCha8Rng::seed_from_u64(200);
+        let FixedPeeled::Forward { onion: inner1, .. } =
+            onion.peel(&specs[0].key, &mut r1).unwrap()
+        else {
+            panic!()
+        };
+        let FixedPeeled::Forward { onion: inner2, .. } =
+            onion.peel(&specs[0].key, &mut r2).unwrap()
+        else {
+            panic!()
+        };
+        assert_ne!(inner1.blob, inner2.blob, "filler must differ");
+        assert!(inner1.peel(&specs[1].key, &mut r1).is_ok());
+        assert!(inner2.peel(&specs[1].key, &mut r2).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let master = [8u8; 32];
+        let specs = route(&master, 2);
+        let mut r = rng();
+        let onion = FixedSizeOnion::build(&specs, 1, b"x", &mut r).unwrap();
+        assert_eq!(
+            onion.peel(&specs[1].key, &mut r),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let master = [9u8; 32];
+        let specs = route(&master, 2);
+        let mut r = rng();
+        let built = FixedSizeOnion::build(&specs, 1, b"x", &mut r).unwrap();
+        // Flip every byte position in turn: peeling must never succeed
+        // with corrupted true-region bytes (filler positions don't exist
+        // in a freshly built packet).
+        for pos in 0..built.capacity() {
+            let mut onion = built.clone();
+            onion.blob[pos] ^= 1;
+            assert!(
+                onion.peel(&specs[0].key, &mut r).is_err(),
+                "flip at {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_length_field_fails_authentication() {
+        let master = [3u8; 32];
+        let specs = route(&master, 2);
+        let mut r = rng();
+        let mut onion = FixedSizeOnion::build(&specs, 1, b"payload", &mut r).unwrap();
+        onion.blob[NONCE_LEN] ^= 0xFF; // scramble the masked length
+        assert!(onion.peel(&specs[0].key, &mut r).is_err());
+    }
+
+    #[test]
+    fn single_layer_and_empty_payload() {
+        let master = [1u8; 32];
+        let specs = route(&master, 1);
+        let mut r = rng();
+        let onion = FixedSizeOnion::build(&specs, 42, b"", &mut r).unwrap();
+        assert_eq!(onion.capacity(), PER_LAYER);
+        let FixedPeeled::ForwardClear { node, payload } =
+            onion.peel(&specs[0].key, &mut r).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((node, payload.len()), (42, 0));
+    }
+
+    #[test]
+    fn empty_route_rejected() {
+        let mut r = rng();
+        assert_eq!(
+            FixedSizeOnion::build(&[], 1, b"x", &mut r).unwrap_err(),
+            CryptoError::EmptyRoute
+        );
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let master = [2u8; 32];
+        let specs = route(&master, 1);
+        let mut r = rng();
+        let onion = FixedSizeOnion::build(&specs, 5, b"hi", &mut r).unwrap();
+        let blob = onion.blob.clone();
+        let rebuilt = FixedSizeOnion::from_parts(onion.target(), blob);
+        assert_eq!(rebuilt, onion);
+    }
+
+    #[test]
+    fn per_layer_constant_documented() {
+        // nonce 12 + len 4 + tag 16 + header 5.
+        assert_eq!(PER_LAYER, 37);
+    }
+}

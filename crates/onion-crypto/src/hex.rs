@@ -1,0 +1,100 @@
+//! Minimal hexadecimal encoding/decoding helpers used by tests, examples,
+//! and debug output.
+
+use crate::error::CryptoError;
+
+/// Encodes bytes as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(onion_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if the input has odd length or
+/// contains a non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(onion_crypto::hex::decode("dead").unwrap(), vec![0xde, 0xad]);
+/// assert!(onion_crypto::hex::decode("xyz").is_err());
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(CryptoError::InvalidHex);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        let lo = (pair[1] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Decodes hex into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] on malformed hex and
+/// [`CryptoError::LengthMismatch`] if the decoded length is not `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    let arr: [u8; N] = v.try_into().map_err(|_| CryptoError::LengthMismatch {
+        expected: N,
+        actual: s.len() / 2,
+    })?;
+    Ok(arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert!(decode("abc").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(decode("zz").is_err());
+    }
+
+    #[test]
+    fn accepts_uppercase() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_array_checks_length() {
+        assert!(decode_array::<2>("dead").is_ok());
+        assert!(decode_array::<3>("dead").is_err());
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

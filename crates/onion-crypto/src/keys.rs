@@ -1,0 +1,349 @@
+//! Group key management for onion-group routing.
+//!
+//! In the papers this reproduction follows (ARDEN, EnPassant), onion groups
+//! are provisioned with shared keys via attribute-based or identity-based
+//! cryptography so that *any* member of group `R_k` can peel layer `k`. The
+//! analytical models only rely on that functional property, so this crate
+//! substitutes a simpler, honest construction: every group key is derived
+//! from a network master secret with HKDF, and each node's keyring holds
+//! exactly the keys of the groups it belongs to.
+
+use std::collections::BTreeMap;
+
+use crate::aead::AeadKey;
+use crate::error::CryptoError;
+use crate::hkdf;
+
+/// Derives the shared symmetric key for onion group `group_id` from the
+/// network master secret.
+///
+/// Deterministic: every member derives the same key, standing in for the
+/// ABE/IBC group setup of ARDEN.
+pub fn derive_group_key(master: &[u8; 32], group_id: u32) -> AeadKey {
+    let mut info = Vec::with_capacity(16);
+    info.extend_from_slice(b"onion-group:");
+    info.extend_from_slice(&group_id.to_le_bytes());
+    AeadKey::from_bytes(hkdf::derive_key(b"onion-dtn/v1", master, &info))
+}
+
+/// Derives a pairwise link key from an X25519 shared secret, used to secure
+/// the per-contact link (Algorithms 1–2: "establish a secure link").
+pub fn derive_link_key(shared_secret: &[u8; 32], node_a: u32, node_b: u32) -> AeadKey {
+    // Order the node ids so both endpoints derive the same key.
+    let (lo, hi) = if node_a <= node_b {
+        (node_a, node_b)
+    } else {
+        (node_b, node_a)
+    };
+    let mut info = Vec::with_capacity(20);
+    info.extend_from_slice(b"link:");
+    info.extend_from_slice(&lo.to_le_bytes());
+    info.extend_from_slice(&hi.to_le_bytes());
+    AeadKey::from_bytes(hkdf::derive_key(b"onion-dtn/v1", shared_secret, &info))
+}
+
+/// A node's set of onion-group keys, indexed by group id.
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::keys::{derive_group_key, GroupKeyring};
+///
+/// let master = [0u8; 32];
+/// let mut ring = GroupKeyring::new();
+/// ring.insert(3, derive_group_key(&master, 3));
+/// assert!(ring.key(3).is_ok());
+/// assert!(ring.key(4).is_err());
+/// ```
+#[derive(Clone, Default)]
+pub struct GroupKeyring {
+    keys: BTreeMap<u32, AeadKey>,
+}
+
+impl std::fmt::Debug for GroupKeyring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupKeyring")
+            .field("groups", &self.keys.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl GroupKeyring {
+    /// Creates an empty keyring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a keyring holding keys for each listed group, derived from the
+    /// network master secret.
+    pub fn for_groups<I>(master: &[u8; 32], groups: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut ring = GroupKeyring::new();
+        for g in groups {
+            ring.insert(g, derive_group_key(master, g));
+        }
+        ring
+    }
+
+    /// Adds (or replaces) the key for `group_id`.
+    pub fn insert(&mut self, group_id: u32, key: AeadKey) {
+        self.keys.insert(group_id, key);
+    }
+
+    /// Removes the key for `group_id`, returning it if present.
+    pub fn remove(&mut self, group_id: u32) -> Option<AeadKey> {
+        self.keys.remove(&group_id)
+    }
+
+    /// Looks up the key for `group_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownGroup`] if this keyring has no key for
+    /// the group (the node is not a member).
+    pub fn key(&self, group_id: u32) -> Result<&AeadKey, CryptoError> {
+        self.keys
+            .get(&group_id)
+            .ok_or(CryptoError::UnknownGroup(group_id))
+    }
+
+    /// Whether this keyring can peel layers for `group_id`.
+    pub fn contains(&self, group_id: u32) -> bool {
+        self.keys.contains_key(&group_id)
+    }
+
+    /// Number of groups with keys in this ring.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over the group ids in the ring.
+    pub fn group_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.keys.keys().copied()
+    }
+}
+
+/// A forward-secure epoch keychain (pebblenets-style rekeying, related
+/// work \[14\] of the paper).
+///
+/// The chain secret advances through a one-way HKDF ratchet; group keys
+/// for epoch `e` derive from the epoch-`e` chain secret. Compromising a
+/// node in epoch `e` therefore exposes keys for `e` and later, but
+/// **not** earlier epochs (forward security), bounding what a captured
+/// device leaks about past traffic.
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::keys::EpochKeychain;
+///
+/// let mut chain = EpochKeychain::new([7u8; 32]);
+/// let old = chain.group_key(3);
+/// chain.advance();
+/// let new = chain.group_key(3);
+/// assert_ne!(old.as_bytes(), new.as_bytes());
+/// ```
+#[derive(Clone)]
+pub struct EpochKeychain {
+    chain: [u8; 32],
+    epoch: u64,
+}
+
+impl std::fmt::Debug for EpochKeychain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochKeychain")
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EpochKeychain {
+    /// Starts a chain at epoch 0 from the network master secret.
+    pub fn new(master: [u8; 32]) -> Self {
+        EpochKeychain {
+            chain: hkdf::derive_key(b"onion-dtn/v1", &master, b"epoch-chain:0"),
+            epoch: 0,
+        }
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ratchets to the next epoch, irreversibly overwriting the chain
+    /// secret.
+    pub fn advance(&mut self) {
+        self.chain = hkdf::derive_key(b"onion-dtn/v1", &self.chain, b"epoch-advance");
+        self.epoch += 1;
+    }
+
+    /// Ratchets forward until `epoch` (no-op if already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to move backwards — past chain secrets are
+    /// destroyed by design.
+    pub fn advance_to(&mut self, epoch: u64) {
+        assert!(
+            epoch >= self.epoch,
+            "cannot ratchet backwards (forward security)"
+        );
+        while self.epoch < epoch {
+            self.advance();
+        }
+    }
+
+    /// The shared key of onion group `group_id` for the current epoch.
+    pub fn group_key(&self, group_id: u32) -> AeadKey {
+        let mut info = Vec::with_capacity(24);
+        info.extend_from_slice(b"epoch-group:");
+        info.extend_from_slice(&group_id.to_le_bytes());
+        AeadKey::from_bytes(hkdf::derive_key(b"onion-dtn/v1", &self.chain, &info))
+    }
+
+    /// Builds the current epoch's keyring for the listed groups.
+    pub fn keyring_for_groups<I>(&self, groups: I) -> GroupKeyring
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut ring = GroupKeyring::new();
+        for g in groups {
+            ring.insert(g, self.group_key(g));
+        }
+        ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_keys_are_deterministic_and_distinct() {
+        let master = [7u8; 32];
+        let k1 = derive_group_key(&master, 1);
+        let k1_again = derive_group_key(&master, 1);
+        let k2 = derive_group_key(&master, 2);
+        assert_eq!(k1.as_bytes(), k1_again.as_bytes());
+        assert_ne!(k1.as_bytes(), k2.as_bytes());
+    }
+
+    #[test]
+    fn different_masters_give_different_keys() {
+        let k_a = derive_group_key(&[0u8; 32], 1);
+        let k_b = derive_group_key(&[1u8; 32], 1);
+        assert_ne!(k_a.as_bytes(), k_b.as_bytes());
+    }
+
+    #[test]
+    fn link_key_is_symmetric_in_node_order() {
+        let ss = [9u8; 32];
+        assert_eq!(
+            derive_link_key(&ss, 4, 11).as_bytes(),
+            derive_link_key(&ss, 11, 4).as_bytes()
+        );
+        assert_ne!(
+            derive_link_key(&ss, 4, 11).as_bytes(),
+            derive_link_key(&ss, 4, 12).as_bytes()
+        );
+    }
+
+    #[test]
+    fn keyring_membership() {
+        let master = [3u8; 32];
+        let ring = GroupKeyring::for_groups(&master, [2, 5, 8]);
+        assert_eq!(ring.len(), 3);
+        assert!(ring.contains(5));
+        assert!(!ring.contains(4));
+        assert_eq!(ring.key(2).unwrap().as_bytes(), derive_group_key(&master, 2).as_bytes());
+        assert_eq!(ring.key(9), Err(CryptoError::UnknownGroup(9)));
+        assert_eq!(ring.group_ids().collect::<Vec<_>>(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn keyring_insert_remove() {
+        let mut ring = GroupKeyring::new();
+        assert!(ring.is_empty());
+        ring.insert(1, AeadKey::from_bytes([1u8; 32]));
+        assert!(!ring.is_empty());
+        assert!(ring.remove(1).is_some());
+        assert!(ring.remove(1).is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn epoch_chain_is_deterministic() {
+        let mut a = EpochKeychain::new([1u8; 32]);
+        let mut b = EpochKeychain::new([1u8; 32]);
+        a.advance_to(5);
+        b.advance_to(5);
+        assert_eq!(a.group_key(9).as_bytes(), b.group_key(9).as_bytes());
+        assert_eq!(a.epoch(), 5);
+    }
+
+    #[test]
+    fn epochs_produce_distinct_keys() {
+        let mut chain = EpochKeychain::new([2u8; 32]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            assert!(seen.insert(*chain.group_key(0).as_bytes()));
+            chain.advance();
+        }
+    }
+
+    #[test]
+    fn forward_security_old_keys_unreachable() {
+        // After advancing, the keychain cannot re-derive the old epoch's
+        // key: confirm by comparing against a fresh chain held back at
+        // the old epoch.
+        let mut old = EpochKeychain::new([3u8; 32]);
+        let old_key = *old.group_key(1).as_bytes();
+        old.advance();
+        // Current state produces a different key, and the API offers no
+        // path back.
+        assert_ne!(*old.group_key(1).as_bytes(), old_key);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn backward_ratchet_rejected() {
+        let mut chain = EpochKeychain::new([4u8; 32]);
+        chain.advance_to(3);
+        chain.advance_to(2);
+    }
+
+    #[test]
+    fn epoch_keyring_matches_group_keys() {
+        let chain = EpochKeychain::new([5u8; 32]);
+        let ring = chain.keyring_for_groups([2, 7]);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(
+            ring.key(7).unwrap().as_bytes(),
+            chain.group_key(7).as_bytes()
+        );
+    }
+
+    #[test]
+    fn epoch_debug_hides_chain() {
+        let chain = EpochKeychain::new([0xEE; 32]);
+        let s = format!("{chain:?}");
+        assert!(s.contains("epoch"));
+        assert!(!s.to_lowercase().contains("ee"), "{s}");
+    }
+
+    #[test]
+    fn debug_shows_groups_not_keys() {
+        let ring = GroupKeyring::for_groups(&[0u8; 32], [42]);
+        let s = format!("{ring:?}");
+        assert!(s.contains("42"));
+        assert!(!s.to_lowercase().contains("aeadkey("));
+    }
+}

@@ -1,0 +1,70 @@
+//! # onion-crypto
+//!
+//! The cryptographic substrate for onion-based anonymous routing in delay
+//! tolerant networks, written from scratch (no external crypto crates are
+//! available in this offline build environment).
+//!
+//! Every primitive is verified against its RFC/FIPS test vectors:
+//!
+//! * [`sha256`] — SHA-256 (FIPS 180-4)
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104 / 4231)
+//! * [`hkdf`] — HKDF (RFC 5869)
+//! * [`chacha20`] — ChaCha20 (RFC 8439)
+//! * [`poly1305`] — Poly1305 (RFC 8439)
+//! * [`aead`] — ChaCha20-Poly1305 AEAD (RFC 8439)
+//! * [`x25519`] — X25519 Diffie-Hellman (RFC 7748)
+//! * [`shamir`] — Shamir secret sharing over GF(2⁸) (for the TPS
+//!   comparison protocol)
+//!
+//! On top of these, [`keys`] provides the onion-group keyrings (any member
+//! of group `R_k` can peel layer `k`) and [`onion`] the layered packet
+//! format used by the routing protocols.
+//!
+//! # Quick start
+//!
+//! ```
+//! use onion_crypto::keys::{derive_group_key, GroupKeyring};
+//! use onion_crypto::onion::{OnionBuilder, OnionLayerSpec, Peeled};
+//!
+//! // Network setup: a master secret provisions group keys.
+//! let master = [7u8; 32];
+//! let route = [4u32, 9, 2]; // onion groups R_1, R_2, R_3
+//!
+//! // The source wraps the message in three layers.
+//! let mut rng = rand::thread_rng();
+//! let onion = OnionBuilder::new(55, b"rendezvous at dawn".to_vec())
+//!     .layers(route.iter().map(|&g| OnionLayerSpec {
+//!         group: g,
+//!         key: derive_group_key(&master, g),
+//!     }))
+//!     .build(&mut rng)?;
+//!
+//! // A relay holding group 4's key peels the first layer.
+//! let ring = GroupKeyring::for_groups(&master, [4]);
+//! let peeled = onion.peel(ring.key(4)?)?;
+//! assert!(matches!(peeled, Peeled::Forward { .. }));
+//! # Ok::<(), onion_crypto::CryptoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod error;
+pub mod fixed_onion;
+pub mod hex;
+pub mod hkdf;
+pub mod hmac;
+pub mod keys;
+pub mod onion;
+pub mod poly1305;
+pub mod sha256;
+pub mod shamir;
+pub mod x25519;
+
+pub use aead::AeadKey;
+pub use error::CryptoError;
+pub use keys::{EpochKeychain, GroupKeyring};
+pub use fixed_onion::{FixedPeeled, FixedSizeOnion};
+pub use onion::{OnionBuilder, OnionLayerSpec, OnionPacket, Peeled, RouteTarget};

@@ -1,0 +1,567 @@
+//! Layered onion packets for group onion routing.
+//!
+//! A source selects onion groups `R_1 … R_K` and a destination, then wraps
+//! the payload in `K` (optionally `K + 1`, when a destination key is used)
+//! AEAD layers. Layer `k` is encrypted under group `R_k`'s shared key, so
+//! *any* member of `R_k` can peel it to learn only the next hop — the
+//! anycast-like property that defines the paper's *opportunistic onion
+//! path*.
+//!
+//! Wire layout of one layer: `nonce (12) || AEAD( header || inner )` where
+//! `header = type (1) || id (4, little-endian)`. The packet carries its
+//! current target in the clear so a custodian knows which contacts are
+//! eligible next hops; everything deeper is opaque.
+
+use rand::RngCore;
+
+use crate::aead::{self, AeadKey, NONCE_LEN};
+use crate::error::CryptoError;
+use crate::poly1305::TAG_LEN;
+
+/// Header byte: next hop is an onion group; inner is a nested blob.
+const TY_GROUP: u8 = 0x01;
+/// Header byte: next hop is the destination node; inner is a nested blob
+/// sealed under the destination key.
+const TY_NODE_SEALED: u8 = 0x02;
+/// Header byte: the decryptor of this layer is the destination; inner is
+/// the payload.
+const TY_DELIVER: u8 = 0x03;
+/// Header byte: next hop is the destination node; inner is the cleartext
+/// payload (the paper's abstract model, where end-to-end encryption of `m`
+/// is out of scope).
+const TY_NODE_CLEAR: u8 = 0x04;
+
+const HEADER_LEN: usize = 1 + 4;
+
+/// Per-layer size overhead in bytes (nonce + AEAD tag + header).
+pub const LAYER_OVERHEAD: usize = NONCE_LEN + TAG_LEN + HEADER_LEN;
+
+/// Whom a packet may be handed to next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RouteTarget {
+    /// Any member of the onion group with this id.
+    Group(u32),
+    /// Exactly the node with this id (the destination hop).
+    Node(u32),
+}
+
+impl std::fmt::Display for RouteTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteTarget::Group(g) => write!(f, "group {g}"),
+            RouteTarget::Node(n) => write!(f, "node {n}"),
+        }
+    }
+}
+
+/// One layer of an onion route: the group that may peel it and the group's
+/// shared key.
+#[derive(Clone, Debug)]
+pub struct OnionLayerSpec {
+    /// Onion group id.
+    pub group: u32,
+    /// The group's shared AEAD key.
+    pub key: AeadKey,
+}
+
+/// Result of peeling one onion layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Peeled {
+    /// Forward the still-encrypted inner onion to `next`.
+    Forward {
+        /// Next eligible hop.
+        next: RouteTarget,
+        /// Inner onion to hand over.
+        onion: OnionPacket,
+    },
+    /// Forward a cleartext payload to the destination node.
+    ForwardClear {
+        /// Destination node id.
+        node: u32,
+        /// The application payload.
+        payload: Vec<u8>,
+    },
+    /// The decryptor of this layer *is* the destination.
+    Deliver {
+        /// Destination node id (sanity check against the local id).
+        node: u32,
+        /// The application payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// A layered onion packet in transit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct OnionPacket {
+    target: RouteTarget,
+    blob: Vec<u8>,
+}
+
+impl std::fmt::Debug for OnionPacket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnionPacket")
+            .field("target", &self.target)
+            .field("len", &self.blob.len())
+            .finish()
+    }
+}
+
+impl OnionPacket {
+    /// The hop that may receive (and, for groups, peel) this packet.
+    pub fn target(&self) -> RouteTarget {
+        self.target
+    }
+
+    /// Total size in bytes of the encrypted blob.
+    pub fn len(&self) -> usize {
+        self.blob.len()
+    }
+
+    /// Whether the blob is empty (never true for packets built by
+    /// [`OnionBuilder`]).
+    pub fn is_empty(&self) -> bool {
+        self.blob.is_empty()
+    }
+
+    /// Reconstructs a packet from its parts (e.g. after network transfer).
+    pub fn from_parts(target: RouteTarget, blob: Vec<u8>) -> Self {
+        OnionPacket { target, blob }
+    }
+
+    /// Splits the packet into its parts for serialization.
+    pub fn into_parts(self) -> (RouteTarget, Vec<u8>) {
+        (self.target, self.blob)
+    }
+
+    /// Peels one layer with the given group (or destination) key.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::AuthenticationFailed`] — wrong key (the caller is
+    ///   not a member of the layer's group) or corrupted packet.
+    /// * [`CryptoError::MalformedOnion`] — the decrypted plaintext does not
+    ///   parse (only possible with a forged key that nevertheless
+    ///   authenticates, i.e. never in practice).
+    pub fn peel(&self, key: &AeadKey) -> Result<Peeled, CryptoError> {
+        if self.blob.len() < NONCE_LEN + TAG_LEN {
+            return Err(CryptoError::MalformedOnion("blob shorter than nonce+tag"));
+        }
+        let (nonce_bytes, boxed) = self.blob.split_at(NONCE_LEN);
+        let nonce: [u8; NONCE_LEN] = nonce_bytes.try_into().expect("split length");
+        let plain = aead::open(key, &nonce, b"onion-dtn/v1 layer", boxed)?;
+        if plain.len() < HEADER_LEN {
+            return Err(CryptoError::MalformedOnion("layer shorter than header"));
+        }
+        let ty = plain[0];
+        let id = u32::from_le_bytes([plain[1], plain[2], plain[3], plain[4]]);
+        let rest = plain[HEADER_LEN..].to_vec();
+        match ty {
+            TY_GROUP => Ok(Peeled::Forward {
+                next: RouteTarget::Group(id),
+                onion: OnionPacket {
+                    target: RouteTarget::Group(id),
+                    blob: rest,
+                },
+            }),
+            TY_NODE_SEALED => Ok(Peeled::Forward {
+                next: RouteTarget::Node(id),
+                onion: OnionPacket {
+                    target: RouteTarget::Node(id),
+                    blob: rest,
+                },
+            }),
+            TY_DELIVER => Ok(Peeled::Deliver {
+                node: id,
+                payload: rest,
+            }),
+            TY_NODE_CLEAR => Ok(Peeled::ForwardClear {
+                node: id,
+                payload: rest,
+            }),
+            _ => Err(CryptoError::MalformedOnion("unknown layer type")),
+        }
+    }
+}
+
+/// Builder for [`OnionPacket`]s.
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::aead::AeadKey;
+/// use onion_crypto::onion::{OnionBuilder, OnionLayerSpec, Peeled, RouteTarget};
+///
+/// let k1 = AeadKey::from_bytes([1u8; 32]);
+/// let k2 = AeadKey::from_bytes([2u8; 32]);
+/// let mut rng = rand::thread_rng();
+///
+/// let onion = OnionBuilder::new(99, b"hello".to_vec())
+///     .layer(OnionLayerSpec { group: 10, key: k1.clone() })
+///     .layer(OnionLayerSpec { group: 20, key: k2.clone() })
+///     .build(&mut rng)
+///     .unwrap();
+/// assert_eq!(onion.target(), RouteTarget::Group(10));
+///
+/// // A member of group 10 peels the first layer...
+/// let Peeled::Forward { next, onion } = onion.peel(&k1).unwrap() else { panic!() };
+/// assert_eq!(next, RouteTarget::Group(20));
+/// // ...and a member of group 20 peels the last, revealing the final hop.
+/// let Peeled::ForwardClear { node, payload } = onion.peel(&k2).unwrap() else { panic!() };
+/// assert_eq!((node, payload.as_slice()), (99, &b"hello"[..]));
+/// ```
+#[derive(Debug)]
+pub struct OnionBuilder {
+    layers: Vec<OnionLayerSpec>,
+    destination: u32,
+    destination_key: Option<AeadKey>,
+    payload: Vec<u8>,
+    pad_payload_to: Option<usize>,
+}
+
+impl OnionBuilder {
+    /// Starts a builder that will deliver `payload` to node `destination`.
+    pub fn new(destination: u32, payload: Vec<u8>) -> Self {
+        OnionBuilder {
+            layers: Vec::new(),
+            destination,
+            destination_key: None,
+            payload,
+            pad_payload_to: None,
+        }
+    }
+
+    /// Appends an onion-group layer; layers are traversed in insertion
+    /// order (`R_1` first).
+    pub fn layer(mut self, spec: OnionLayerSpec) -> Self {
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends layers for each `(group, key)` in order.
+    pub fn layers<I>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = OnionLayerSpec>,
+    {
+        self.layers.extend(specs);
+        self
+    }
+
+    /// Additionally seals the payload for the destination, so the last
+    /// onion router learns the destination's id but not the message
+    /// (ARDEN's destination-anonymity enhancement).
+    pub fn destination_key(mut self, key: AeadKey) -> Self {
+        self.destination_key = Some(key);
+        self
+    }
+
+    /// Pads the payload to `size` bytes before encryption, hiding the true
+    /// message length. The pad encodes the original length and is removed
+    /// by [`unpad_payload`].
+    pub fn pad_payload_to(mut self, size: usize) -> Self {
+        self.pad_payload_to = Some(size);
+        self
+    }
+
+    /// Builds the onion.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::EmptyRoute`] — no layers were added.
+    /// * [`CryptoError::PaddingTooSmall`] — `pad_payload_to` is smaller
+    ///   than the payload plus its 4-byte length prefix.
+    pub fn build<R: RngCore + ?Sized>(self, rng: &mut R) -> Result<OnionPacket, CryptoError> {
+        if self.layers.is_empty() {
+            return Err(CryptoError::EmptyRoute);
+        }
+
+        let payload = match self.pad_payload_to {
+            Some(size) => pad_payload(&self.payload, size)?,
+            None => self.payload,
+        };
+
+        // Innermost content handed to the destination.
+        let (mut inner_ty, mut inner) = match &self.destination_key {
+            Some(dest_key) => {
+                let blob = seal_layer(dest_key, TY_DELIVER, self.destination, &payload, rng);
+                (TY_NODE_SEALED, blob)
+            }
+            None => (TY_NODE_CLEAR, payload),
+        };
+
+        // Wrap layers from the last group (R_K) outwards to the first (R_1).
+        let mut inner_id = self.destination;
+        for spec in self.layers.iter().rev() {
+            let blob = seal_layer(&spec.key, inner_ty, inner_id, &inner, rng);
+            inner = blob;
+            inner_ty = TY_GROUP;
+            inner_id = spec.group;
+        }
+
+        Ok(OnionPacket {
+            target: RouteTarget::Group(self.layers[0].group),
+            blob: inner,
+        })
+    }
+}
+
+fn seal_layer<R: RngCore + ?Sized>(
+    key: &AeadKey,
+    ty: u8,
+    id: u32,
+    inner: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut plain = Vec::with_capacity(HEADER_LEN + inner.len());
+    plain.push(ty);
+    plain.extend_from_slice(&id.to_le_bytes());
+    plain.extend_from_slice(inner);
+    let boxed = aead::seal(key, &nonce, b"onion-dtn/v1 layer", &plain);
+    let mut blob = Vec::with_capacity(NONCE_LEN + boxed.len());
+    blob.extend_from_slice(&nonce);
+    blob.extend_from_slice(&boxed);
+    blob
+}
+
+/// Pads `payload` to exactly `size` bytes: `len (4, LE) || payload || zeros`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::PaddingTooSmall`] if `size < payload.len() + 4`.
+pub fn pad_payload(payload: &[u8], size: usize) -> Result<Vec<u8>, CryptoError> {
+    let required = payload.len() + 4;
+    if size < required {
+        return Err(CryptoError::PaddingTooSmall {
+            required,
+            requested: size,
+        });
+    }
+    let mut out = Vec::with_capacity(size);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.resize(size, 0);
+    Ok(out)
+}
+
+/// Inverse of [`pad_payload`].
+///
+/// # Errors
+///
+/// Returns [`CryptoError::MalformedOnion`] if the length prefix exceeds the
+/// buffer.
+pub fn unpad_payload(padded: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if padded.len() < 4 {
+        return Err(CryptoError::MalformedOnion("padded payload too short"));
+    }
+    let len = u32::from_le_bytes([padded[0], padded[1], padded[2], padded[3]]) as usize;
+    if 4 + len > padded.len() {
+        return Err(CryptoError::MalformedOnion("pad length exceeds buffer"));
+    }
+    Ok(padded[4..4 + len].to_vec())
+}
+
+/// Predicts the size of an onion built with `layers` layers over a payload
+/// of `payload_len` bytes (no destination key, no padding).
+pub fn predicted_size(layers: usize, payload_len: usize) -> usize {
+    payload_len + layers * LAYER_OVERHEAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn keys(n: usize) -> Vec<AeadKey> {
+        (0..n).map(|i| AeadKey::from_bytes([i as u8 + 1; 32])).collect()
+    }
+
+    #[test]
+    fn three_layer_roundtrip() {
+        let ks = keys(3);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(7, b"message m".to_vec())
+            .layers((0..3).map(|i| OnionLayerSpec {
+                group: 100 + i as u32,
+                key: ks[i].clone(),
+            }))
+            .build(&mut rng)
+            .unwrap();
+        assert_eq!(onion.target(), RouteTarget::Group(100));
+        assert_eq!(onion.len(), predicted_size(3, 9));
+
+        let Peeled::Forward { next, onion } = onion.peel(&ks[0]).unwrap() else {
+            panic!("expected Forward")
+        };
+        assert_eq!(next, RouteTarget::Group(101));
+        let Peeled::Forward { next, onion } = onion.peel(&ks[1]).unwrap() else {
+            panic!("expected Forward")
+        };
+        assert_eq!(next, RouteTarget::Group(102));
+        let Peeled::ForwardClear { node, payload } = onion.peel(&ks[2]).unwrap() else {
+            panic!("expected ForwardClear")
+        };
+        assert_eq!(node, 7);
+        assert_eq!(payload, b"message m");
+    }
+
+    #[test]
+    fn sealed_destination_roundtrip() {
+        let ks = keys(2);
+        let dest_key = AeadKey::from_bytes([0xDD; 32]);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(9, b"top secret".to_vec())
+            .layer(OnionLayerSpec { group: 1, key: ks[0].clone() })
+            .layer(OnionLayerSpec { group: 2, key: ks[1].clone() })
+            .destination_key(dest_key.clone())
+            .build(&mut rng)
+            .unwrap();
+
+        let Peeled::Forward { onion, .. } = onion.peel(&ks[0]).unwrap() else {
+            panic!()
+        };
+        let Peeled::Forward { next, onion } = onion.peel(&ks[1]).unwrap() else {
+            panic!()
+        };
+        // Last router sees only the destination id, not the payload.
+        assert_eq!(next, RouteTarget::Node(9));
+        let Peeled::Deliver { node, payload } = onion.peel(&dest_key).unwrap() else {
+            panic!()
+        };
+        assert_eq!(node, 9);
+        assert_eq!(payload, b"top secret");
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let ks = keys(2);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(1, b"x".to_vec())
+            .layer(OnionLayerSpec { group: 1, key: ks[0].clone() })
+            .layer(OnionLayerSpec { group: 2, key: ks[1].clone() })
+            .build(&mut rng)
+            .unwrap();
+        // Peeling with the *second* group's key must fail on the outer layer.
+        assert_eq!(onion.peel(&ks[1]), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn out_of_order_peeling_fails() {
+        let ks = keys(3);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(1, b"x".to_vec())
+            .layers((0..3).map(|i| OnionLayerSpec {
+                group: i as u32,
+                key: ks[i].clone(),
+            }))
+            .build(&mut rng)
+            .unwrap();
+        let Peeled::Forward { onion, .. } = onion.peel(&ks[0]).unwrap() else {
+            panic!()
+        };
+        // Skipping group 1 and trying group 2's key fails.
+        assert!(onion.peel(&ks[2]).is_err());
+    }
+
+    #[test]
+    fn empty_route_rejected() {
+        let mut rng = rng();
+        let err = OnionBuilder::new(1, b"x".to_vec()).build(&mut rng);
+        assert_eq!(err.unwrap_err(), CryptoError::EmptyRoute);
+    }
+
+    #[test]
+    fn single_layer() {
+        let ks = keys(1);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(5, b"hi".to_vec())
+            .layer(OnionLayerSpec { group: 0, key: ks[0].clone() })
+            .build(&mut rng)
+            .unwrap();
+        let Peeled::ForwardClear { node, payload } = onion.peel(&ks[0]).unwrap() else {
+            panic!()
+        };
+        assert_eq!((node, payload.as_slice()), (5, &b"hi"[..]));
+    }
+
+    #[test]
+    fn padding_hides_length() {
+        let ks = keys(2);
+        let mut rng = rng();
+        let build = |payload: &[u8], rng: &mut StdRng| {
+            OnionBuilder::new(5, payload.to_vec())
+                .layer(OnionLayerSpec { group: 0, key: ks[0].clone() })
+                .layer(OnionLayerSpec { group: 1, key: ks[1].clone() })
+                .pad_payload_to(256)
+                .build(rng)
+                .unwrap()
+        };
+        let short = build(b"a", &mut rng);
+        let long = build(&[0x42; 200], &mut rng);
+        assert_eq!(short.len(), long.len());
+
+        // Unpad recovers the original.
+        let Peeled::Forward { onion, .. } = short.peel(&ks[0]).unwrap() else {
+            panic!()
+        };
+        let Peeled::ForwardClear { payload, .. } = onion.peel(&ks[1]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(unpad_payload(&payload).unwrap(), b"a");
+    }
+
+    #[test]
+    fn padding_too_small_rejected() {
+        let err = pad_payload(b"0123456789", 10).unwrap_err();
+        assert!(matches!(err, CryptoError::PaddingTooSmall { required: 14, requested: 10 }));
+    }
+
+    #[test]
+    fn unpad_rejects_bogus_length() {
+        let mut padded = pad_payload(b"ab", 16).unwrap();
+        padded[0] = 0xFF; // claim a huge length
+        assert!(unpad_payload(&padded).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_malformed() {
+        let pkt = OnionPacket::from_parts(RouteTarget::Group(0), vec![0u8; 5]);
+        assert!(matches!(
+            pkt.peel(&AeadKey::from_bytes([0u8; 32])),
+            Err(CryptoError::MalformedOnion(_))
+        ));
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let ks = keys(1);
+        let mut rng = rng();
+        let onion = OnionBuilder::new(5, b"hi".to_vec())
+            .layer(OnionLayerSpec { group: 3, key: ks[0].clone() })
+            .build(&mut rng)
+            .unwrap();
+        let (target, blob) = onion.clone().into_parts();
+        let rebuilt = OnionPacket::from_parts(target, blob);
+        assert_eq!(rebuilt, onion);
+    }
+
+    #[test]
+    fn nonces_are_fresh_per_build() {
+        let ks = keys(1);
+        let mut rng = rng();
+        let build = |rng: &mut StdRng| {
+            OnionBuilder::new(5, b"hi".to_vec())
+                .layer(OnionLayerSpec { group: 3, key: ks[0].clone() })
+                .build(rng)
+                .unwrap()
+        };
+        let a = build(&mut rng);
+        let b = build(&mut rng);
+        assert_ne!(a, b, "two builds of the same message must differ");
+    }
+}

@@ -1,0 +1,402 @@
+//! X25519 Diffie-Hellman key agreement (RFC 7748), verified against the RFC
+//! test vectors.
+//!
+//! Field arithmetic over GF(2^255 − 19) uses five 51-bit limbs with `u128`
+//! intermediate products (the classic "donna" representation). Used by the
+//! DTN protocol for the pairwise secure-link establishment performed at each
+//! contact (Algorithms 1–2, "v_i and v_j establish a secure link").
+
+/// Length of X25519 scalars (private keys) and u-coordinates (public keys).
+pub const KEY_LEN: usize = 32;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// Field element in GF(2^255 − 19), 5 × 51-bit limbs.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let le64 = |b: &[u8]| {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        };
+        // Load 255 bits (mask the top bit per RFC 7748).
+        let l0 = le64(&bytes[0..8]);
+        let l1 = le64(&bytes[8..16]);
+        let l2 = le64(&bytes[16..24]);
+        let l3 = le64(&bytes[24..32]);
+        Fe([
+            l0 & MASK51,
+            ((l0 >> 51) | (l1 << 13)) & MASK51,
+            ((l1 >> 38) | (l2 << 26)) & MASK51,
+            ((l2 >> 25) | (l3 << 39)) & MASK51,
+            (l3 >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.0;
+        // Two carry passes bring all limbs below 2^52.
+        for _ in 0..2 {
+            let mut c;
+            c = h[0] >> 51;
+            h[0] &= MASK51;
+            h[1] += c;
+            c = h[1] >> 51;
+            h[1] &= MASK51;
+            h[2] += c;
+            c = h[2] >> 51;
+            h[2] &= MASK51;
+            h[3] += c;
+            c = h[3] >> 51;
+            h[3] &= MASK51;
+            h[4] += c;
+            c = h[4] >> 51;
+            h[4] &= MASK51;
+            h[0] += 19 * c;
+        }
+        // Determine whether h >= p by adding 19 and checking bit 255.
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        // Conditionally subtract p (add 19, drop bit 255).
+        h[0] += 19 * q;
+        let mut c;
+        c = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += c;
+        c = h[1] >> 51;
+        h[1] &= MASK51;
+        h[2] += c;
+        c = h[2] >> 51;
+        h[2] &= MASK51;
+        h[3] += c;
+        c = h[3] >> 51;
+        h[3] &= MASK51;
+        h[4] += c;
+        h[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let l0 = h[0] | (h[1] << 51);
+        let l1 = (h[1] >> 13) | (h[2] << 38);
+        let l2 = (h[2] >> 26) | (h[3] << 25);
+        let l3 = (h[3] >> 39) | (h[4] << 12);
+        out[0..8].copy_from_slice(&l0.to_le_bytes());
+        out[8..16].copy_from_slice(&l1.to_le_bytes());
+        out[16..24].copy_from_slice(&l2.to_le_bytes());
+        out[24..32].copy_from_slice(&l3.to_le_bytes());
+        out
+    }
+
+    fn add(&self, other: &Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+    }
+
+    /// `self - other`, with a 2·p bias to keep limbs non-negative.
+    fn sub(&self, other: &Fe) -> Fe {
+        const TWO_P0: u64 = 0xFFFFFFFFFFFDA; // 2 * (2^51 - 19)
+        const TWO_P1234: u64 = 0xFFFFFFFFFFFFE; // 2 * (2^51 - 1)
+        let a = self.0;
+        let b = other.0;
+        Fe([
+            a[0] + TWO_P0 - b[0],
+            a[1] + TWO_P1234 - b[1],
+            a[2] + TWO_P1234 - b[2],
+            a[3] + TWO_P1234 - b[3],
+            a[4] + TWO_P1234 - b[4],
+        ])
+    }
+
+    fn mul(&self, other: &Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0.map(u128::from);
+        let [b0, b1, b2, b3, b4] = other.0.map(u128::from);
+
+        let mut c0 = a0 * b0 + 19 * (a1 * b4 + a2 * b3 + a3 * b2 + a4 * b1);
+        let mut c1 = a0 * b1 + a1 * b0 + 19 * (a2 * b4 + a3 * b3 + a4 * b2);
+        let mut c2 = a0 * b2 + a1 * b1 + a2 * b0 + 19 * (a3 * b4 + a4 * b3);
+        let mut c3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + 19 * (a4 * b4);
+        let mut c4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+        let m = u128::from(MASK51);
+        c1 += c0 >> 51;
+        c0 &= m;
+        c2 += c1 >> 51;
+        c1 &= m;
+        c3 += c2 >> 51;
+        c2 &= m;
+        c4 += c3 >> 51;
+        c3 &= m;
+        c0 += 19 * (c4 >> 51);
+        c4 &= m;
+        c1 += c0 >> 51;
+        c0 &= m;
+
+        Fe([c0 as u64, c1 as u64, c2 as u64, c3 as u64, c4 as u64])
+    }
+
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplication by the curve constant (a − 2)/4 = 121665.
+    fn mul_small(&self, small: u64) -> Fe {
+        let s = u128::from(small);
+        let a = self.0.map(u128::from);
+        let mut c = [a[0] * s, a[1] * s, a[2] * s, a[3] * s, a[4] * s];
+        let m = u128::from(MASK51);
+        c[1] += c[0] >> 51;
+        c[0] &= m;
+        c[2] += c[1] >> 51;
+        c[1] &= m;
+        c[3] += c[2] >> 51;
+        c[2] &= m;
+        c[4] += c[3] >> 51;
+        c[3] &= m;
+        c[0] += 19 * (c[4] >> 51);
+        c[4] &= m;
+        Fe([c[0] as u64, c[1] as u64, c[2] as u64, c[3] as u64, c[4] as u64])
+    }
+
+    /// `self^(p − 2)`, i.e. the multiplicative inverse (0 maps to 0).
+    fn invert(&self) -> Fe {
+        // p − 2 = 2^255 − 21: binary is 250 ones followed by 01011.
+        // Every bit from 254 down to 0 is set except bits 2 and 4.
+        let mut acc = Fe::ONE;
+        for bit in (0..=254).rev() {
+            acc = acc.square();
+            if bit != 2 && bit != 4 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Constant-time conditional swap.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(swap == 0 || swap == 1);
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// The X25519 function: scalar multiplication on Curve25519's u-line.
+///
+/// Computes `scalar · point` where `point` is a u-coordinate. Use
+/// [`public_key`] / [`shared_secret`] for the common DH workflow.
+pub fn x25519(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..=254).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121_665)));
+    }
+
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// The Curve25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derives the public key for a private scalar.
+///
+/// # Examples
+///
+/// ```
+/// use onion_crypto::x25519::{public_key, shared_secret};
+///
+/// let alice_sk = [1u8; 32];
+/// let bob_sk = [2u8; 32];
+/// let alice_pk = public_key(&alice_sk);
+/// let bob_pk = public_key(&bob_sk);
+/// assert_eq!(
+///     shared_secret(&alice_sk, &bob_pk),
+///     shared_secret(&bob_sk, &alice_pk),
+/// );
+/// ```
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    x25519(private, &BASE_POINT)
+}
+
+/// Computes the Diffie-Hellman shared secret.
+///
+/// The result should be passed through a KDF ([`crate::hkdf`]) before use as
+/// a symmetric key.
+pub fn shared_secret(private: &[u8; 32], peer_public: &[u8; 32]) -> [u8; 32] {
+    x25519(private, peer_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 7748 section 5.2, vector 1.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = hex::decode_array::<32>(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+        )
+        .unwrap();
+        let point = hex::decode_array::<32>(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+        )
+        .unwrap();
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex::encode(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 section 5.2, vector 2.
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = hex::decode_array::<32>(
+            "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d",
+        )
+        .unwrap();
+        let point = hex::decode_array::<32>(
+            "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493",
+        )
+        .unwrap();
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex::encode(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 section 6.1 Diffie-Hellman example.
+    #[test]
+    fn rfc7748_dh_example() {
+        let alice_sk = hex::decode_array::<32>(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        )
+        .unwrap();
+        let bob_sk = hex::decode_array::<32>(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        )
+        .unwrap();
+        let alice_pk = public_key(&alice_sk);
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(
+            hex::encode(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex::encode(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k1 = shared_secret(&alice_sk, &bob_pk);
+        let k2 = shared_secret(&bob_sk, &alice_pk);
+        assert_eq!(k1, k2);
+        assert_eq!(
+            hex::encode(&k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    // RFC 7748 iterated test (1,000 iterations; the 1M variant is too slow
+    // for the default profile).
+    #[test]
+    fn rfc7748_iterated_1000() {
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        for _ in 0..1000 {
+            let out = x25519(&k, &u);
+            u = k;
+            k = out;
+        }
+        assert_eq!(
+            hex::encode(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // to_bytes(from_bytes(x)) is canonical for values < p.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 42;
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn field_reduces_p_to_zero() {
+        // p = 2^255 - 19 must encode as zero.
+        let mut p = [0xffu8; 32];
+        p[0] = 0xed;
+        p[31] = 0x7f;
+        assert_eq!(Fe::from_bytes(&p).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 7;
+        bytes[5] = 99;
+        let x = Fe::from_bytes(&bytes);
+        let one = x.mul(&x.invert());
+        assert_eq!(one.to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn clamping_makes_keys_equivalent() {
+        // Two scalars differing only in clamped bits produce the same output.
+        let mut a = [0x55u8; 32];
+        let mut b = a;
+        a[0] = 0b0000_0000;
+        b[0] = 0b0000_0111; // low 3 bits are cleared by clamping
+        assert_eq!(public_key(&a), public_key(&b));
+    }
+}

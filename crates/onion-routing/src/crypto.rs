@@ -1,0 +1,405 @@
+//! Real layered-encryption integration.
+//!
+//! The discrete-event experiments use the abstract protocol (routes kept
+//! as metadata) for speed; this module provides the *actual* cryptography
+//! for the same group structure — group keys derived from a network master
+//! secret, onion construction at the source, and layer-by-layer peeling
+//! along a realized custody chain — so the full ARDEN-style data path is
+//! exercised end-to-end in tests, examples, and benches.
+
+use contact_graph::NodeId;
+use onion_crypto::keys::derive_group_key;
+use onion_crypto::{
+    CryptoError, GroupKeyring, OnionBuilder, OnionLayerSpec, OnionPacket, Peeled, RouteTarget,
+};
+use rand::RngCore;
+
+use crate::groups::{GroupId, OnionGroups};
+
+/// Errors from walking an onion along a custody chain.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WalkError {
+    /// A relay could not peel its layer (not a member of the expected
+    /// group, or packet corruption).
+    Crypto(CryptoError),
+    /// A relay peeled a layer but the revealed next hop does not admit the
+    /// next node on the chain.
+    WrongNextHop {
+        /// Index of the hop in the chain.
+        hop: usize,
+        /// What the layer said.
+        expected: RouteTarget,
+        /// Who actually came next.
+        actual: NodeId,
+    },
+    /// The chain ended before the onion was fully unwrapped, or continued
+    /// after delivery.
+    ChainLengthMismatch,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::Crypto(e) => write!(f, "crypto failure while peeling: {e}"),
+            WalkError::WrongNextHop {
+                hop,
+                expected,
+                actual,
+            } => write!(f, "hop {hop}: layer says {expected}, chain went to {actual}"),
+            WalkError::ChainLengthMismatch => {
+                write!(f, "custody chain length does not match onion depth")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalkError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for WalkError {
+    fn from(e: CryptoError) -> Self {
+        WalkError::Crypto(e)
+    }
+}
+
+/// Key-management context binding a group structure to real keys.
+///
+/// Stands in for ARDEN's ABE/IBC setup: all group keys derive from one
+/// network master secret, and each node's keyring holds exactly its own
+/// group's key.
+#[derive(Clone)]
+pub struct OnionCryptoContext {
+    master: [u8; 32],
+    groups: OnionGroups,
+}
+
+impl std::fmt::Debug for OnionCryptoContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnionCryptoContext")
+            .field("groups", &self.groups.group_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnionCryptoContext {
+    /// Creates the context from a master secret and group structure.
+    pub fn new(master: [u8; 32], groups: OnionGroups) -> Self {
+        OnionCryptoContext { master, groups }
+    }
+
+    /// The group structure.
+    pub fn groups(&self) -> &OnionGroups {
+        &self.groups
+    }
+
+    /// The keyring of `node`: exactly its own group's key.
+    pub fn keyring_for(&self, node: NodeId) -> GroupKeyring {
+        let gid = self.groups.group_of(node);
+        GroupKeyring::for_groups(&self.master, [gid.0])
+    }
+
+    /// Builds the onion a source would emit for `route` toward
+    /// `destination` carrying `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] from the builder (e.g. an empty route).
+    pub fn build_onion<R: RngCore + ?Sized>(
+        &self,
+        route: &[GroupId],
+        destination: NodeId,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<OnionPacket, CryptoError> {
+        OnionBuilder::new(destination.0, payload.to_vec())
+            .layers(route.iter().map(|&gid| OnionLayerSpec {
+                group: gid.0,
+                key: derive_group_key(&self.master, gid.0),
+            }))
+            .build(rng)
+    }
+
+    /// Builds a *constant-size* onion ([`onion_crypto::FixedSizeOnion`])
+    /// for `route`: the wire size is identical at every hop, so relays
+    /// cannot infer their position from the packet length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] from the builder (e.g. an empty route).
+    pub fn build_fixed_onion<R: RngCore + ?Sized>(
+        &self,
+        route: &[GroupId],
+        destination: NodeId,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<onion_crypto::FixedSizeOnion, CryptoError> {
+        let specs: Vec<OnionLayerSpec> = route
+            .iter()
+            .map(|&gid| OnionLayerSpec {
+                group: gid.0,
+                key: derive_group_key(&self.master, gid.0),
+            })
+            .collect();
+        onion_crypto::FixedSizeOnion::build(&specs, destination.0, payload, rng)
+    }
+
+    /// Replays a custody chain against a constant-size onion; like
+    /// [`Self::walk_custody_chain`] but additionally asserts that the
+    /// packet size never changes between hops.
+    ///
+    /// # Errors
+    ///
+    /// See [`WalkError`].
+    pub fn walk_custody_chain_fixed<R: RngCore + ?Sized>(
+        &self,
+        onion: onion_crypto::FixedSizeOnion,
+        chain: &[NodeId],
+        rng: &mut R,
+    ) -> Result<Vec<u8>, WalkError> {
+        if chain.len() < 2 {
+            return Err(WalkError::ChainLengthMismatch);
+        }
+        let destination = *chain.last().expect("len checked");
+        let capacity = onion.capacity();
+        let mut packet = onion;
+        for (idx, &relay) in chain[1..chain.len() - 1].iter().enumerate() {
+            let ring = self.keyring_for(relay);
+            let gid = self.groups.group_of(relay);
+            let key = ring.key(gid.0)?;
+            match packet.peel(key, rng)? {
+                onion_crypto::FixedPeeled::Forward { next, onion } => {
+                    debug_assert_eq!(onion.capacity(), capacity, "size leak");
+                    let next_node = chain[idx + 2];
+                    let admitted = match next {
+                        RouteTarget::Group(gid) => {
+                            self.groups.contains(GroupId(gid), next_node)
+                        }
+                        RouteTarget::Node(node) => node == next_node.0,
+                    };
+                    if !admitted {
+                        return Err(WalkError::WrongNextHop {
+                            hop: idx + 1,
+                            expected: next,
+                            actual: next_node,
+                        });
+                    }
+                    packet = onion;
+                }
+                onion_crypto::FixedPeeled::ForwardClear { node, payload } => {
+                    if idx + 2 != chain.len() - 1 || node != destination.0 {
+                        return Err(WalkError::ChainLengthMismatch);
+                    }
+                    return Ok(payload);
+                }
+            }
+        }
+        Err(WalkError::ChainLengthMismatch)
+    }
+
+    /// Replays a realized custody chain `[source, relay_1, …, relay_K,
+    /// destination]` against a freshly built onion: each relay peels its
+    /// layer with *its own* keyring, and the final payload is returned.
+    ///
+    /// This is the end-to-end proof that the abstract simulation's paths
+    /// are cryptographically realizable.
+    ///
+    /// # Errors
+    ///
+    /// See [`WalkError`].
+    pub fn walk_custody_chain(
+        &self,
+        onion: OnionPacket,
+        chain: &[NodeId],
+    ) -> Result<Vec<u8>, WalkError> {
+        if chain.len() < 2 {
+            return Err(WalkError::ChainLengthMismatch);
+        }
+        let destination = *chain.last().expect("len checked");
+        let mut packet = onion;
+        // Relays are chain[1..len-1]; each peels one layer.
+        for (idx, &relay) in chain[1..chain.len() - 1].iter().enumerate() {
+            let ring = self.keyring_for(relay);
+            let gid = self.groups.group_of(relay);
+            let key = ring.key(gid.0)?;
+            match packet.peel(key)? {
+                Peeled::Forward { next, onion } => {
+                    // The next chain node must be admitted by `next`.
+                    let next_node = chain[idx + 2];
+                    let admitted = match next {
+                        RouteTarget::Group(gid) => {
+                            self.groups.contains(GroupId(gid), next_node)
+                        }
+                        RouteTarget::Node(node) => node == next_node.0,
+                    };
+                    if !admitted {
+                        return Err(WalkError::WrongNextHop {
+                            hop: idx + 1,
+                            expected: next,
+                            actual: next_node,
+                        });
+                    }
+                    packet = onion;
+                }
+                Peeled::ForwardClear { node, payload } => {
+                    // Last relay: the remaining chain must be exactly the
+                    // destination.
+                    if idx + 2 != chain.len() - 1 || node != destination.0 {
+                        return Err(WalkError::ChainLengthMismatch);
+                    }
+                    return Ok(payload);
+                }
+                Peeled::Deliver { .. } => return Err(WalkError::ChainLengthMismatch),
+            }
+        }
+        Err(WalkError::ChainLengthMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn context() -> OnionCryptoContext {
+        // 8 nodes, groups of 2: R0 = {0,1}, R1 = {2,3}, R2 = {4,5},
+        // R3 = {6,7}.
+        OnionCryptoContext::new([9u8; 32], OnionGroups::sequential_partition(8, 2))
+    }
+
+    #[test]
+    fn walk_succeeds_for_valid_chain() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let route = vec![GroupId(1), GroupId(2)];
+        let onion = ctx
+            .build_onion(&route, NodeId(7), b"meet at dawn", &mut rng)
+            .unwrap();
+        // chain: source 0 → node 3 (R1) → node 4 (R2) → destination 7.
+        let payload = ctx
+            .walk_custody_chain(onion, &[NodeId(0), NodeId(3), NodeId(4), NodeId(7)])
+            .unwrap();
+        assert_eq!(payload, b"meet at dawn");
+    }
+
+    #[test]
+    fn any_group_member_can_peel() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let route = vec![GroupId(1), GroupId(2)];
+        for relay1 in [NodeId(2), NodeId(3)] {
+            for relay2 in [NodeId(4), NodeId(5)] {
+                let onion = ctx
+                    .build_onion(&route, NodeId(7), b"x", &mut rng)
+                    .unwrap();
+                assert!(ctx
+                    .walk_custody_chain(onion, &[NodeId(0), relay1, relay2, NodeId(7)])
+                    .is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn non_member_cannot_peel() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let route = vec![GroupId(1), GroupId(2)];
+        let onion = ctx
+            .build_onion(&route, NodeId(7), b"x", &mut rng)
+            .unwrap();
+        // Node 6 (group R3) tries to act as the first relay.
+        let err = ctx
+            .walk_custody_chain(onion, &[NodeId(0), NodeId(6), NodeId(4), NodeId(7)])
+            .unwrap_err();
+        assert!(matches!(err, WalkError::Crypto(CryptoError::AuthenticationFailed)));
+    }
+
+    #[test]
+    fn chain_deviating_from_route_detected() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let route = vec![GroupId(1), GroupId(2)];
+        let onion = ctx
+            .build_onion(&route, NodeId(7), b"x", &mut rng)
+            .unwrap();
+        // Second relay is in R3, not the R2 the layer mandates — relay 1
+        // peels fine but the next hop check fails.
+        let err = ctx
+            .walk_custody_chain(onion, &[NodeId(0), NodeId(3), NodeId(6), NodeId(7)])
+            .unwrap_err();
+        assert!(matches!(err, WalkError::WrongNextHop { hop: 1, .. }));
+    }
+
+    #[test]
+    fn short_chain_rejected() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let onion = ctx
+            .build_onion(&[GroupId(1)], NodeId(7), b"x", &mut rng)
+            .unwrap();
+        assert!(matches!(
+            ctx.walk_custody_chain(onion.clone(), &[NodeId(0)]),
+            Err(WalkError::ChainLengthMismatch)
+        ));
+        // A chain with an extra relay beyond the onion depth also fails.
+        assert!(ctx
+            .walk_custody_chain(onion, &[NodeId(0), NodeId(2), NodeId(4), NodeId(7)])
+            .is_err());
+    }
+
+    #[test]
+    fn fixed_onion_walk_succeeds_and_hides_size() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let route = vec![GroupId(1), GroupId(2), GroupId(0)];
+        let onion = ctx
+            .build_fixed_onion(&route, NodeId(7), b"fixed payload", &mut rng)
+            .unwrap();
+        let expected_capacity =
+            onion_crypto::fixed_onion::fixed_capacity(3, b"fixed payload".len());
+        assert_eq!(onion.capacity(), expected_capacity);
+        let payload = ctx
+            .walk_custody_chain_fixed(
+                onion,
+                &[NodeId(6), NodeId(3), NodeId(4), NodeId(1), NodeId(7)],
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(payload, b"fixed payload");
+    }
+
+    #[test]
+    fn fixed_onion_walk_detects_wrong_relay() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let route = vec![GroupId(1), GroupId(2)];
+        let onion = ctx
+            .build_fixed_onion(&route, NodeId(7), b"x", &mut rng)
+            .unwrap();
+        // Second relay in the wrong group.
+        let err = ctx
+            .walk_custody_chain_fixed(
+                onion,
+                &[NodeId(0), NodeId(3), NodeId(6), NodeId(7)],
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, WalkError::WrongNextHop { hop: 1, .. }));
+    }
+
+    #[test]
+    fn keyring_holds_only_own_group() {
+        let ctx = context();
+        let ring = ctx.keyring_for(NodeId(5));
+        assert_eq!(ring.len(), 1);
+        assert!(ring.contains(2)); // node 5 is in R2
+        assert!(!ring.contains(1));
+    }
+}

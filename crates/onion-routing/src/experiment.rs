@@ -1,0 +1,1006 @@
+//! High-level experiment harness: one call per figure data point.
+//!
+//! Reproduces the paper's evaluation methodology (Section V-A):
+//!
+//! * **Random graphs** — sample a Table II contact graph, partition nodes
+//!   into onion groups, inject messages between random source/destination
+//!   pairs, and simulate; the *numerical* (analysis) series evaluates the
+//!   models on the **same realization** (per-message Eq. 4 rates from the
+//!   realized graph and route), exactly as the paper computes its
+//!   numerical results "for each contact graph realization with a given
+//!   source and destination pair".
+//! * **Traces** — replay a (synthetic or real) contact schedule; message
+//!   transmissions start at a random contact of the source ("business
+//!   hours"); rates for the analysis side are estimated ("trained") from
+//!   the trace.
+
+use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
+use dtn_sim::{run, Message, MessageId, SimConfig, SimReport};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::adversary::Adversary;
+use crate::config::ProtocolConfig;
+use crate::groups::OnionGroups;
+use crate::metrics;
+use crate::protocol::{ForwardingMode, OnionRouting};
+
+/// Knobs that are about the experiment, not the protocol.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Messages injected per realization.
+    pub messages: usize,
+    /// Independent realizations (graph + groups + adversary draws)
+    /// averaged per point.
+    pub realizations: usize,
+    /// Base RNG seed; every realization derives its own stream.
+    pub seed: u64,
+    /// Mean inter-contact range of the random graphs (Table II: 1–36
+    /// minutes).
+    pub intercontact_range: (f64, f64),
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            messages: 20,
+            realizations: 10,
+            seed: 0x0D10_57E5,
+            intercontact_range: (1.0, 36.0),
+        }
+    }
+}
+
+/// Aggregated analysis-vs-simulation values for one parameter point.
+#[derive(Clone, Debug, Default)]
+pub struct PointSummary {
+    /// Mean model-predicted delivery rate (Eqs. 6–7 on realized rates).
+    pub analysis_delivery: f64,
+    /// Simulated delivery rate.
+    pub sim_delivery: f64,
+    /// Expected traceable rate (exact run-length model).
+    pub analysis_traceable: f64,
+    /// Mean realized traceable rate over delivered paths (`None` if
+    /// nothing was delivered).
+    pub sim_traceable: Option<f64>,
+    /// Model path anonymity (Eq. 19 with Eq. 15/20).
+    pub analysis_anonymity: f64,
+    /// Mean realized path anonymity.
+    pub sim_anonymity: Option<f64>,
+    /// Mean simulated transmissions per message.
+    pub sim_transmissions: f64,
+    /// The paper's transmission bound for these parameters.
+    pub analysis_cost_bound: f64,
+    /// Total messages injected across realizations.
+    pub injected: usize,
+    /// Total messages delivered across realizations.
+    pub delivered: usize,
+}
+
+/// Runs one random-graph data point.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation (programmer error in a sweep).
+pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) -> PointSummary {
+    cfg.validate().expect("experiment config must be valid");
+    let mut acc = Accumulator::default();
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x9E37_79B9 + realization as u64));
+        let graph = UniformGraphBuilder::new(cfg.nodes)
+            .mean_intercontact_range(
+                TimeDelta::new(opts.intercontact_range.0),
+                TimeDelta::new(opts.intercontact_range.1),
+            )
+            .build(&mut rng);
+        let horizon = Time::ZERO + cfg.deadline;
+        let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
+        let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+        run_one_realization(cfg, &schedule, Some(&graph), messages, &mut rng, &mut acc);
+    }
+    acc.finish(cfg)
+}
+
+/// Runs one trace-driven data point over `schedule` (synthetic or parsed
+/// from a real Haggle file). Message transmissions start at a random
+/// contact of the source; analysis rates are estimated from the trace.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` does not match the schedule's node count or the
+/// config is otherwise invalid.
+pub fn run_schedule_point(
+    schedule: &ContactSchedule,
+    cfg: &ProtocolConfig,
+    opts: &ExperimentOptions,
+) -> PointSummary {
+    cfg.validate().expect("experiment config must be valid");
+    assert_eq!(
+        cfg.nodes,
+        schedule.node_count(),
+        "config nodes must match the trace"
+    );
+    let estimated = schedule.estimate_rates();
+    let mut acc = Accumulator::default();
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x51ED_2701 + realization as u64));
+        // Start each message at a random contact event of its source.
+        let events = schedule.events();
+        let messages = random_messages(
+            cfg,
+            opts.messages,
+            |source| {
+                let candidates: Vec<Time> = events
+                    .iter()
+                    .filter(|e| e.involves(source))
+                    .map(|e| e.time)
+                    .collect();
+                if candidates.is_empty() {
+                    Time::ZERO
+                } else {
+                    candidates[rng.gen_range(0..candidates.len())]
+                }
+            },
+            &mut ChaCha8Rng::seed_from_u64(opts.seed ^ (0xABCD + realization as u64)),
+        );
+        run_one_realization(cfg, schedule, Some(&estimated), messages, &mut rng, &mut acc);
+    }
+    acc.finish(cfg)
+}
+
+/// Accumulates per-realization results.
+#[derive(Default)]
+struct Accumulator {
+    analysis_delivery_sum: f64,
+    analysis_delivery_count: usize,
+    injected: usize,
+    delivered: usize,
+    trace_sum: f64,
+    trace_count: usize,
+    anon_sum: f64,
+    anon_count: usize,
+    tx_sum: f64,
+    tx_count: usize,
+}
+
+impl Accumulator {
+    fn finish(self, cfg: &ProtocolConfig) -> PointSummary {
+        let analysis_traceable = analysis::expected_traceable_rate(
+            cfg.eta(),
+            cfg.compromise_probability(),
+        )
+        .expect("validated parameters");
+        let analysis_anonymity = analysis::path_anonymity(
+            cfg.nodes,
+            cfg.group_size,
+            cfg.onions,
+            cfg.compromised,
+            cfg.copies,
+        )
+        .expect("validated parameters");
+        let analysis_cost_bound = if cfg.copies == 1 {
+            analysis::single_copy_cost(cfg.onions) as f64
+        } else {
+            analysis::multi_copy_bound(cfg.onions, cfg.copies).expect("L > 0") as f64
+        };
+        PointSummary {
+            analysis_delivery: if self.analysis_delivery_count > 0 {
+                self.analysis_delivery_sum / self.analysis_delivery_count as f64
+            } else {
+                0.0
+            },
+            sim_delivery: if self.injected > 0 {
+                self.delivered as f64 / self.injected as f64
+            } else {
+                0.0
+            },
+            analysis_traceable,
+            sim_traceable: if self.trace_count > 0 {
+                Some(self.trace_sum / self.trace_count as f64)
+            } else {
+                None
+            },
+            analysis_anonymity,
+            sim_anonymity: if self.anon_count > 0 {
+                Some(self.anon_sum / self.anon_count as f64)
+            } else {
+                None
+            },
+            sim_transmissions: if self.tx_count > 0 {
+                self.tx_sum / self.tx_count as f64
+            } else {
+                0.0
+            },
+            analysis_cost_bound,
+            injected: self.injected,
+            delivered: self.delivered,
+        }
+    }
+}
+
+fn random_messages<F>(
+    cfg: &ProtocolConfig,
+    count: usize,
+    mut start_time: F,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Message>
+where
+    F: FnMut(NodeId) -> Time,
+{
+    (0..count as u64)
+        .map(|i| {
+            let source = NodeId(rng.gen_range(0..cfg.nodes as u32));
+            let mut destination = NodeId(rng.gen_range(0..cfg.nodes as u32));
+            while destination == source {
+                destination = NodeId(rng.gen_range(0..cfg.nodes as u32));
+            }
+            Message {
+                id: MessageId(i),
+                source,
+                destination,
+                created: start_time(source),
+                deadline: cfg.deadline,
+                copies: cfg.copies,
+            }
+        })
+        .collect()
+}
+
+fn run_one_realization(
+    cfg: &ProtocolConfig,
+    schedule: &ContactSchedule,
+    rate_graph: Option<&contact_graph::ContactGraph>,
+    messages: Vec<Message>,
+    rng: &mut ChaCha8Rng,
+    acc: &mut Accumulator,
+) {
+    let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, rng);
+    let mode = if cfg.copies == 1 {
+        ForwardingMode::SingleCopy
+    } else {
+        ForwardingMode::MultiCopy
+    };
+    let mut protocol =
+        OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
+
+    let report: SimReport = run(
+        schedule,
+        &mut protocol,
+        messages.clone(),
+        &SimConfig::default(),
+        rng,
+    )
+    .expect("messages validated against schedule");
+
+    // Analysis series on the same realization: per-message Eq. 4 rates.
+    if let Some(graph) = rate_graph {
+        for m in &messages {
+            if let Some(route) = protocol.route_of(m.id) {
+                let members: Vec<Vec<NodeId>> = protocol
+                    .groups()
+                    .route_members(route)
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .filter(|&v| v != m.source && v != m.destination)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let p = if members.iter().any(|g| g.is_empty()) {
+                    0.0
+                } else {
+                    match analysis::onion_path_rates(graph, m.source, &members, m.destination) {
+                        Ok(rates) if rates.iter().all(|&r| r > 0.0) => {
+                            analysis::delivery_rate_multicopy(
+                                &rates,
+                                cfg.copies,
+                                cfg.deadline.as_f64(),
+                            )
+                            .unwrap_or(0.0)
+                        }
+                        _ => 0.0,
+                    }
+                };
+                acc.analysis_delivery_sum += p;
+                acc.analysis_delivery_count += 1;
+            }
+        }
+    }
+
+    // Simulation series.
+    acc.injected += report.injected_count();
+    acc.delivered += report.delivered_count();
+    acc.tx_sum += report.mean_transmissions() * report.injected_count() as f64;
+    acc.tx_count += report.injected_count();
+
+    let adversary = Adversary::random(cfg.nodes, cfg.compromised, rng);
+    if let Some(t) = metrics::mean_traceable_rate(&report, &adversary) {
+        acc.trace_sum += t * report.delivered_count() as f64;
+        acc.trace_count += report.delivered_count();
+    }
+    if let Some(a) = metrics::mean_path_anonymity(
+        &report,
+        &adversary,
+        cfg.nodes,
+        cfg.group_size,
+        cfg.eta(),
+    ) {
+        acc.anon_sum += a * report.injected_count() as f64;
+        acc.anon_count += report.injected_count();
+    }
+}
+
+/// One row of a delivery-rate-vs-deadline sweep (Figs. 4, 5, 10, 14, 17).
+#[derive(Clone, Copy, Debug)]
+pub struct DeliverySweepRow {
+    /// Deadline `T`.
+    pub deadline: f64,
+    /// Model value (Eq. 6/7 averaged over realizations).
+    pub analysis: f64,
+    /// Simulated delivery rate.
+    pub sim: f64,
+}
+
+/// One row of a security sweep over the compromised-node count
+/// (Figs. 6, 8, 12, 15, 16, 18, 19).
+#[derive(Clone, Copy, Debug)]
+pub struct SecuritySweepRow {
+    /// Number of compromised nodes `c`.
+    pub compromised: usize,
+    /// Expected traceable rate (run-length model).
+    pub analysis_traceable: f64,
+    /// Mean realized traceable rate over delivered paths.
+    pub sim_traceable: Option<f64>,
+    /// Model path anonymity (Eq. 19).
+    pub analysis_anonymity: f64,
+    /// Mean realized path anonymity.
+    pub sim_anonymity: Option<f64>,
+}
+
+/// Delivery rate vs deadline on random graphs, reusing one simulation per
+/// realization for every deadline: delivering within `T` is equivalent to
+/// a delivery delay `≤ T`, so a single maximum-deadline run yields the
+/// whole curve. The analysis series evaluates each message's Eq. 4
+/// hypoexponential at every deadline.
+///
+/// # Panics
+///
+/// Panics if `deadlines` is empty/non-positive or `cfg` is invalid.
+pub fn delivery_sweep_random_graph(
+    cfg: &ProtocolConfig,
+    deadlines: &[f64],
+    opts: &ExperimentOptions,
+) -> Vec<DeliverySweepRow> {
+    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max_t > 0.0, "need at least one positive deadline");
+    let run_cfg = ProtocolConfig {
+        deadline: TimeDelta::new(max_t),
+        ..cfg.clone()
+    };
+    run_cfg.validate().expect("experiment config must be valid");
+
+    let mut sim_hits = vec![0usize; deadlines.len()];
+    let mut analysis_sum = vec![0.0f64; deadlines.len()];
+    let mut injected = 0usize;
+    let mut analysis_count = 0usize;
+
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x9E37_79B9 + realization as u64));
+        let graph = UniformGraphBuilder::new(run_cfg.nodes)
+            .mean_intercontact_range(
+                TimeDelta::new(opts.intercontact_range.0),
+                TimeDelta::new(opts.intercontact_range.1),
+            )
+            .build(&mut rng);
+        let schedule = ContactSchedule::sample(&graph, Time::new(max_t), &mut rng);
+        let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
+
+        let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+        let mode = if run_cfg.copies == 1 {
+            ForwardingMode::SingleCopy
+        } else {
+            ForwardingMode::MultiCopy
+        };
+        let mut protocol =
+            OnionRouting::new(groups, run_cfg.onions, mode).with_selection(run_cfg.selection);
+        let report = run(
+            &schedule,
+            &mut protocol,
+            messages.clone(),
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .expect("validated");
+
+        injected += messages.len();
+        for m in &messages {
+            // Simulation: delivery within each deadline.
+            if let Some(delay) = report.delivery_delay(m.id) {
+                for (i, &t) in deadlines.iter().enumerate() {
+                    if delay.as_f64() <= t {
+                        sim_hits[i] += 1;
+                    }
+                }
+            }
+            // Analysis: Eq. 4 rates → hypoexponential CDF at each T.
+            if let Some(route) = protocol.route_of(m.id) {
+                let members: Vec<Vec<NodeId>> = protocol
+                    .groups()
+                    .route_members(route)
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .filter(|&v| v != m.source && v != m.destination)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                analysis_count += 1;
+                if members.iter().any(|g| g.is_empty()) {
+                    continue;
+                }
+                if let Ok(rates) =
+                    analysis::onion_path_rates(&graph, m.source, &members, m.destination)
+                {
+                    if rates.iter().all(|&r| r > 0.0) {
+                        let boosted: Vec<f64> = rates
+                            .iter()
+                            .map(|&r| r * run_cfg.copies as f64)
+                            .collect();
+                        if let Ok(h) = analysis::HypoExp::new(boosted) {
+                            for (i, &t) in deadlines.iter().enumerate() {
+                                analysis_sum[i] += h.cdf(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    deadlines
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| DeliverySweepRow {
+            deadline: t,
+            analysis: if analysis_count > 0 {
+                analysis_sum[i] / analysis_count as f64
+            } else {
+                0.0
+            },
+            sim: if injected > 0 {
+                sim_hits[i] as f64 / injected as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Delivery rate vs deadline on a fixed contact schedule (trace-driven;
+/// Figs. 14 and 17). Message starts follow the paper's business-hours
+/// policy (a random contact of the source); analysis rates are estimated
+/// from the trace.
+///
+/// # Panics
+///
+/// Panics if the config is invalid or does not match the schedule.
+pub fn delivery_sweep_schedule(
+    schedule: &ContactSchedule,
+    cfg: &ProtocolConfig,
+    deadlines: &[f64],
+    opts: &ExperimentOptions,
+) -> Vec<DeliverySweepRow> {
+    let estimated = schedule.estimate_rates();
+    delivery_sweep_schedule_with_rates(schedule, &estimated, cfg, deadlines, opts)
+}
+
+/// Like [`delivery_sweep_schedule`] but with caller-provided "trained"
+/// rates for the analysis side (e.g. active-time rates from
+/// `traces::estimate_active_rates` when deadlines fit inside a business
+/// window — the paper's Fig. 14 training step).
+///
+/// # Panics
+///
+/// Panics if the config is invalid or does not match the schedule.
+pub fn delivery_sweep_schedule_with_rates(
+    schedule: &ContactSchedule,
+    estimated: &contact_graph::ContactGraph,
+    cfg: &ProtocolConfig,
+    deadlines: &[f64],
+    opts: &ExperimentOptions,
+) -> Vec<DeliverySweepRow> {
+    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max_t > 0.0, "need at least one positive deadline");
+    let run_cfg = ProtocolConfig {
+        deadline: TimeDelta::new(max_t),
+        ..cfg.clone()
+    };
+    run_cfg.validate().expect("experiment config must be valid");
+    assert_eq!(run_cfg.nodes, schedule.node_count(), "config nodes must match the trace");
+    let mut sim_hits = vec![0usize; deadlines.len()];
+    let mut analysis_sum = vec![0.0f64; deadlines.len()];
+    let mut injected = 0usize;
+    let mut analysis_count = 0usize;
+
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x51ED_2701 + realization as u64));
+        let events = schedule.events().to_vec();
+        let mut start_rng = ChaCha8Rng::seed_from_u64(opts.seed ^ (0xABCD + realization as u64));
+        let messages = random_messages(
+            &run_cfg,
+            opts.messages,
+            |source| {
+                let candidates: Vec<Time> = events
+                    .iter()
+                    .filter(|e| e.involves(source))
+                    .map(|e| e.time)
+                    .collect();
+                if candidates.is_empty() {
+                    Time::ZERO
+                } else {
+                    candidates[start_rng.gen_range(0..candidates.len())]
+                }
+            },
+            &mut rng,
+        );
+
+        let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+        let mode = if run_cfg.copies == 1 {
+            ForwardingMode::SingleCopy
+        } else {
+            ForwardingMode::MultiCopy
+        };
+        let mut protocol =
+            OnionRouting::new(groups, run_cfg.onions, mode).with_selection(run_cfg.selection);
+        let report = run(
+            schedule,
+            &mut protocol,
+            messages.clone(),
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .expect("validated");
+
+        injected += messages.len();
+        for m in &messages {
+            if let Some(delay) = report.delivery_delay(m.id) {
+                for (i, &t) in deadlines.iter().enumerate() {
+                    if delay.as_f64() <= t {
+                        sim_hits[i] += 1;
+                    }
+                }
+            }
+            if let Some(route) = protocol.route_of(m.id) {
+                let members: Vec<Vec<NodeId>> = protocol
+                    .groups()
+                    .route_members(route)
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .filter(|&v| v != m.source && v != m.destination)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                analysis_count += 1;
+                if members.iter().any(|g| g.is_empty()) {
+                    continue;
+                }
+                if let Ok(rates) =
+                    analysis::onion_path_rates(estimated, m.source, &members, m.destination)
+                {
+                    if rates.iter().all(|&r| r > 0.0) {
+                        let boosted: Vec<f64> = rates
+                            .iter()
+                            .map(|&r| r * run_cfg.copies as f64)
+                            .collect();
+                        if let Ok(h) = analysis::HypoExp::new(boosted) {
+                            for (i, &t) in deadlines.iter().enumerate() {
+                                analysis_sum[i] += h.cdf(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    deadlines
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| DeliverySweepRow {
+            deadline: t,
+            analysis: if analysis_count > 0 {
+                analysis_sum[i] / analysis_count as f64
+            } else {
+                0.0
+            },
+            sim: if injected > 0 {
+                sim_hits[i] as f64 / injected as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Security metrics vs compromised-node count, reusing one simulation per
+/// realization across the whole `c` sweep (the adversary draw does not
+/// influence forwarding).
+///
+/// `adversary_draws` independent compromise sets are averaged per `c` per
+/// realization.
+///
+/// # Panics
+///
+/// Panics if the config is invalid for any swept `c`.
+pub fn security_sweep_random_graph(
+    cfg: &ProtocolConfig,
+    compromised_values: &[usize],
+    adversary_draws: usize,
+    opts: &ExperimentOptions,
+) -> Vec<SecuritySweepRow> {
+    cfg.validate().expect("experiment config must be valid");
+
+    // Per-c accumulators.
+    let mut trace_sum = vec![0.0f64; compromised_values.len()];
+    let mut trace_count = vec![0usize; compromised_values.len()];
+    let mut anon_sum = vec![0.0f64; compromised_values.len()];
+    let mut anon_count = vec![0usize; compromised_values.len()];
+
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x0BAD_CAFE + realization as u64));
+        let graph = UniformGraphBuilder::new(cfg.nodes)
+            .mean_intercontact_range(
+                TimeDelta::new(opts.intercontact_range.0),
+                TimeDelta::new(opts.intercontact_range.1),
+            )
+            .build(&mut rng);
+        let horizon = Time::ZERO + cfg.deadline;
+        let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
+        let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+
+        let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+        let mode = if cfg.copies == 1 {
+            ForwardingMode::SingleCopy
+        } else {
+            ForwardingMode::MultiCopy
+        };
+        let mut protocol =
+            OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
+        let report = run(
+            &schedule,
+            &mut protocol,
+            messages,
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .expect("validated");
+
+        for (i, &c) in compromised_values.iter().enumerate() {
+            for _ in 0..adversary_draws.max(1) {
+                let adversary = Adversary::random(cfg.nodes, c, &mut rng);
+                if let Some(t) = metrics::mean_traceable_rate(&report, &adversary) {
+                    trace_sum[i] += t;
+                    trace_count[i] += 1;
+                }
+                if let Some(a) = metrics::mean_path_anonymity(
+                    &report,
+                    &adversary,
+                    cfg.nodes,
+                    cfg.group_size,
+                    cfg.eta(),
+                ) {
+                    anon_sum[i] += a;
+                    anon_count[i] += 1;
+                }
+            }
+        }
+    }
+
+    compromised_values
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| SecuritySweepRow {
+            compromised: c,
+            analysis_traceable: analysis::expected_traceable_rate(
+                cfg.eta(),
+                c as f64 / cfg.nodes as f64,
+            )
+            .expect("validated"),
+            sim_traceable: if trace_count[i] > 0 {
+                Some(trace_sum[i] / trace_count[i] as f64)
+            } else {
+                None
+            },
+            analysis_anonymity: analysis::path_anonymity(
+                cfg.nodes,
+                cfg.group_size,
+                cfg.onions,
+                c,
+                cfg.copies,
+            )
+            .expect("validated"),
+            sim_anonymity: if anon_count[i] > 0 {
+                Some(anon_sum[i] / anon_count[i] as f64)
+            } else {
+                None
+            },
+        })
+        .collect()
+}
+
+/// Security metrics vs compromised count on a fixed schedule (trace-driven;
+/// Figs. 15, 16, 18, 19).
+///
+/// # Panics
+///
+/// Panics if the config is invalid or does not match the schedule.
+pub fn security_sweep_schedule(
+    schedule: &ContactSchedule,
+    cfg: &ProtocolConfig,
+    compromised_values: &[usize],
+    adversary_draws: usize,
+    opts: &ExperimentOptions,
+) -> Vec<SecuritySweepRow> {
+    cfg.validate().expect("experiment config must be valid");
+    assert_eq!(cfg.nodes, schedule.node_count(), "config nodes must match the trace");
+
+    let mut trace_sum = vec![0.0f64; compromised_values.len()];
+    let mut trace_count = vec![0usize; compromised_values.len()];
+    let mut anon_sum = vec![0.0f64; compromised_values.len()];
+    let mut anon_count = vec![0usize; compromised_values.len()];
+
+    for realization in 0..opts.realizations {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0xFEED_F00D + realization as u64));
+        let events = schedule.events().to_vec();
+        let mut start_rng =
+            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x1234 + realization as u64));
+        let messages = random_messages(
+            cfg,
+            opts.messages,
+            |source| {
+                let candidates: Vec<Time> = events
+                    .iter()
+                    .filter(|e| e.involves(source))
+                    .map(|e| e.time)
+                    .collect();
+                if candidates.is_empty() {
+                    Time::ZERO
+                } else {
+                    candidates[start_rng.gen_range(0..candidates.len())]
+                }
+            },
+            &mut rng,
+        );
+
+        let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+        let mode = if cfg.copies == 1 {
+            ForwardingMode::SingleCopy
+        } else {
+            ForwardingMode::MultiCopy
+        };
+        let mut protocol =
+            OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
+        let report = run(
+            schedule,
+            &mut protocol,
+            messages,
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .expect("validated");
+
+        for (i, &c) in compromised_values.iter().enumerate() {
+            for _ in 0..adversary_draws.max(1) {
+                let adversary = Adversary::random(cfg.nodes, c, &mut rng);
+                if let Some(t) = metrics::mean_traceable_rate(&report, &adversary) {
+                    trace_sum[i] += t;
+                    trace_count[i] += 1;
+                }
+                if let Some(a) = metrics::mean_path_anonymity(
+                    &report,
+                    &adversary,
+                    cfg.nodes,
+                    cfg.group_size,
+                    cfg.eta(),
+                ) {
+                    anon_sum[i] += a;
+                    anon_count[i] += 1;
+                }
+            }
+        }
+    }
+
+    compromised_values
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| SecuritySweepRow {
+            compromised: c,
+            analysis_traceable: analysis::expected_traceable_rate(
+                cfg.eta(),
+                c as f64 / cfg.nodes as f64,
+            )
+            .expect("validated"),
+            sim_traceable: if trace_count[i] > 0 {
+                Some(trace_sum[i] / trace_count[i] as f64)
+            } else {
+                None
+            },
+            analysis_anonymity: analysis::path_anonymity(
+                cfg.nodes,
+                cfg.group_size,
+                cfg.onions,
+                c,
+                cfg.copies,
+            )
+            .expect("validated"),
+            sim_anonymity: if anon_count[i] > 0 {
+                Some(anon_sum[i] / anon_count[i] as f64)
+            } else {
+                None
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ExperimentOptions {
+        ExperimentOptions {
+            messages: 10,
+            realizations: 3,
+            seed: 7,
+            intercontact_range: (1.0, 36.0),
+        }
+    }
+
+    #[test]
+    fn table2_point_runs_and_is_consistent() {
+        let cfg = ProtocolConfig {
+            deadline: TimeDelta::new(360.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let point = run_random_graph_point(&cfg, &quick_opts());
+        assert_eq!(point.injected, 30);
+        assert!(point.sim_delivery > 0.3, "sim {}", point.sim_delivery);
+        assert!(point.analysis_delivery > 0.3);
+        // Analysis and simulation agree to first order (paper's headline
+        // claim); allow generous slack at this tiny sample size.
+        assert!(
+            (point.analysis_delivery - point.sim_delivery).abs() < 0.3,
+            "analysis {} vs sim {}",
+            point.analysis_delivery,
+            point.sim_delivery
+        );
+        assert!((0.0..=1.0).contains(&point.analysis_anonymity));
+        assert!(point.sim_anonymity.is_some());
+        // Single-copy cost is at most K + 1.
+        assert!(point.sim_transmissions <= point.analysis_cost_bound + 1e-9);
+    }
+
+    #[test]
+    fn delivery_increases_with_deadline() {
+        let opts = quick_opts();
+        let mut last_sim = -1.0;
+        let mut last_analysis = -1.0;
+        for t in [60.0, 360.0, 1080.0] {
+            let cfg = ProtocolConfig {
+                deadline: TimeDelta::new(t),
+                ..ProtocolConfig::table2_defaults()
+            };
+            let p = run_random_graph_point(&cfg, &opts);
+            assert!(p.sim_delivery >= last_sim - 0.05, "T = {t}");
+            assert!(p.analysis_delivery >= last_analysis - 1e-9, "T = {t}");
+            last_sim = p.sim_delivery;
+            last_analysis = p.analysis_delivery;
+        }
+    }
+
+    #[test]
+    fn multicopy_point_respects_cost_bound() {
+        let cfg = ProtocolConfig {
+            copies: 3,
+            deadline: TimeDelta::new(360.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let p = run_random_graph_point(&cfg, &quick_opts());
+        assert!(p.sim_transmissions <= p.analysis_cost_bound);
+        assert!(p.sim_delivery > 0.0);
+    }
+
+    #[test]
+    fn schedule_point_on_synthetic_trace() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let graph = UniformGraphBuilder::new(30).build(&mut rng);
+        let schedule = ContactSchedule::sample(&graph, Time::new(600.0), &mut rng);
+        let cfg = ProtocolConfig {
+            nodes: 30,
+            group_size: 3,
+            onions: 2,
+            deadline: TimeDelta::new(300.0),
+            compromised: 3,
+            ..ProtocolConfig::table2_defaults()
+        };
+        let p = run_schedule_point(&schedule, &cfg, &quick_opts());
+        assert!(p.injected > 0);
+        assert!(p.sim_delivery > 0.0);
+        assert!((0.0..=1.0).contains(&p.analysis_delivery));
+    }
+
+    #[test]
+    #[should_panic(expected = "match the trace")]
+    fn schedule_point_validates_node_count() {
+        let schedule = ContactSchedule::from_events(vec![], 5, Time::new(1.0));
+        let cfg = ProtocolConfig::table2_defaults();
+        let _ = run_schedule_point(&schedule, &cfg, &quick_opts());
+    }
+
+    #[test]
+    fn delivery_sweep_is_monotone_and_consistent() {
+        let cfg = ProtocolConfig::table2_defaults();
+        let deadlines = [60.0, 180.0, 360.0, 720.0, 1080.0];
+        let rows = delivery_sweep_random_graph(&cfg, &deadlines, &quick_opts());
+        assert_eq!(rows.len(), deadlines.len());
+        for pair in rows.windows(2) {
+            assert!(pair[1].sim >= pair[0].sim - 1e-12);
+            assert!(pair[1].analysis >= pair[0].analysis - 1e-12);
+        }
+        // The sweep at max deadline matches a direct point run closely in
+        // the analysis series (same model, same realizations).
+        assert!(rows.last().unwrap().analysis > 0.5);
+        assert!(rows.last().unwrap().sim > 0.5);
+    }
+
+    #[test]
+    fn security_sweep_trends() {
+        let cfg = ProtocolConfig {
+            deadline: TimeDelta::new(1080.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let cs = [0usize, 10, 30, 50];
+        let rows = security_sweep_random_graph(&cfg, &cs, 2, &quick_opts());
+        assert_eq!(rows.len(), 4);
+        // Traceable rate rises with c; anonymity falls.
+        for pair in rows.windows(2) {
+            assert!(pair[1].analysis_traceable >= pair[0].analysis_traceable);
+            assert!(pair[1].analysis_anonymity <= pair[0].analysis_anonymity);
+            if let (Some(a), Some(b)) = (pair[0].sim_traceable, pair[1].sim_traceable) {
+                assert!(b >= a - 0.1, "sim traceable should trend up: {a} -> {b}");
+            }
+            if let (Some(a), Some(b)) = (pair[0].sim_anonymity, pair[1].sim_anonymity) {
+                assert!(b <= a + 0.1, "sim anonymity should trend down: {a} -> {b}");
+            }
+        }
+        // c = 0: nothing traceable, full anonymity.
+        assert_eq!(rows[0].sim_traceable, Some(0.0));
+        assert_eq!(rows[0].sim_anonymity, Some(1.0));
+    }
+
+    #[test]
+    fn schedule_sweeps_run_on_synthetic_trace() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let graph = UniformGraphBuilder::new(24).build(&mut rng);
+        let schedule = ContactSchedule::sample(&graph, Time::new(400.0), &mut rng);
+        let cfg = ProtocolConfig {
+            nodes: 24,
+            group_size: 3,
+            onions: 2,
+            compromised: 2,
+            deadline: TimeDelta::new(200.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let rows = delivery_sweep_schedule(&schedule, &cfg, &[50.0, 200.0], &quick_opts());
+        assert!(rows[1].sim >= rows[0].sim);
+        let sec = security_sweep_schedule(&schedule, &cfg, &[0, 6], 2, &quick_opts());
+        assert!(sec[1].analysis_anonymity < sec[0].analysis_anonymity);
+    }
+}

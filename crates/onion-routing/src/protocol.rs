@@ -1,0 +1,461 @@
+//! The abstract onion-based anonymous routing protocol (Section III,
+//! Algorithms 1 and 2).
+//!
+//! At injection the source selects `K` onion groups `R_1 … R_K`; the
+//! message then travels `v_s → R_1 → … → R_K → v_d`, each hop taken at the
+//! first contact with *any* member of the next group. With `L ≥ 2`
+//! (multi-copy), the source additionally sprays single-ticket copies to
+//! the first nodes it meets (source spray-and-wait), each of which follows
+//! the same group route independently.
+//!
+//! The per-copy protocol tag stores the hop index `k` — the number of
+//! onion groups the copy has traversed (0 = still pre-`R_1`).
+
+use std::collections::HashMap;
+
+use contact_graph::NodeId;
+use dtn_sim::{ContactView, CopyState, Forward, ForwardKind, Message, MessageId, RoutingProtocol};
+use rand::RngCore;
+
+use crate::config::RouteSelection;
+use crate::groups::{GroupId, OnionGroups};
+
+/// Copy discipline of the abstract protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// Algorithm 1: a single custody token follows the group route.
+    SingleCopy,
+    /// Algorithm 2: up to `L` copies; the source sprays, every copy
+    /// follows the route independently.
+    MultiCopy,
+}
+
+/// The onion-group routing protocol, pluggable into `dtn_sim`.
+///
+/// # Examples
+///
+/// ```
+/// use dtn_sim::RoutingProtocol;
+/// use onion_routing::{OnionGroups, OnionRouting, ForwardingMode};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let groups = OnionGroups::random_partition(100, 5, &mut rng);
+/// let protocol = OnionRouting::new(groups, 3, ForwardingMode::SingleCopy);
+/// assert_eq!(protocol.name(), "onion/single-copy");
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnionRouting {
+    groups: OnionGroups,
+    onions: usize,
+    mode: ForwardingMode,
+    selection: RouteSelection,
+    routes: HashMap<MessageId, Vec<GroupId>>,
+}
+
+impl OnionRouting {
+    /// Creates the protocol over a group structure with `onions = K`
+    /// relay groups per route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `onions` is zero or exceeds the number of groups.
+    pub fn new(groups: OnionGroups, onions: usize, mode: ForwardingMode) -> Self {
+        assert!(onions > 0, "K must be positive");
+        assert!(
+            onions <= groups.group_count(),
+            "K = {onions} exceeds the {} available groups",
+            groups.group_count()
+        );
+        OnionRouting {
+            groups,
+            onions,
+            mode,
+            selection: RouteSelection::Uniform,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Switches the route-selection policy (default
+    /// [`RouteSelection::Uniform`]).
+    pub fn with_selection(mut self, selection: RouteSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// The group structure in use.
+    pub fn groups(&self) -> &OnionGroups {
+        &self.groups
+    }
+
+    /// Number of onion groups per route (`K`).
+    pub fn onions(&self) -> usize {
+        self.onions
+    }
+
+    /// The route chosen for `message`, if it has been injected.
+    pub fn route_of(&self, message: MessageId) -> Option<&[GroupId]> {
+        self.routes.get(&message).map(|r| r.as_slice())
+    }
+
+    /// All selected routes (message → group sequence), for the security
+    /// metrics.
+    pub fn routes(&self) -> &HashMap<MessageId, Vec<GroupId>> {
+        &self.routes
+    }
+
+    /// Whether `node` may serve as a relay of `group` for `message` — the
+    /// endpoints never relay their own message (they are modeled as pure
+    /// endpoints in the analysis).
+    fn is_eligible_relay(&self, group: GroupId, node: NodeId, msg: &Message) -> bool {
+        node != msg.source && node != msg.destination && self.groups.contains(group, node)
+    }
+}
+
+impl RoutingProtocol for OnionRouting {
+    fn name(&self) -> &str {
+        match self.mode {
+            ForwardingMode::SingleCopy => "onion/single-copy",
+            ForwardingMode::MultiCopy => "onion/multi-copy",
+        }
+    }
+
+    fn on_inject(&mut self, message: &Message, rng: &mut dyn RngCore) -> CopyState {
+        let route = match self.selection {
+            RouteSelection::Uniform => self.groups.select_route_avoiding(
+                self.onions,
+                &[message.source, message.destination],
+                rng,
+            ),
+            RouteSelection::ArdenLastHop => {
+                self.groups
+                    .select_route_arden(self.onions, message.destination, rng)
+            }
+        }
+        .expect("K validated against group count in OnionRouting::new");
+        self.routes.insert(message.id, route);
+        let tickets = match self.mode {
+            ForwardingMode::SingleCopy => 1,
+            ForwardingMode::MultiCopy => message.copies,
+        };
+        CopyState::with_tag(tickets, 0)
+    }
+
+    fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
+        let mut out = Vec::new();
+        let peer = view.peer();
+        for (id, copy) in view.carried() {
+            if view.is_delivered(id) {
+                continue;
+            }
+            let msg = view.message(id);
+            let Some(route) = self.routes.get(&id) else {
+                continue;
+            };
+            let k = copy.tag as usize;
+
+            if k < route.len() {
+                // ARDEN variant: the last route group is the destination's
+                // group, so reaching the destination there is delivery.
+                if self.selection == RouteSelection::ArdenLastHop
+                    && k == route.len() - 1
+                    && peer == msg.destination
+                    && self.groups.contains(route[k], peer)
+                {
+                    out.push(Forward {
+                        message: id,
+                        kind: ForwardKind::Handoff,
+                        receiver_tag: copy.tag + 1,
+                    });
+                    continue;
+                }
+                // Next hop: any eligible member of R_{k+1}.
+                if self.is_eligible_relay(route[k], peer, msg) && !view.peer_has(id) {
+                    let kind = if copy.tickets > 1 {
+                        // Multi-copy source: route progress consumes one
+                        // ticket, the rest stay for spraying.
+                        ForwardKind::Split {
+                            tickets_to_receiver: 1,
+                        }
+                    } else {
+                        ForwardKind::Handoff
+                    };
+                    out.push(Forward {
+                        message: id,
+                        kind,
+                        receiver_tag: copy.tag + 1,
+                    });
+                    continue;
+                }
+                // Multi-copy spray: the source hands pre-route copies to
+                // any node it meets (source spray-and-wait).
+                if self.mode == ForwardingMode::MultiCopy
+                    && view.carrier() == msg.source
+                    && k == 0
+                    && copy.tickets > 1
+                    && peer != msg.destination
+                    && !view.peer_has(id)
+                {
+                    out.push(Forward {
+                        message: id,
+                        kind: ForwardKind::Split {
+                            tickets_to_receiver: 1,
+                        },
+                        receiver_tag: 0,
+                    });
+                }
+            } else {
+                // All K groups traversed: only the destination remains.
+                if peer == msg.destination {
+                    out.push(Forward {
+                        message: id,
+                        kind: ForwardKind::Handoff,
+                        receiver_tag: copy.tag + 1,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::{ContactEvent, ContactSchedule, Time, TimeDelta};
+    use dtn_sim::{run, SimConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn msg(id: u64, src: u32, dst: u32, deadline: f64, copies: u32) -> Message {
+        Message {
+            id: MessageId(id),
+            source: NodeId(src),
+            destination: NodeId(dst),
+            created: Time::ZERO,
+            deadline: TimeDelta::new(deadline),
+            copies,
+        }
+    }
+
+    /// 8 nodes, groups of 2 in node order: R0 = {0,1}, R1 = {2,3},
+    /// R2 = {4,5}, R3 = {6,7}.
+    fn proto(k: usize, mode: ForwardingMode) -> OnionRouting {
+        OnionRouting::new(OnionGroups::sequential_partition(8, 2), k, mode)
+    }
+
+    fn schedule(events: Vec<(f64, u32, u32)>, horizon: f64) -> ContactSchedule {
+        let evs = events
+            .into_iter()
+            .map(|(t, a, b)| ContactEvent::new(Time::new(t), NodeId(a), NodeId(b)))
+            .collect();
+        ContactSchedule::from_events(evs, 8, Time::new(horizon))
+    }
+
+    #[test]
+    fn single_copy_follows_route_in_order() {
+        let mut p = proto(2, ForwardingMode::SingleCopy);
+        // Force a deterministic seed; read back the route afterwards.
+        let mut r = rng(1);
+        // Rich schedule: source 0 meets everyone repeatedly.
+        let mut events = Vec::new();
+        let mut t = 1.0;
+        for round in 0..6 {
+            for other in 1..8u32 {
+                events.push((t + round as f64 * 10.0, 0, other));
+                t += 0.1;
+            }
+        }
+        // All pairs meet late so any route can complete.
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                events.push((70.0 + (a * 8 + b) as f64 * 0.1, a, b));
+                events.push((80.0 + (a * 8 + b) as f64 * 0.1, a, b));
+                events.push((90.0 + (a * 8 + b) as f64 * 0.1, a, b));
+            }
+        }
+        let s = schedule(events, 100.0);
+        let report = run(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 7, 100.0, 1)],
+            &SimConfig::default(),
+            &mut r,
+        )
+        .unwrap();
+
+        let route = p.route_of(MessageId(1)).unwrap().to_vec();
+        assert_eq!(route.len(), 2);
+
+        if let Some(path) = report.delivered_path(MessageId(1)) {
+            // path = [source, relay in R_1, relay in R_2, destination]
+            assert_eq!(path.len(), 4);
+            assert_eq!(path[0], NodeId(0));
+            assert_eq!(path[3], NodeId(7));
+            assert!(p.groups().contains(route[0], path[1]));
+            assert!(p.groups().contains(route[1], path[2]));
+            // Single copy: transmissions equal K + 1 (Section IV-C).
+            assert_eq!(report.transmissions_for(MessageId(1)), 3);
+        } else {
+            panic!("message should be delivered under the rich schedule");
+        }
+    }
+
+    #[test]
+    fn endpoints_never_relay() {
+        // Destination 7 is in group R3; if the route includes R3 the
+        // protocol must not use node 7 as a relay. Run many seeds and
+        // check every intermediate hop.
+        for seed in 0..20u64 {
+            let mut p = proto(3, ForwardingMode::SingleCopy);
+            let mut r = rng(seed);
+            let mut events = Vec::new();
+            let mut t = 1.0;
+            for _ in 0..40 {
+                for a in 0..8u32 {
+                    for b in (a + 1)..8u32 {
+                        events.push((t, a, b));
+                        t += 0.01;
+                    }
+                }
+                t += 1.0;
+            }
+            let s = schedule(events, t + 10.0);
+            let report = run(
+                &s,
+                &mut p,
+                vec![msg(1, 0, 7, t + 10.0, 1)],
+                &SimConfig::default(),
+                &mut r,
+            )
+            .unwrap();
+            if let Some(path) = report.delivered_path(MessageId(1)) {
+                for &hop in &path[1..path.len() - 1] {
+                    assert_ne!(hop, NodeId(0));
+                    assert_ne!(hop, NodeId(7));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_copy_sprays_at_most_l_copies() {
+        let mut p = proto(2, ForwardingMode::MultiCopy);
+        let mut r = rng(3);
+        // Source meets many nodes early (spray), then everything mixes.
+        let mut events = Vec::new();
+        let mut t = 1.0;
+        for other in 1..8u32 {
+            events.push((t, 0, other));
+            t += 0.5;
+        }
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                events.push((20.0 + (a * 8 + b) as f64 * 0.05, a, b));
+            }
+        }
+        let s = schedule(events, 50.0);
+        let l = 3;
+        let report = run(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 7, 50.0, l)],
+            &SimConfig::default(),
+            &mut r,
+        )
+        .unwrap();
+        // Cost bound of Section IV-C: at most (K + 2) · L transmissions.
+        let bound = analysis::multi_copy_bound(2, l).unwrap();
+        assert!(
+            report.transmissions_for(MessageId(1)) <= bound,
+            "{} > {bound}",
+            report.transmissions_for(MessageId(1))
+        );
+        // Copies with tag 0 (sprayed) cannot exceed L − 1.
+        let sprayed = report
+            .forward_log()
+            .iter()
+            .filter(|rec| rec.receiver_tag == 0)
+            .count();
+        assert!(sprayed <= (l - 1) as usize, "sprayed {sprayed}");
+    }
+
+    #[test]
+    fn single_copy_never_exceeds_k_plus_1_transmissions() {
+        for seed in 0..10u64 {
+            let mut p = proto(3, ForwardingMode::SingleCopy);
+            let mut r = rng(seed + 100);
+            let mut events = Vec::new();
+            let mut t = 1.0;
+            for _ in 0..30 {
+                for a in 0..8u32 {
+                    for b in (a + 1)..8u32 {
+                        events.push((t, a, b));
+                        t += 0.02;
+                    }
+                }
+            }
+            let s = schedule(events, t + 1.0);
+            let report = run(
+                &s,
+                &mut p,
+                vec![msg(1, 0, 7, t + 1.0, 1)],
+                &SimConfig::default(),
+                &mut r,
+            )
+            .unwrap();
+            assert!(
+                report.transmissions_for(MessageId(1)) <= analysis::single_copy_cost(3),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_delivery_without_route_completion() {
+        // Source only ever meets the destination directly — but the route
+        // requires passing an onion group first, so no delivery happens.
+        let mut p = proto(2, ForwardingMode::SingleCopy);
+        let mut r = rng(4);
+        let s = schedule(vec![(1.0, 0, 7), (2.0, 0, 7), (3.0, 0, 7)], 10.0);
+        let report = run(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 7, 10.0, 1)],
+            &SimConfig::default(),
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(report.delivery_rate(), 0.0);
+        assert_eq!(report.total_transmissions(), 0);
+    }
+
+    #[test]
+    fn arden_selection_stores_destination_group_last() {
+        let groups = OnionGroups::sequential_partition(8, 2);
+        let mut p = OnionRouting::new(groups, 2, ForwardingMode::SingleCopy)
+            .with_selection(RouteSelection::ArdenLastHop);
+        let mut r = rng(5);
+        let s = schedule(vec![(1.0, 0, 1)], 10.0);
+        let _ = run(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 7, 10.0, 1)],
+            &SimConfig::default(),
+            &mut r,
+        )
+        .unwrap();
+        let route = p.route_of(MessageId(1)).unwrap();
+        assert_eq!(*route.last().unwrap(), p.groups().group_of(NodeId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_onions_rejected() {
+        let _ = proto(9, ForwardingMode::SingleCopy);
+    }
+}

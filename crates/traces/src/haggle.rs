@@ -1,0 +1,363 @@
+//! Parser for CRAWDAD `cambridge/haggle` contact traces.
+//!
+//! The iMote trace files list one contact per line:
+//!
+//! ```text
+//! <id_a> <id_b> <start_seconds> <end_seconds> [extra columns...]
+//! ```
+//!
+//! Lines starting with `#` (or `%`) and blank lines are ignored. Device ids
+//! are arbitrary integers; they are remapped to dense [`NodeId`]s. The
+//! paper restricts the experiments to the mobile iMotes, excluding
+//! stationary and external devices — pass a
+//! [`device filter`](HaggleParser::device_filter) to do the same (in the
+//! published traces the internal iMotes carry the lowest ids).
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use contact_graph::{ContactEvent, ContactSchedule, NodeId, Time};
+
+/// Errors produced while parsing a Haggle trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An I/O error from the underlying reader.
+    Io(std::io::Error),
+    /// A data line did not have at least four whitespace-separated fields.
+    MissingFields {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A contact listed the same device twice.
+    SelfContact {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The trace contained no usable contacts (after filtering).
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            TraceError::MissingFields { line } => {
+                write!(f, "line {line}: expected at least 4 fields")
+            }
+            TraceError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse number from {token:?}")
+            }
+            TraceError::SelfContact { line } => {
+                write!(f, "line {line}: contact lists the same device twice")
+            }
+            TraceError::Empty => write!(f, "trace contains no usable contacts"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A parsed trace: the contact schedule plus the mapping from original
+/// device ids to dense node ids.
+#[derive(Debug, Clone)]
+pub struct ParsedTrace {
+    /// The time-ordered contact schedule (times in the trace's own unit,
+    /// seconds for the Haggle datasets, shifted so the first contact is at
+    /// `t = 0`).
+    pub schedule: ContactSchedule,
+    /// `device_ids[k]` is the original id of node `k`.
+    pub device_ids: Vec<u64>,
+}
+
+impl ParsedTrace {
+    /// The dense node id of an original device id, if it appears.
+    pub fn node_of_device(&self, device: u64) -> Option<NodeId> {
+        self.device_ids
+            .iter()
+            .position(|&d| d == device)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Configurable Haggle-format parser.
+///
+/// # Examples
+///
+/// ```
+/// use traces::HaggleParser;
+///
+/// let trace = "\
+/// % two iMotes and one external device
+/// 1 2 100 160
+/// 2 3 150 170
+/// 1 9999 200 210
+/// ";
+/// let parsed = HaggleParser::new()
+///     .device_filter(|id| id < 100) // keep only internal iMotes
+///     .parse_str(trace)
+///     .unwrap();
+/// assert_eq!(parsed.schedule.node_count(), 3);
+/// assert_eq!(parsed.schedule.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct HaggleParser {
+    filter: Option<std::sync::Arc<dyn Fn(u64) -> bool + Send + Sync>>,
+    shift_origin: bool,
+}
+
+impl std::fmt::Debug for HaggleParser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HaggleParser")
+            .field("has_filter", &self.filter.is_some())
+            .field("shift_origin", &self.shift_origin)
+            .finish()
+    }
+}
+
+impl Default for HaggleParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HaggleParser {
+    /// Creates a parser with no device filter that shifts times so the
+    /// first contact is at `t = 0`.
+    pub fn new() -> Self {
+        HaggleParser {
+            filter: None,
+            shift_origin: true,
+        }
+    }
+
+    /// Keeps only contacts where *both* devices satisfy `keep` (e.g. the
+    /// paper's mobile-iMotes-only restriction).
+    pub fn device_filter<F>(mut self, keep: F) -> Self
+    where
+        F: Fn(u64) -> bool + Send + Sync + 'static,
+    {
+        self.filter = Some(std::sync::Arc::new(keep));
+        self
+    }
+
+    /// Whether to shift times so the earliest contact is at `t = 0`
+    /// (default true).
+    pub fn shift_origin(mut self, shift: bool) -> Self {
+        self.shift_origin = shift;
+        self
+    }
+
+    /// Parses a trace from a string.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceError`].
+    pub fn parse_str(&self, s: &str) -> Result<ParsedTrace, TraceError> {
+        self.parse_reader(s.as_bytes())
+    }
+
+    /// Parses a trace from any buffered reader.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceError`].
+    pub fn parse_reader<R: BufRead>(&self, reader: R) -> Result<ParsedTrace, TraceError> {
+        let mut raw: Vec<(u64, u64, f64)> = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let mut next_field = || fields.next().ok_or(TraceError::MissingFields { line: lineno });
+            let a_tok = next_field()?;
+            let b_tok = next_field()?;
+            let start_tok = next_field()?;
+            let _end_tok = next_field()?;
+
+            let parse_u64 = |tok: &str| {
+                tok.parse::<u64>().map_err(|_| TraceError::BadNumber {
+                    line: lineno,
+                    token: tok.to_string(),
+                })
+            };
+            let a = parse_u64(a_tok)?;
+            let b = parse_u64(b_tok)?;
+            let start = start_tok.parse::<f64>().map_err(|_| TraceError::BadNumber {
+                line: lineno,
+                token: start_tok.to_string(),
+            })?;
+            if a == b {
+                return Err(TraceError::SelfContact { line: lineno });
+            }
+            if let Some(filter) = &self.filter {
+                if !filter(a) || !filter(b) {
+                    continue;
+                }
+            }
+            raw.push((a, b, start));
+        }
+
+        if raw.is_empty() {
+            return Err(TraceError::Empty);
+        }
+
+        // Dense id remapping, deterministic by original id.
+        let mut id_map: BTreeMap<u64, u32> = BTreeMap::new();
+        for &(a, b, _) in &raw {
+            let next = id_map.len() as u32;
+            id_map.entry(a).or_insert(next);
+            let next = id_map.len() as u32;
+            id_map.entry(b).or_insert(next);
+        }
+        let mut device_ids = vec![0u64; id_map.len()];
+        for (&dev, &idx) in &id_map {
+            device_ids[idx as usize] = dev;
+        }
+
+        let origin = if self.shift_origin {
+            raw.iter().map(|&(_, _, t)| t).fold(f64::INFINITY, f64::min)
+        } else {
+            0.0
+        };
+
+        let events: Vec<ContactEvent> = raw
+            .iter()
+            .map(|&(a, b, t)| {
+                ContactEvent::new(
+                    Time::new(t - origin),
+                    NodeId(id_map[&a]),
+                    NodeId(id_map[&b]),
+                )
+            })
+            .collect();
+        let horizon = events
+            .iter()
+            .map(|e| e.time)
+            .max()
+            .expect("non-empty events");
+
+        Ok(ParsedTrace {
+            schedule: ContactSchedule::from_events(events, device_ids.len(), horizon),
+            device_ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment line
+% another comment
+
+3 7 1000 1050 1 0
+7 12 1010 1020
+3 12 1030.5 1090
+";
+
+    #[test]
+    fn parses_and_remaps() {
+        let parsed = HaggleParser::new().parse_str(SAMPLE).unwrap();
+        assert_eq!(parsed.schedule.node_count(), 3);
+        assert_eq!(parsed.schedule.len(), 3);
+        assert_eq!(parsed.device_ids, vec![3, 7, 12]);
+        assert_eq!(parsed.node_of_device(7), Some(NodeId(1)));
+        assert_eq!(parsed.node_of_device(99), None);
+        // Origin shifted: first contact at t = 0.
+        assert_eq!(parsed.schedule.events()[0].time, Time::ZERO);
+        assert_eq!(parsed.schedule.horizon(), Time::new(30.5));
+    }
+
+    #[test]
+    fn no_shift_keeps_raw_times() {
+        let parsed = HaggleParser::new()
+            .shift_origin(false)
+            .parse_str(SAMPLE)
+            .unwrap();
+        assert_eq!(parsed.schedule.events()[0].time, Time::new(1000.0));
+    }
+
+    #[test]
+    fn filter_drops_external_devices() {
+        let parsed = HaggleParser::new()
+            .device_filter(|id| id < 10)
+            .parse_str(SAMPLE)
+            .unwrap();
+        assert_eq!(parsed.schedule.node_count(), 2);
+        assert_eq!(parsed.schedule.len(), 1);
+        assert_eq!(parsed.device_ids, vec![3, 7]);
+    }
+
+    #[test]
+    fn missing_fields_reported_with_line() {
+        let err = HaggleParser::new().parse_str("1 2 100\n").unwrap_err();
+        assert!(matches!(err, TraceError::MissingFields { line: 1 }));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = HaggleParser::new().parse_str("1 x 100 200\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadNumber { line: 1, .. }));
+    }
+
+    #[test]
+    fn self_contact_rejected() {
+        let err = HaggleParser::new().parse_str("5 5 1 2\n").unwrap_err();
+        assert!(matches!(err, TraceError::SelfContact { line: 1 }));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            HaggleParser::new().parse_str("# nothing\n").unwrap_err(),
+            TraceError::Empty
+        ));
+        // Filter removing everything also yields Empty.
+        assert!(matches!(
+            HaggleParser::new()
+                .device_filter(|_| false)
+                .parse_str(SAMPLE)
+                .unwrap_err(),
+            TraceError::Empty
+        ));
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        let parsed = HaggleParser::new()
+            .parse_str("1 2 0 10 99 88 77 66\n")
+            .unwrap();
+        assert_eq!(parsed.schedule.len(), 1);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = HaggleParser::new().parse_str("1 2 x 10\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Parser for ONE-simulator connection event traces.
+//!
+//! [The ONE](https://akeranen.github.io/the-one/) (Opportunistic Network
+//! Environment) is the de-facto standard DTN simulator; its
+//! `StandardEventsReader` connection format is a common interchange format
+//! for contact traces:
+//!
+//! ```text
+//! <time> CONN <host_a> <host_b> (up|down)
+//! ```
+//!
+//! Only `CONN … up` events become contacts (the paper's model needs
+//! encounter instants; link durations are assumed long enough for a full
+//! transfer). Other event types (`C` create, `S` send, …) are skipped, so
+//! full ONE event logs parse directly. Host names may be arbitrary tokens
+//! (ONE uses prefixes like `p12`); they are remapped to dense node ids.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use contact_graph::{ContactEvent, ContactSchedule, NodeId, Time};
+
+use crate::haggle::TraceError;
+
+/// A parsed ONE trace: the schedule plus the original host names.
+#[derive(Debug, Clone)]
+pub struct ParsedOneTrace {
+    /// The time-ordered contact schedule (times shifted so the first
+    /// connection is at `t = 0`).
+    pub schedule: ContactSchedule,
+    /// `host_names[k]` is the original name of node `k`.
+    pub host_names: Vec<String>,
+}
+
+impl ParsedOneTrace {
+    /// The dense node id of a host name, if present.
+    pub fn node_of_host(&self, host: &str) -> Option<NodeId> {
+        self.host_names
+            .iter()
+            .position(|h| h == host)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Parses a ONE `StandardEventsReader` connection log from a string.
+///
+/// # Errors
+///
+/// See [`TraceError`] (shared with the Haggle parser).
+pub fn parse_one_str(s: &str) -> Result<ParsedOneTrace, TraceError> {
+    parse_one_reader(s.as_bytes())
+}
+
+/// Parses a ONE connection log from any buffered reader.
+///
+/// # Errors
+///
+/// See [`TraceError`].
+pub fn parse_one_reader<R: BufRead>(reader: R) -> Result<ParsedOneTrace, TraceError> {
+    let mut raw: Vec<(String, String, f64)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        // Only connection-up events are contacts.
+        if fields.len() < 5 || fields[1] != "CONN" {
+            continue;
+        }
+        if fields[4] != "up" {
+            continue;
+        }
+        let time = fields[0].parse::<f64>().map_err(|_| TraceError::BadNumber {
+            line: lineno,
+            token: fields[0].to_string(),
+        })?;
+        if fields[2] == fields[3] {
+            return Err(TraceError::SelfContact { line: lineno });
+        }
+        raw.push((fields[2].to_string(), fields[3].to_string(), time));
+    }
+    if raw.is_empty() {
+        return Err(TraceError::Empty);
+    }
+
+    let mut id_map: BTreeMap<&str, u32> = BTreeMap::new();
+    for (a, b, _) in &raw {
+        let next = id_map.len() as u32;
+        id_map.entry(a.as_str()).or_insert(next);
+        let next = id_map.len() as u32;
+        id_map.entry(b.as_str()).or_insert(next);
+    }
+    let mut host_names = vec![String::new(); id_map.len()];
+    for (&host, &idx) in &id_map {
+        host_names[idx as usize] = host.to_string();
+    }
+
+    let origin = raw.iter().map(|&(_, _, t)| t).fold(f64::INFINITY, f64::min);
+    let events: Vec<ContactEvent> = raw
+        .iter()
+        .map(|(a, b, t)| {
+            ContactEvent::new(
+                Time::new(t - origin),
+                NodeId(id_map[a.as_str()]),
+                NodeId(id_map[b.as_str()]),
+            )
+        })
+        .collect();
+    let horizon = events.iter().map(|e| e.time).max().expect("non-empty");
+
+    Ok(ParsedOneTrace {
+        schedule: ContactSchedule::from_events(events, host_names.len(), horizon),
+        host_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# ONE event log
+0.0 C p0 p1
+10.5 CONN p0 p1 up
+15.0 CONN p0 p1 down
+20.0 CONN p2 p0 up
+25.0 S p0 p1 M3
+30.0 CONN p1 p2 up
+";
+
+    #[test]
+    fn parses_conn_up_only() {
+        let parsed = parse_one_str(SAMPLE).unwrap();
+        assert_eq!(parsed.schedule.node_count(), 3);
+        assert_eq!(parsed.schedule.len(), 3);
+        // Sorted host names: p0, p1, p2.
+        assert_eq!(parsed.host_names, vec!["p0", "p1", "p2"]);
+        assert_eq!(parsed.node_of_host("p2"), Some(NodeId(2)));
+        assert_eq!(parsed.node_of_host("p9"), None);
+        // Origin-shifted: first contact at 0, last at 19.5.
+        assert_eq!(parsed.schedule.events()[0].time, Time::ZERO);
+        assert_eq!(parsed.schedule.horizon(), Time::new(19.5));
+    }
+
+    #[test]
+    fn skips_non_conn_lines_gracefully() {
+        let trace = "5.0 CONN a b up\ngarbage line that is not an event\n6.0 CONN b c up\n";
+        let parsed = parse_one_str(trace).unwrap();
+        assert_eq!(parsed.schedule.len(), 2);
+    }
+
+    #[test]
+    fn bad_time_reported() {
+        let err = parse_one_str("xx CONN a b up\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadNumber { line: 1, .. }));
+    }
+
+    #[test]
+    fn self_connection_rejected() {
+        let err = parse_one_str("1.0 CONN a a up\n").unwrap_err();
+        assert!(matches!(err, TraceError::SelfContact { line: 1 }));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            parse_one_str("# nothing\n1.0 CONN a b down\n").unwrap_err(),
+            TraceError::Empty
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_simulation_types() {
+        let parsed = parse_one_str(SAMPLE).unwrap();
+        // Rate estimation works on the parsed schedule.
+        let rates = parsed.schedule.estimate_rates();
+        assert!(rates.edge_count() >= 2);
+    }
+}

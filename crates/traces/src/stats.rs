@@ -1,0 +1,135 @@
+//! Trace statistics and rate "training" (Section V-A of the paper).
+//!
+//! The paper feeds the analytical models with contact frequencies computed
+//! from the trace file. For business-hours traces there are two sensible
+//! normalizations:
+//!
+//! * **wall-clock rates** ([`contact_graph::ContactSchedule::estimate_rates`]):
+//!   contacts per second of *total* time, including overnight gaps — the
+//!   right model when deadlines span multiple days (the Infocom'05 sweep
+//!   of Fig. 17, where the paper notes its model does not capture the
+//!   off-hours plateau);
+//! * **active-time rates** ([`estimate_active_rates`]): contacts per
+//!   second of *active* time — the right model when deadlines fit inside
+//!   one business window (the Cambridge sweep of Fig. 14, where delivery
+//!   "starts in business hours" and completes within minutes).
+
+use contact_graph::{ContactGraph, ContactSchedule, Rate};
+
+use crate::activity::ActivityPattern;
+
+/// Estimates pairwise contact rates normalized by *active* time:
+/// `λ̂_{i,j} = count(i,j) / active_measure(horizon)`.
+///
+/// # Panics
+///
+/// Panics if the pattern has no active time before the schedule horizon.
+pub fn estimate_active_rates(
+    schedule: &ContactSchedule,
+    pattern: &ActivityPattern,
+) -> ContactGraph {
+    let active = pattern.active_measure(schedule.horizon().as_f64());
+    assert!(
+        active > 0.0,
+        "activity pattern has no active time within the schedule horizon"
+    );
+    let mut counts = std::collections::HashMap::new();
+    for e in schedule.iter() {
+        *counts.entry((e.a, e.b)).or_insert(0u64) += 1;
+    }
+    let mut g = ContactGraph::new(schedule.node_count());
+    for ((a, b), c) in counts {
+        g.set_rate(a, b, Rate::new(c as f64 / active));
+    }
+    g
+}
+
+/// Summary statistics of a trace, for reports and sanity checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of contact events.
+    pub contacts: usize,
+    /// Wall-clock span in seconds.
+    pub span: f64,
+    /// Fraction of pairs that ever meet.
+    pub density: f64,
+    /// Mean contacts per node.
+    pub mean_contacts_per_node: f64,
+}
+
+/// Computes [`TraceStats`] for a schedule.
+pub fn trace_stats(schedule: &ContactSchedule) -> TraceStats {
+    let per_node = schedule.contacts_per_node();
+    let mean = if per_node.is_empty() {
+        0.0
+    } else {
+        per_node.iter().sum::<usize>() as f64 / per_node.len() as f64
+    };
+    TraceStats {
+        nodes: schedule.node_count(),
+        contacts: schedule.len(),
+        span: schedule.horizon().as_f64(),
+        density: schedule.estimate_rates().density(),
+        mean_contacts_per_node: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTraceBuilder;
+    use contact_graph::NodeId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn active_rates_exceed_wall_clock_rates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng);
+        let wall = trace.estimate_rates();
+        let active = estimate_active_rates(&trace, &ActivityPattern::business_hours());
+        // Business hours are 8/24 of the day, so active rates are 3× the
+        // wall-clock rates.
+        let w = wall.rate(NodeId(0), NodeId(1)).as_f64();
+        let a = active.rate(NodeId(0), NodeId(1)).as_f64();
+        assert!(w > 0.0);
+        assert!((a / w - 3.0).abs() < 1e-9, "ratio {}", a / w);
+    }
+
+    #[test]
+    fn active_rates_recover_generator_parameters() {
+        // Generator draws mean inter-contact (active) in [120, 900] s;
+        // estimated active rates must land within that envelope.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng);
+        let active = estimate_active_rates(&trace, &ActivityPattern::business_hours());
+        let mut mean_intercontact = Vec::new();
+        for i in 0..12u32 {
+            for j in (i + 1)..12u32 {
+                let r = active.rate(NodeId(i), NodeId(j));
+                if !r.is_zero() {
+                    mean_intercontact.push(1.0 / r.as_f64());
+                }
+            }
+        }
+        let avg = mean_intercontact.iter().sum::<f64>() / mean_intercontact.len() as f64;
+        assert!(
+            (100.0..1100.0).contains(&avg),
+            "average active mean inter-contact {avg}"
+        );
+    }
+
+    #[test]
+    fn stats_summary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng);
+        let stats = trace_stats(&trace);
+        assert_eq!(stats.nodes, 12);
+        assert_eq!(stats.contacts, trace.len());
+        assert!((stats.span - 3.0 * 86_400.0).abs() < 1e-6);
+        assert!(stats.density > 0.9);
+        assert!(stats.mean_contacts_per_node > 100.0);
+    }
+}

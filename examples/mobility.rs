@@ -1,0 +1,75 @@
+//! Mobility-driven anonymous routing: contacts derived from motion
+//! instead of assumed rates.
+//!
+//! The paper models inter-contact times as exponential (Eq. 3). Here the
+//! contact schedule comes from a random-waypoint mobility simulation —
+//! nodes moving in an arena, contacts on radio proximity — and we check
+//! how well the paper's analytical pipeline (rate estimation → Eq. 4 →
+//! hypoexponential delivery model) predicts routing over motion it never
+//! assumed.
+//!
+//! Run with: `cargo run --release --example mobility`
+
+use contact_graph::{waypoint_schedule, WaypointConfig};
+use onion_dtn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x30B1);
+
+    // 40 pedestrians in a 600 m × 600 m plaza, 40 m radio range.
+    let cfg = WaypointConfig {
+        arena: 600.0,
+        range: 40.0,
+        min_speed: 0.5,
+        max_speed: 3.0,
+        pause: 30.0,
+        step: 1.0,
+    };
+    let horizon = Time::new(6.0 * 3600.0); // six hours, in seconds
+    let schedule = waypoint_schedule(40, horizon, &cfg, &mut rng);
+    println!(
+        "random waypoint: 40 nodes, {} contacts in 6 h (density {:.2})",
+        schedule.len(),
+        schedule.estimate_rates().density()
+    );
+
+    // Fit the paper's model: estimate pairwise rates from the observed
+    // contacts, exactly as for a real trace.
+    let estimated = schedule.estimate_rates();
+    println!(
+        "estimated mean inter-contact: {:.0} s",
+        1.0 / estimated.mean_rate().as_f64()
+    );
+
+    // Route anonymously over the motion-driven schedule.
+    let pcfg = ProtocolConfig {
+        nodes: 40,
+        group_size: 4,
+        onions: 3,
+        copies: 1,
+        compromised: 4,
+        deadline: TimeDelta::new(2.0 * 3600.0),
+        ..ProtocolConfig::table2_defaults()
+    };
+    let opts = ExperimentOptions {
+        messages: 30,
+        realizations: 4,
+        seed: 0x30B1,
+        ..Default::default()
+    };
+    println!("\ndelivery rate vs deadline (model on estimated rates | simulation):");
+    let deadlines = [600.0, 1800.0, 3600.0, 7200.0];
+    for row in onion_routing::delivery_sweep_schedule(&schedule, &pcfg, &deadlines, &opts) {
+        println!(
+            "  T = {:>5.0} s: {:.3} | {:.3}",
+            row.deadline, row.analysis, row.sim
+        );
+    }
+    println!(
+        "\nif the exponential inter-contact assumption (Eq. 3) fits random\n\
+         waypoint motion, the two columns track each other — the same check\n\
+         the paper runs against its real traces."
+    );
+}

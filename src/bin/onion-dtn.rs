@@ -1,0 +1,287 @@
+//! Command-line interface for the onion-dtn experiment library.
+//!
+//! ```text
+//! onion-dtn point   [--n 100] [--g 5] [--k 3] [--l 1] [--t 1080] [--c 10]
+//!                   [--messages 25] [--realizations 5] [--seed 1]
+//! onion-dtn deadline-sweep [same flags; sweeps T over a log grid]
+//! onion-dtn security-sweep [same flags; sweeps c from 1% to 50%]
+//! onion-dtn trace (cambridge|infocom|PATH) [--t 3600]
+//! onion-dtn plan  --target 0.95 [--g 5] [--k 3] [--l 1]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use onion_dtn::prelude::*;
+
+fn print_usage() {
+    eprintln!(
+        "usage: onion-dtn <point|deadline-sweep|security-sweep|trace|plan> [flags]\n\
+         \n\
+         common flags: --n <nodes> --g <group size> --k <onions> --l <copies>\n\
+         \t--t <deadline> --c <compromised> --messages <m> --realizations <r> --seed <s>\n\
+         trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
+         plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)"
+    );
+}
+
+/// Parses `--key value` pairs; returns positional args and the flag map.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("cannot parse --{key} value {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn config_from(flags: &HashMap<String, String>) -> Result<ProtocolConfig, String> {
+    let cfg = ProtocolConfig {
+        nodes: flag(flags, "n", 100usize)?,
+        group_size: flag(flags, "g", 5usize)?,
+        onions: flag(flags, "k", 3usize)?,
+        copies: flag(flags, "l", 1u32)?,
+        deadline: TimeDelta::new(flag(flags, "t", 1080.0f64)?),
+        compromised: flag(flags, "c", 10usize)?,
+        selection: RouteSelection::Uniform,
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, String> {
+    Ok(ExperimentOptions {
+        messages: flag(flags, "messages", 25usize)?,
+        realizations: flag(flags, "realizations", 5usize)?,
+        seed: flag(flags, "seed", 0x0D10_57E5u64)?,
+        intercontact_range: (1.0, 36.0),
+    })
+}
+
+fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = config_from(flags)?;
+    let opts = opts_from(flags)?;
+    println!(
+        "n={} g={} K={} L={} T={} c={} ({} msgs x {} realizations)",
+        cfg.nodes,
+        cfg.group_size,
+        cfg.onions,
+        cfg.copies,
+        cfg.deadline.as_f64(),
+        cfg.compromised,
+        opts.messages,
+        opts.realizations
+    );
+    let p = run_random_graph_point(&cfg, &opts);
+    println!("delivery   analysis {:.4} | simulation {:.4}", p.analysis_delivery, p.sim_delivery);
+    println!(
+        "traceable  analysis {:.4} | simulation {}",
+        p.analysis_traceable,
+        p.sim_traceable.map_or("   -  ".into(), |v| format!("{v:.4}"))
+    );
+    println!(
+        "anonymity  analysis {:.4} | simulation {}",
+        p.analysis_anonymity,
+        p.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}"))
+    );
+    println!(
+        "cost       bound    {:.1} | simulation {:.2} tx/msg",
+        p.analysis_cost_bound, p.sim_transmissions
+    );
+    Ok(())
+}
+
+fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = config_from(flags)?;
+    let opts = opts_from(flags)?;
+    let max_t = cfg.deadline.as_f64();
+    let deadlines: Vec<f64> = (0..8)
+        .map(|i| max_t * (0.06f64).max(2f64.powi(i - 7)))
+        .map(|t| (t * 10.0).round() / 10.0)
+        .collect();
+    println!("{:<12}{:>12}{:>12}", "deadline", "analysis", "simulation");
+    for row in onion_routing::delivery_sweep_random_graph(&cfg, &deadlines, &opts) {
+        println!("{:<12}{:>12.4}{:>12.4}", row.deadline, row.analysis, row.sim);
+    }
+    Ok(())
+}
+
+fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = config_from(flags)?;
+    let opts = opts_from(flags)?;
+    let cs: Vec<usize> = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|f| ((cfg.nodes as f64 * f).round() as usize).max(1))
+        .collect();
+    println!(
+        "{:<8}{:>12}{:>12}{:>12}{:>12}",
+        "c", "trace(A)", "trace(S)", "anon(A)", "anon(S)"
+    );
+    for row in onion_routing::security_sweep_random_graph(&cfg, &cs, 3, &opts) {
+        println!(
+            "{:<8}{:>12.4}{:>12}{:>12.4}{:>12}",
+            row.compromised,
+            row.analysis_traceable,
+            row.sim_traceable.map_or("   -  ".into(), |v| format!("{v:.4}")),
+            row.analysis_anonymity,
+            row.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}")),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    use rand::SeedableRng;
+    let which = positional
+        .first()
+        .ok_or_else(|| "trace needs an argument: cambridge | infocom | <file>".to_string())?;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(flag(flags, "seed", 1u64)?);
+    let schedule = match which.as_str() {
+        "cambridge" => SyntheticTraceBuilder::cambridge_like().build(&mut rng),
+        "infocom" => SyntheticTraceBuilder::infocom05_like().build(&mut rng),
+        path => {
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            HaggleParser::new()
+                .parse_reader(std::io::BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?
+                .schedule
+        }
+    };
+    let n = schedule.node_count();
+    println!(
+        "trace: {n} nodes, {} contacts over {:.2} days",
+        schedule.len(),
+        schedule.horizon().as_f64() / 86_400.0
+    );
+    let cfg = ProtocolConfig {
+        nodes: n,
+        group_size: flag(flags, "g", 1usize)?,
+        onions: flag(flags, "k", 3usize)?,
+        copies: flag(flags, "l", 1u32)?,
+        deadline: TimeDelta::new(flag(flags, "t", 3600.0f64)?),
+        compromised: (n / 10).max(1),
+        selection: RouteSelection::Uniform,
+    };
+    cfg.validate()?;
+    let opts = ExperimentOptions {
+        messages: flag(flags, "messages", 25usize)?,
+        realizations: flag(flags, "realizations", 4usize)?,
+        seed: flag(flags, "seed", 1u64)?,
+        ..Default::default()
+    };
+    let p = run_schedule_point(&schedule, &cfg, &opts);
+    println!("delivery   analysis {:.4} | simulation {:.4}", p.analysis_delivery, p.sim_delivery);
+    println!(
+        "anonymity  analysis {:.4} | simulation {}",
+        p.analysis_anonymity,
+        p.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}"))
+    );
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let target: f64 = flag(flags, "target", 0.95f64)?;
+    let g: usize = flag(flags, "g", 5usize)?;
+    let k: usize = flag(flags, "k", 3usize)?;
+    let l: u32 = flag(flags, "l", 1u32)?;
+    // Mean pairwise rate of the Table II graph: E[1/X], X ~ U(1, 36).
+    let lambda = (36f64.ln() - 1f64.ln()) / 35.0;
+    let rates = analysis::uniform_onion_path_rates(lambda, g, k).map_err(|e| e.to_string())?;
+    let t = analysis::deadline_for_target(&rates, l, target).map_err(|e| e.to_string())?;
+    println!(
+        "deadline for {:.0}% delivery with g={g}, K={k}, L={l}: {t:.1} minutes",
+        target * 100.0
+    );
+    println!(
+        "(median delay {:.1} min, mean {:.1} min)",
+        analysis::median_delay(&rates).map_err(|e| e.to_string())?,
+        analysis::HypoExp::new(rates).map_err(|e| e.to_string())?.mean()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = parse_flags(rest).and_then(|(positional, flags)| match command.as_str() {
+        "point" => cmd_point(&flags),
+        "deadline-sweep" => cmd_deadline_sweep(&flags),
+        "security-sweep" => cmd_security_sweep(&flags),
+        "trace" => cmd_trace(&positional, &flags),
+        "plan" => cmd_plan(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let (pos, flags) =
+            parse_flags(&strings(&["cambridge", "--g", "5", "--t", "60"])).unwrap();
+        assert_eq!(pos, vec!["cambridge"]);
+        assert_eq!(flags.get("g").map(String::as_str), Some("5"));
+        assert_eq!(flag(&flags, "t", 0.0f64).unwrap(), 60.0);
+        assert_eq!(flag(&flags, "missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse_flags(&strings(&["--g"])).is_err());
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        let (_, flags) = parse_flags(&strings(&["--g", "five"])).unwrap();
+        assert!(flag(&flags, "g", 1usize).is_err());
+    }
+
+    #[test]
+    fn config_respects_flags_and_validates() {
+        let (_, flags) = parse_flags(&strings(&["--g", "2", "--k", "4"])).unwrap();
+        let cfg = config_from(&flags).unwrap();
+        assert_eq!((cfg.group_size, cfg.onions), (2, 4));
+        // Invalid: K exceeds the group count.
+        let (_, flags) = parse_flags(&strings(&["--n", "10", "--g", "5", "--k", "3"])).unwrap();
+        assert!(config_from(&flags).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # onion-dtn
+//!
+//! A complete, from-scratch reproduction of *"An Analysis of Onion-Based
+//! Anonymous Routing for Delay Tolerant Networks"* (Sakai, Sun, Ku, Wu,
+//! Alanazi — ICDCS 2016): the abstract onion-group routing protocol
+//! (single- and multi-copy), real layered encryption, a discrete-event DTN
+//! simulator, trace substrates, and every analytical model of the paper's
+//! Section IV, validated figure-by-figure in the `bench` crate.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`contact_graph`] — contact graphs, rates, schedules, generators;
+//! * [`traces`] — Haggle trace parsing and Cambridge/Infocom-like
+//!   synthetic traces with business-hours gating;
+//! * [`onion_crypto`] — SHA-256 / HMAC / HKDF / ChaCha20 / Poly1305 /
+//!   X25519 / onion packets, all RFC-vector tested;
+//! * [`dtn_sim`] — the simulator and classical baselines;
+//! * [`onion_routing`] — the paper's protocol, adversary model, realized
+//!   metrics, and the experiment harness;
+//! * [`analysis`] — delivery (hypoexponential opportunistic onion path),
+//!   cost, traceable-rate, and path-anonymity models.
+//!
+//! # Quick start
+//!
+//! ```
+//! use onion_dtn::prelude::*;
+//!
+//! // Table II defaults, 6-hour deadline.
+//! let cfg = ProtocolConfig {
+//!     deadline: TimeDelta::new(360.0),
+//!     ..ProtocolConfig::table2_defaults()
+//! };
+//! let opts = ExperimentOptions { messages: 5, realizations: 2, ..Default::default() };
+//! let point = run_random_graph_point(&cfg, &opts);
+//! println!(
+//!     "delivery: model {:.3} vs simulation {:.3}",
+//!     point.analysis_delivery, point.sim_delivery
+//! );
+//! # assert!(point.sim_delivery > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use contact_graph;
+pub use dtn_sim;
+pub use onion_crypto;
+pub use onion_routing;
+pub use traces;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use analysis::{
+        delivery_rate, delivery_rate_multicopy, expected_traceable_rate, path_anonymity,
+        uniform_onion_path_rates, HypoExp,
+    };
+    pub use contact_graph::{
+        ContactEvent, ContactGraph, ContactSchedule, NodeId, Rate, Time, TimeDelta,
+        UniformGraphBuilder,
+    };
+    pub use dtn_sim::{
+        run, DropPolicy, Message, MessageId, RoutingProtocol, SimConfig, SimReport, StartPolicy,
+        WorkloadBuilder,
+    };
+    pub use onion_crypto::{
+        EpochKeychain, FixedSizeOnion, GroupKeyring, OnionBuilder, OnionPacket, Peeled,
+    };
+    pub use onion_routing::{
+        run_random_graph_point, run_schedule_point, Adversary, ExperimentOptions,
+        ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting, ProtocolConfig,
+        RouteSelection,
+    };
+    pub use traces::{ActivityPattern, HaggleParser, SyntheticTraceBuilder};
+    pub use contact_graph::{waypoint_schedule, WaypointConfig};
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the crypto substrate: round-trips, tamper
+//! detection, and structural invariants of onion packets under arbitrary
+//! inputs.
+
+use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::hex;
+use onion_crypto::keys::derive_group_key;
+use onion_crypto::onion::{
+    pad_payload, predicted_size, unpad_payload, OnionBuilder, OnionLayerSpec, Peeled,
+};
+use onion_crypto::sha256::Sha256;
+use onion_crypto::{chacha20, hkdf, hmac, x25519};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aead_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64),
+                      payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let key = AeadKey::from_bytes(key);
+        let boxed = seal(&key, &nonce, &aad, &payload);
+        prop_assert_eq!(boxed.len(), payload.len() + 16);
+        let opened = open(&key, &nonce, &aad, &boxed).unwrap();
+        prop_assert_eq!(opened, payload);
+    }
+
+    #[test]
+    fn aead_detects_any_single_bit_flip(key in any::<[u8; 32]>(),
+                                        payload in proptest::collection::vec(any::<u8>(), 1..64),
+                                        flip_bit in 0usize..64) {
+        let key = AeadKey::from_bytes(key);
+        let nonce = [3u8; 12];
+        let mut boxed = seal(&key, &nonce, b"aad", &payload);
+        let bit = flip_bit % (boxed.len() * 8);
+        boxed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open(&key, &nonce, b"aad", &boxed).is_err());
+    }
+
+    #[test]
+    fn onion_roundtrip_any_depth(seed in any::<u64>(),
+                                 depth in 1usize..8,
+                                 dest in any::<u32>(),
+                                 payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let master = [9u8; 32];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let specs: Vec<OnionLayerSpec> = (0..depth as u32)
+            .map(|gid| OnionLayerSpec { group: gid, key: derive_group_key(&master, gid) })
+            .collect();
+        let onion = OnionBuilder::new(dest, payload.clone())
+            .layers(specs.iter().cloned())
+            .build(&mut rng)
+            .unwrap();
+        prop_assert_eq!(onion.len(), predicted_size(depth, payload.len()));
+
+        let mut pkt = onion;
+        for (i, spec) in specs.iter().enumerate() {
+            match pkt.peel(&spec.key).unwrap() {
+                Peeled::Forward { onion, .. } => {
+                    prop_assert!(i + 1 < depth, "forward past the last layer");
+                    pkt = onion;
+                }
+                Peeled::ForwardClear { node, payload: got } => {
+                    prop_assert_eq!(i + 1, depth);
+                    prop_assert_eq!(node, dest);
+                    prop_assert_eq!(got, payload.clone());
+                    return Ok(());
+                }
+                Peeled::Deliver { .. } => prop_assert!(false, "no destination key used"),
+            }
+        }
+        prop_assert!(false, "never reached the payload");
+    }
+
+    #[test]
+    fn onion_rejects_wrong_layer_keys(seed in any::<u64>(), wrong in 0u32..100) {
+        let master = [1u8; 32];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let onion = OnionBuilder::new(5, b"m".to_vec())
+            .layer(OnionLayerSpec { group: 200, key: derive_group_key(&master, 200) })
+            .build(&mut rng)
+            .unwrap();
+        // Any key other than group 200's fails.
+        let bad = derive_group_key(&master, wrong);
+        prop_assert!(onion.peel(&bad).is_err());
+    }
+
+    #[test]
+    fn padding_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..200),
+                         extra in 0usize..100) {
+        let size = payload.len() + 4 + extra;
+        let padded = pad_payload(&payload, size).unwrap();
+        prop_assert_eq!(padded.len(), size);
+        prop_assert_eq!(unpad_payload(&padded).unwrap(), payload);
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                                       split in 0usize..1024) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn chacha20_is_involution(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                              data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let once = chacha20::xor(&key, &nonce, 1, &data);
+        let twice = chacha20::xor(&key, &nonce, 1, &once);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hkdf_is_deterministic_and_length_exact(salt in proptest::collection::vec(any::<u8>(), 0..32),
+                                              ikm in proptest::collection::vec(any::<u8>(), 1..64),
+                                              len in 1usize..200) {
+        let a = hkdf::derive(&salt, &ikm, b"ctx", len);
+        let b = hkdf::derive(&salt, &ikm, b"ctx", len);
+        prop_assert_eq!(a.len(), len);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hmac_keys_separate(key_a in any::<[u8; 16]>(), key_b in any::<[u8; 16]>(),
+                          msg in proptest::collection::vec(any::<u8>(), 0..100)) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(hmac::hmac_sha256(&key_a, &msg), hmac::hmac_sha256(&key_b, &msg));
+    }
+
+    #[test]
+    fn x25519_dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let pa = x25519::public_key(&a);
+        let pb = x25519::public_key(&b);
+        prop_assert_eq!(x25519::shared_secret(&a, &pb), x25519::shared_secret(&b, &pa));
+    }
+}

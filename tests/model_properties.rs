@@ -1,0 +1,148 @@
+//! Property-based tests of the analytical models: bounds, monotonicity,
+//! and cross-model consistency under arbitrary valid parameters.
+
+use onion_dtn::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hypoexp_cdf_in_unit_interval_and_monotone(
+        rates in proptest::collection::vec(0.001f64..10.0, 1..10),
+        t in 0.0f64..2000.0,
+    ) {
+        let h = HypoExp::new(rates).unwrap();
+        let c = h.cdf(t);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Monotone in t.
+        let c2 = h.cdf(t + 1.0);
+        prop_assert!(c2 >= c - 1e-9, "CDF({}) = {c} > CDF({}) = {c2}", t, t + 1.0);
+    }
+
+    #[test]
+    fn hypoexp_extra_stage_never_helps(
+        rates in proptest::collection::vec(0.01f64..5.0, 1..8),
+        extra in 0.01f64..5.0,
+        t in 0.1f64..500.0,
+    ) {
+        let shorter = HypoExp::new(rates.clone()).unwrap().cdf(t);
+        let mut longer_rates = rates;
+        longer_rates.push(extra);
+        let longer = HypoExp::new(longer_rates).unwrap().cdf(t);
+        prop_assert!(longer <= shorter + 1e-6, "adding a stage increased the CDF");
+    }
+
+    #[test]
+    fn delivery_multicopy_dominates_single(
+        g in 1usize..10,
+        k in 1usize..8,
+        lambda in 0.001f64..1.0,
+        l in 2u32..6,
+        t in 1.0f64..1000.0,
+    ) {
+        let rates = uniform_onion_path_rates(lambda, g, k).unwrap();
+        let single = delivery_rate(&rates, t).unwrap();
+        let multi = delivery_rate_multicopy(&rates, l, t).unwrap();
+        prop_assert!(multi >= single - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&multi));
+    }
+
+    #[test]
+    fn traceable_rate_bounds_and_monotonicity(
+        eta in 1usize..12,
+        p_scaled in 0u32..=100,
+    ) {
+        let p = p_scaled as f64 / 100.0;
+        let v = expected_traceable_rate(eta, p).unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+        if p < 1.0 {
+            let v2 = expected_traceable_rate(eta, (p + 0.01).min(1.0)).unwrap();
+            prop_assert!(v2 >= v - 1e-12);
+        }
+    }
+
+    #[test]
+    fn traceable_bits_vs_expectation_consistency(
+        bits in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let v = analysis::traceable_rate_of_bits(&bits);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // All-ones is the maximum; all-zeros the minimum.
+        let eta = bits.len();
+        prop_assert!(v <= analysis::traceable_rate_of_bits(&vec![true; eta]));
+        prop_assert!(v >= analysis::traceable_rate_of_bits(&vec![false; eta]));
+    }
+
+    #[test]
+    fn anonymity_bounds_and_monotonicity(
+        n in 10usize..500,
+        g in 1usize..10,
+        k in 1usize..8,
+        c_frac in 0u32..=100,
+        l in 1u32..6,
+    ) {
+        prop_assume!(k < n);
+        let c = (n * c_frac as usize) / 100;
+        let d = path_anonymity(n, g, k, c, l).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d));
+        // More compromise never increases anonymity.
+        if c < n {
+            let d2 = path_anonymity(n, g, k, c + 1, l).unwrap();
+            prop_assert!(d2 <= d + 1e-12);
+        }
+        // More copies never increase anonymity.
+        let d_more_copies = path_anonymity(n, g, k, c, l + 1).unwrap();
+        prop_assert!(d_more_copies <= d + 1e-12);
+    }
+
+    #[test]
+    fn anonymity_exact_and_stirling_share_ordering(
+        g_small in 1usize..5,
+        g_big in 5usize..11,
+        c_o in 0u32..5,
+    ) {
+        // Bigger groups are never worse, in both formulations.
+        let eta = 4;
+        let c_o = c_o as f64;
+        let s_small = analysis::path_anonymity_stirling(100, g_small, eta, c_o).unwrap();
+        let s_big = analysis::path_anonymity_stirling(100, g_big, eta, c_o).unwrap();
+        prop_assert!(s_big >= s_small - 1e-12);
+        let e_small = analysis::path_anonymity_exact(100, g_small, eta, c_o).unwrap();
+        let e_big = analysis::path_anonymity_exact(100, g_big, eta, c_o).unwrap();
+        prop_assert!(e_big >= e_small - 1e-12);
+    }
+
+    #[test]
+    fn cost_bounds_are_ordered(k in 0usize..12, l in 1u32..8) {
+        let single = analysis::single_copy_cost(k);
+        let multi = analysis::multi_copy_bound(k, l).unwrap();
+        prop_assert!(multi >= single);
+        prop_assert!(multi >= analysis::non_anonymous_bound(l) || k == 0);
+        // The bound decomposition is internally consistent.
+        let parts = analysis::multi_copy_first_hop_bound(l) + (k as u64) * l as u64;
+        prop_assert!(parts <= multi);
+    }
+
+    #[test]
+    fn eq4_rates_from_graph_are_bounded_by_group_sums(
+        seed in any::<u64>(),
+        g in 1usize..6,
+        k in 1usize..4,
+    ) {
+        use rand::SeedableRng;
+        let n = 30;
+        prop_assume!(k < n / g);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let graph = UniformGraphBuilder::new(n).build(&mut rng);
+        let groups = OnionGroups::random_partition(n, g, &mut rng);
+        let route = groups.select_route(k, &mut rng).unwrap();
+        let members = groups.route_members(&route);
+        let rates = analysis::onion_path_rates(&graph, NodeId(0), &members, NodeId(1)).unwrap();
+        prop_assert_eq!(rates.len(), k + 1);
+        // Each aggregate rate is at most g × the max pairwise rate (1.0).
+        for &r in &rates {
+            prop_assert!(r >= 0.0 && r <= g as f64 * 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Serde round-trips for the public data structures (C-SERDE): contact
+//! graphs, schedules, configs, and simulation reports survive
+//! serialization, so experiments can be checkpointed and shipped.
+
+use onion_dtn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn json_roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let text = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&text).expect("deserialize")
+}
+
+#[test]
+fn contact_graph_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = UniformGraphBuilder::new(20).build(&mut rng);
+    let back: ContactGraph = json_roundtrip(&graph);
+    assert_eq!(back, graph);
+    assert_eq!(
+        back.rate(NodeId(0), NodeId(7)),
+        graph.rate(NodeId(0), NodeId(7))
+    );
+}
+
+#[test]
+fn schedule_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let graph = UniformGraphBuilder::new(10).build(&mut rng);
+    let schedule = ContactSchedule::sample(&graph, Time::new(50.0), &mut rng);
+    let back: ContactSchedule = json_roundtrip(&schedule);
+    assert_eq!(back, schedule);
+}
+
+#[test]
+fn message_and_config_roundtrip() {
+    let m = Message {
+        id: MessageId(42),
+        source: NodeId(1),
+        destination: NodeId(2),
+        created: Time::new(10.0),
+        deadline: TimeDelta::new(100.0),
+        copies: 3,
+    };
+    assert_eq!(json_roundtrip(&m), m);
+
+    let cfg = ProtocolConfig::table2_defaults();
+    assert_eq!(json_roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn groups_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let groups = OnionGroups::random_partition(30, 4, &mut rng);
+    let back: OnionGroups = json_roundtrip(&groups);
+    assert_eq!(back, groups);
+    for node in (0..30).map(NodeId) {
+        assert_eq!(back.group_of(node), groups.group_of(node));
+    }
+}
+
+#[test]
+fn sim_report_roundtrip_preserves_metrics() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let graph = UniformGraphBuilder::new(20).build(&mut rng);
+    let schedule = ContactSchedule::sample(&graph, Time::new(120.0), &mut rng);
+    let groups = OnionGroups::random_partition(20, 2, &mut rng);
+    let mut protocol = OnionRouting::new(groups, 2, ForwardingMode::SingleCopy);
+    let m = Message {
+        id: MessageId(0),
+        source: NodeId(0),
+        destination: NodeId(19),
+        created: Time::ZERO,
+        deadline: TimeDelta::new(120.0),
+        copies: 1,
+    };
+    let report = run(
+        &schedule,
+        &mut protocol,
+        vec![m],
+        &SimConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let back: SimReport = json_roundtrip(&report);
+    assert_eq!(back.delivery_rate(), report.delivery_rate());
+    assert_eq!(back.total_transmissions(), report.total_transmissions());
+    assert_eq!(
+        back.delivered_path(MessageId(0)),
+        report.delivered_path(MessageId(0))
+    );
+}

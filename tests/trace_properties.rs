@@ -1,0 +1,100 @@
+//! Property-based tests of the trace substrate: activity patterns,
+//! synthetic generators, and format parsers under arbitrary valid inputs.
+
+use proptest::prelude::*;
+use traces::ActivityPattern;
+
+/// Strategy: a valid activity pattern over a period of 100 units with
+/// 1–3 disjoint windows.
+fn pattern_strategy() -> impl Strategy<Value = ActivityPattern> {
+    // Choose up to 3 window boundaries from a sorted set of cut points.
+    proptest::collection::btree_set(0u32..100, 2..=6).prop_map(|cuts| {
+        let cuts: Vec<f64> = cuts.into_iter().map(f64::from).collect();
+        // Pair consecutive cut points into disjoint windows.
+        let windows: Vec<(f64, f64)> = cuts
+            .chunks_exact(2)
+            .map(|pair| (pair[0], pair[1]))
+            .filter(|(s, e)| s < e)
+            .collect();
+        let windows = if windows.is_empty() {
+            vec![(0.0, 50.0)]
+        } else {
+            windows
+        };
+        ActivityPattern::new(100.0, windows).expect("constructed disjoint and in-range")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn active_measure_is_monotone_and_bounded(pattern in pattern_strategy(),
+                                              t1 in 0.0f64..500.0, dt in 0.0f64..100.0) {
+        let a1 = pattern.active_measure(t1);
+        let a2 = pattern.active_measure(t1 + dt);
+        prop_assert!(a2 >= a1 - 1e-9, "active measure must be monotone");
+        prop_assert!(a2 - a1 <= dt + 1e-9, "active time cannot exceed wall time");
+    }
+
+    #[test]
+    fn active_to_wall_inverts_measure(pattern in pattern_strategy(),
+                                      active in 0.0f64..300.0) {
+        // Scale active to the available measure to stay meaningful.
+        let per = pattern.active_per_period();
+        prop_assume!(per > 0.0);
+        let wall = pattern.active_to_wall(active);
+        let measured = pattern.active_measure(wall);
+        prop_assert!((measured - active).abs() < 1e-6,
+            "active {} -> wall {} -> measured {}", active, wall, measured);
+    }
+
+    #[test]
+    fn next_active_is_active_and_minimal(pattern in pattern_strategy(),
+                                         t in 0.0f64..300.0) {
+        let next = pattern.next_active(t);
+        prop_assert!(next >= t);
+        prop_assert!(pattern.is_active(next) || next == t,
+            "next_active({t}) = {next} is not active");
+        // Nothing active strictly between t and next (spot check midpoint).
+        if next > t + 1e-6 {
+            let mid = 0.5 * (t + next);
+            prop_assert!(!pattern.is_active(mid), "found active instant before next_active");
+        }
+    }
+
+    #[test]
+    fn periodicity(pattern in pattern_strategy(), t in 0.0f64..100.0) {
+        prop_assert_eq!(pattern.is_active(t), pattern.is_active(t + 100.0));
+        let delta = pattern.active_measure(t + 100.0) - pattern.active_measure(t);
+        prop_assert!((delta - pattern.active_per_period()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haggle_parser_roundtrips_generated_traces(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        contacts in 1usize..40,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        // Generate a random trace text and parse it back.
+        let mut lines = String::new();
+        let mut expected = 0usize;
+        for _ in 0..contacts {
+            let a = rng.gen_range(0..n);
+            let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+            if a == b { continue; }
+            let start = rng.gen_range(0.0..10_000.0f64);
+            lines.push_str(&format!("{} {} {} {}\n", a + 1, b + 1, start, start + 10.0));
+            expected += 1;
+        }
+        prop_assume!(expected > 0);
+        let parsed = traces::HaggleParser::new().parse_str(&lines).unwrap();
+        prop_assert_eq!(parsed.schedule.len(), expected);
+        prop_assert!(parsed.schedule.node_count() <= n);
+        // Sorted and origin-shifted.
+        prop_assert!(parsed.schedule.events().windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert_eq!(parsed.schedule.events()[0].time, contact_graph::Time::ZERO);
+    }
+}
