@@ -199,9 +199,7 @@ mod tests {
     fn expected_on_path_counts() {
         assert_eq!(expected_compromised_on_path(4, 0.1).unwrap(), 0.4);
         // L = 1 multi-copy reduces to single-copy.
-        assert!(
-            (expected_compromised_on_paths(4, 0.1, 1).unwrap() - 0.4).abs() < 1e-12
-        );
+        assert!((expected_compromised_on_paths(4, 0.1, 1).unwrap() - 0.4).abs() < 1e-12);
         // More copies expose more groups.
         let one = expected_compromised_on_paths(4, 0.1, 1).unwrap();
         let three = expected_compromised_on_paths(4, 0.1, 3).unwrap();

@@ -210,13 +210,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(onion_path_rates(&uniform_graph(5, 1.0), NodeId(0), &[], NodeId(4)).is_err());
-        assert!(onion_path_rates(
-            &uniform_graph(5, 1.0),
-            NodeId(0),
-            &[vec![]],
-            NodeId(4)
-        )
-        .is_err());
+        assert!(onion_path_rates(&uniform_graph(5, 1.0), NodeId(0), &[vec![]], NodeId(4)).is_err());
         assert!(uniform_onion_path_rates(0.0, 5, 3).is_err());
         assert!(uniform_onion_path_rates(1.0, 0, 3).is_err());
         assert!(uniform_onion_path_rates(1.0, 5, 0).is_err());

@@ -428,11 +428,19 @@ mod tests {
         let n = 100_000;
         let samples: Vec<f64> = (0..n).map(|_| h.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        assert!((mean - h.mean()).abs() < 0.05, "sample mean {mean} vs {}", h.mean());
+        assert!(
+            (mean - h.mean()).abs() < 0.05,
+            "sample mean {mean} vs {}",
+            h.mean()
+        );
         // Empirical CDF at a few points.
         for t in [2.0, 7.0, 15.0] {
             let frac = samples.iter().filter(|&&s| s <= t).count() as f64 / n as f64;
-            assert!((frac - h.cdf(t)).abs() < 0.01, "t = {t}: {frac} vs {}", h.cdf(t));
+            assert!(
+                (frac - h.cdf(t)).abs() < 0.01,
+                "t = {t}: {frac} vs {}",
+                h.cdf(t)
+            );
         }
     }
 

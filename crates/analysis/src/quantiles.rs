@@ -88,7 +88,11 @@ mod tests {
         let h = HypoExp::new(rates.clone()).unwrap();
         for q in [0.01, 0.25, 0.5, 0.9, 0.999] {
             let t = delay_quantile(&rates, q).unwrap();
-            assert!((h.cdf(t) - q).abs() < 1e-6, "q = {q}: cdf({t}) = {}", h.cdf(t));
+            assert!(
+                (h.cdf(t) - q).abs() < 1e-6,
+                "q = {q}: cdf({t}) = {}",
+                h.cdf(t)
+            );
         }
     }
 

@@ -67,8 +67,7 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     if p == 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
-    let ln_choose =
-        ln_factorial(n as f64) - ln_factorial(k as f64) - ln_factorial((n - k) as f64);
+    let ln_choose = ln_factorial(n as f64) - ln_factorial(k as f64) - ln_factorial((n - k) as f64);
     (ln_choose + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
 }
 

@@ -64,8 +64,18 @@ fn evaluate<P: RoutingProtocol>(
 fn main() {
     let mut rows = Vec::new();
     evaluate("direct-delivery", &mut DirectDelivery, 1, &mut rows);
-    evaluate("spray-source L=4", &mut SprayAndWait::source(), 4, &mut rows);
-    evaluate("spray-binary L=4", &mut SprayAndWait::binary(), 4, &mut rows);
+    evaluate(
+        "spray-source L=4",
+        &mut SprayAndWait::source(),
+        4,
+        &mut rows,
+    );
+    evaluate(
+        "spray-binary L=4",
+        &mut SprayAndWait::binary(),
+        4,
+        &mut rows,
+    );
     evaluate("epidemic", &mut Epidemic, 1, &mut rows);
 
     let mut rng = ChaCha8Rng::seed_from_u64(0xA110);
@@ -100,12 +110,18 @@ fn main() {
     let direct = &rows[0];
     for (label, delivery, _) in &rows {
         if delivery > &epidemic.1 {
-            println!("WARNING: {label} beats epidemic delivery ({delivery} > {})", epidemic.1);
+            println!(
+                "WARNING: {label} beats epidemic delivery ({delivery} > {})",
+                epidemic.1
+            );
         }
     }
     for (label, _, tx) in &rows[1..] {
         if tx < &direct.2 {
-            println!("WARNING: {label} is cheaper than direct delivery ({tx} < {})", direct.2);
+            println!(
+                "WARNING: {label} is cheaper than direct delivery ({tx} < {})",
+                direct.2
+            );
         }
     }
 }

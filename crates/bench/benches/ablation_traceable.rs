@@ -39,7 +39,12 @@ fn main() {
         let mc = monte_carlo(eta, p, 200_000, &mut rng);
         table.push_row(
             p,
-            vec![Some(exact), Some(paper), Some(mc), Some((paper - exact).abs())],
+            vec![
+                Some(exact),
+                Some(paper),
+                Some(mc),
+                Some((paper - exact).abs()),
+            ],
         );
         // The exact model must match Monte Carlo tightly everywhere.
         assert!(

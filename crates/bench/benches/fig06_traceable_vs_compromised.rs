@@ -43,10 +43,7 @@ fn main() {
     for (ki, k) in ks.iter().enumerate() {
         let a: Vec<f64> = sweeps[ki].iter().map(|r| r.analysis_traceable).collect();
         check_trend(&format!("analysis K={k}"), &a, true, 1e-12);
-        let s: Vec<f64> = sweeps[ki]
-            .iter()
-            .filter_map(|r| r.sim_traceable)
-            .collect();
+        let s: Vec<f64> = sweeps[ki].iter().filter_map(|r| r.sim_traceable).collect();
         check_trend(&format!("sim K={k}"), &s, true, 0.05);
     }
     // Larger K → lower traceable rate at the highest compromise level.

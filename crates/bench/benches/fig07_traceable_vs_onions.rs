@@ -42,7 +42,10 @@ fn main() {
     table.save_csv("fig07_traceable_vs_onions");
 
     for (ci, c) in cs.iter().enumerate() {
-        let a: Vec<f64> = per_k.iter().map(|rows| rows[ci].analysis_traceable).collect();
+        let a: Vec<f64> = per_k
+            .iter()
+            .map(|rows| rows[ci].analysis_traceable)
+            .collect();
         check_trend(&format!("analysis c={c}%"), &a, false, 1e-12);
     }
 }

@@ -41,7 +41,10 @@ fn main() {
     table.save_csv("fig09_anonymity_vs_group_size");
 
     for (ci, c) in cs.iter().enumerate() {
-        let a: Vec<f64> = per_g.iter().map(|rows| rows[ci].analysis_anonymity).collect();
+        let a: Vec<f64> = per_g
+            .iter()
+            .map(|rows| rows[ci].analysis_anonymity)
+            .collect();
         check_trend(&format!("analysis c={c}%"), &a, true, 1e-12);
     }
 }

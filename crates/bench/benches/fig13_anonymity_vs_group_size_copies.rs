@@ -50,7 +50,10 @@ fn main() {
     table.save_csv("fig13_anonymity_vs_group_size_copies");
 
     for (li, l) in ls.iter().enumerate() {
-        let a: Vec<f64> = per_gl.iter().map(|rows| rows[li].analysis_anonymity).collect();
+        let a: Vec<f64> = per_gl
+            .iter()
+            .map(|rows| rows[li].analysis_anonymity)
+            .collect();
         check_trend(&format!("analysis L={l} grows with g"), &a, true, 1e-12);
     }
     // At every g, anonymity falls with L (analysis).

@@ -4,7 +4,7 @@
 //! Expected shape (paper): the trace is dense, so delivery reaches ~100%
 //! within about 1800 s when transmissions start in business hours.
 
-use bench::{check_trend, FigureTable};
+use bench::{check_trend, threads_from_env, FigureTable};
 use contact_graph::TimeDelta;
 use onion_routing::{delivery_sweep_schedule_with_rates, ExperimentOptions, ProtocolConfig};
 use rand::SeedableRng;
@@ -34,13 +34,16 @@ fn main() {
         messages: 30,
         realizations: 6,
         seed: 0xCA3B_2016,
+        threads: threads_from_env(),
         ..ExperimentOptions::default()
     };
 
     // "Train" the trace (Section V-A): deadlines fit inside one business
     // window, so rates are normalized by *active* time.
     let trained = estimate_active_rates(&trace, &ActivityPattern::business_hours());
-    let deadlines = [60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 2700.0, 3600.0];
+    let deadlines = [
+        60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 2700.0, 3600.0,
+    ];
     let rows = delivery_sweep_schedule_with_rates(&trace, &trained, &cfg, &deadlines, &opts);
 
     let mut table = FigureTable::new(

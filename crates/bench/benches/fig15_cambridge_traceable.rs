@@ -52,13 +52,19 @@ fn main() {
 
     check_trend(
         "analysis traceable grows with c",
-        &rows.iter().map(|r| r.analysis_traceable).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| r.analysis_traceable)
+            .collect::<Vec<_>>(),
         true,
         1e-12,
     );
     check_trend(
         "sim traceable grows with c",
-        &rows.iter().filter_map(|r| r.sim_traceable).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .filter_map(|r| r.sim_traceable)
+            .collect::<Vec<_>>(),
         true,
         0.06,
     );

@@ -51,13 +51,19 @@ fn main() {
 
     check_trend(
         "analysis anonymity falls with c",
-        &rows.iter().map(|r| r.analysis_anonymity).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| r.analysis_anonymity)
+            .collect::<Vec<_>>(),
         false,
         1e-12,
     );
     check_trend(
         "sim anonymity falls with c",
-        &rows.iter().filter_map(|r| r.sim_anonymity).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .filter_map(|r| r.sim_anonymity)
+            .collect::<Vec<_>>(),
         false,
         0.05,
     );

@@ -6,7 +6,7 @@
 //! again; multi-copy helps only slightly because the path diversity among
 //! onion routers is limited.
 
-use bench::{check_trend, FigureTable};
+use bench::{check_trend, threads_from_env, FigureTable};
 use contact_graph::TimeDelta;
 use onion_routing::{delivery_sweep_schedule, ExperimentOptions, ProtocolConfig};
 use rand::SeedableRng;
@@ -27,6 +27,7 @@ fn main() {
         messages: 30,
         realizations: 6,
         seed: 0x1F0C_2016,
+        threads: threads_from_env(),
         ..ExperimentOptions::default()
     };
 

@@ -51,7 +51,10 @@ fn main() {
 
     check_trend(
         "analysis traceable grows with c",
-        &rows.iter().map(|r| r.analysis_traceable).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| r.analysis_traceable)
+            .collect::<Vec<_>>(),
         true,
         1e-12,
     );

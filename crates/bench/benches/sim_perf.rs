@@ -78,8 +78,14 @@ fn bench_protocols(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(6);
             let groups = OnionGroups::random_partition(100, 5, &mut rng);
             let mut proto = OnionRouting::new(groups, 3, ForwardingMode::SingleCopy);
-            run(&schedule, &mut proto, msgs.clone(), &SimConfig::default(), &mut rng)
-                .expect("valid")
+            run(
+                &schedule,
+                &mut proto,
+                msgs.clone(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .expect("valid")
         })
     });
 
@@ -89,8 +95,14 @@ fn bench_protocols(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             let groups = OnionGroups::random_partition(100, 5, &mut rng);
             let mut proto = OnionRouting::new(groups, 3, ForwardingMode::MultiCopy);
-            run(&schedule, &mut proto, msgs.clone(), &SimConfig::default(), &mut rng)
-                .expect("valid")
+            run(
+                &schedule,
+                &mut proto,
+                msgs.clone(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .expect("valid")
         })
     });
     group.finish();

@@ -10,9 +10,18 @@ fn main() {
     println!("\n=== Table II: Simulation parameters ===");
     println!("{:<44}{}", "The number of nodes", cfg.nodes);
     println!("{:<44}1 to 36", "The inter-contact time (minutes)");
-    println!("{:<44}1 to 10 (default {})", "The group size", cfg.group_size);
-    println!("{:<44}1 to 10 (default {})", "The number of onion routers", cfg.onions);
-    println!("{:<44}1 to 5 (default {})", "The number of copies", cfg.copies);
+    println!(
+        "{:<44}1 to 10 (default {})",
+        "The group size", cfg.group_size
+    );
+    println!(
+        "{:<44}1 to 10 (default {})",
+        "The number of onion routers", cfg.onions
+    );
+    println!(
+        "{:<44}1 to 5 (default {})",
+        "The number of copies", cfg.copies
+    );
     println!("{:<44}60 to 1080", "The message deadline (minutes)");
     println!(
         "{:<44}1% to 50% (default {}%)",
@@ -26,7 +35,10 @@ fn main() {
         vec!["analysis".into(), "simulation".into()],
     );
     println!("\nrow 1: delivery rate within T = 1080 min");
-    table.push_row(1.0, vec![Some(point.analysis_delivery), Some(point.sim_delivery)]);
+    table.push_row(
+        1.0,
+        vec![Some(point.analysis_delivery), Some(point.sim_delivery)],
+    );
     println!("row 2: traceable rate at c/n = 10%");
     table.push_row(
         2.0,
@@ -40,7 +52,10 @@ fn main() {
     println!("row 4: transmissions per message (analysis = bound K + 1)");
     table.push_row(
         4.0,
-        vec![Some(point.analysis_cost_bound), Some(point.sim_transmissions)],
+        vec![
+            Some(point.analysis_cost_bound),
+            Some(point.sim_transmissions),
+        ],
     );
     table.print();
     table.save_csv("table2_defaults");

@@ -12,6 +12,17 @@
 
 use onion_routing::ExperimentOptions;
 
+/// Worker-thread count for figure regeneration, read from the
+/// `ONION_DTN_THREADS` environment variable (`0` or unset = auto-detect).
+/// Thread count never changes figure values — only wall-clock time — so
+/// an env knob is safe for published numbers.
+pub fn threads_from_env() -> usize {
+    std::env::var("ONION_DTN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Default experiment sizes for figure regeneration: large enough for
 /// stable trends, small enough that `cargo bench` finishes in minutes.
 pub fn default_opts() -> ExperimentOptions {
@@ -20,6 +31,7 @@ pub fn default_opts() -> ExperimentOptions {
         realizations: 6,
         seed: 0x5EED_2016,
         intercontact_range: (1.0, 36.0),
+        threads: threads_from_env(),
     }
 }
 
@@ -30,6 +42,7 @@ pub fn sweep_opts() -> ExperimentOptions {
         realizations: 4,
         seed: 0x5EED_2016,
         intercontact_range: (1.0, 36.0),
+        threads: threads_from_env(),
     }
 }
 
@@ -45,11 +58,7 @@ pub struct FigureTable {
 impl FigureTable {
     /// Starts a table for `title` with the given x-axis label and series
     /// names.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         FigureTable {
             title: title.into(),
             x_label: x_label.into(),
@@ -135,9 +144,11 @@ impl FigureTable {
     /// prints the path. Errors are reported, not fatal — a read-only
     /// filesystem must not kill a bench run.
     pub fn save_csv(&self, name: &str) {
-        let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/figures"));
+        let dir =
+            std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/figures"));
         let path = dir.join(format!("{name}.csv"));
-        let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_csv()));
+        let result =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_csv()));
         match result {
             Ok(()) => println!("(csv written to {})", path.display()),
             Err(e) => println!("(csv not written: {e})"),
@@ -158,7 +169,11 @@ pub fn check_trend(name: &str, values: &[f64], increasing: bool, slack: f64) {
         if !ok {
             println!(
                 "WARNING: series {name} violates expected {} trend at index {i}: {} -> {}",
-                if increasing { "increasing" } else { "decreasing" },
+                if increasing {
+                    "increasing"
+                } else {
+                    "decreasing"
+                },
                 pair[0],
                 pair[1]
             );
@@ -178,7 +193,9 @@ pub fn compromised_sweep(n: usize) -> Vec<usize> {
 /// The deadline sweep of the random-graph delivery figures: 60 to 1080
 /// minutes (Table II).
 pub fn deadline_sweep_minutes() -> Vec<f64> {
-    vec![60.0, 120.0, 240.0, 360.0, 480.0, 600.0, 720.0, 840.0, 960.0, 1080.0]
+    vec![
+        60.0, 120.0, 240.0, 360.0, 480.0, 600.0, 720.0, 840.0, 960.0, 1080.0,
+    ]
 }
 
 #[cfg(test)]

@@ -267,12 +267,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ferries")]
     fn ferry_count_validated() {
-        let _ = ferry_graph(
-            3,
-            4,
-            TimeDelta::new(1.0),
-            TimeDelta::new(2.0),
-            &mut rng(0),
-        );
+        let _ = ferry_graph(3, 4, TimeDelta::new(1.0), TimeDelta::new(2.0), &mut rng(0));
     }
 }

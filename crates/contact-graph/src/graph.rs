@@ -339,10 +339,8 @@ mod tests {
         g.set_rate(NodeId(0), NodeId(3), Rate::new(0.2));
         g.set_rate(NodeId(1), NodeId(2), Rate::new(0.3));
         g.set_rate(NodeId(1), NodeId(3), Rate::new(0.4));
-        let r = g.mean_aggregate_rate_between_groups(
-            &[NodeId(0), NodeId(1)],
-            &[NodeId(2), NodeId(3)],
-        );
+        let r =
+            g.mean_aggregate_rate_between_groups(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         // (0.1 + 0.2 + 0.3 + 0.4) / 2
         assert!((r.as_f64() - 0.5).abs() < 1e-12);
     }
@@ -366,7 +364,10 @@ mod tests {
         g.set_rate(NodeId(1), NodeId(2), Rate::new(0.5)); // delay 2
         let d = g.min_expected_delay(NodeId(0), NodeId(2)).unwrap();
         assert!((d.as_f64() - 4.0).abs() < 1e-12);
-        assert_eq!(g.min_expected_delay(NodeId(1), NodeId(1)), Some(TimeDelta::ZERO));
+        assert_eq!(
+            g.min_expected_delay(NodeId(1), NodeId(1)),
+            Some(TimeDelta::ZERO)
+        );
     }
 
     #[test]
@@ -386,7 +387,10 @@ mod tests {
         let dot = g.to_dot();
         assert!(dot.starts_with("graph contacts {"));
         assert!(dot.contains("v0 -- v2 [label=\"2.0\"]"));
-        assert!(!dot.contains("v0 -- v1"), "unconnected pair must not appear");
+        assert!(
+            !dot.contains("v0 -- v1"),
+            "unconnected pair must not appear"
+        );
         assert!(dot.trim_end().ends_with('}'));
     }
 

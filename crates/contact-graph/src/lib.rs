@@ -43,8 +43,8 @@ pub mod schedule;
 pub mod time;
 
 pub use generator::{community_graph, ferry_graph, UniformGraphBuilder};
-pub use mobility::{waypoint_schedule, WaypointConfig};
 pub use graph::ContactGraph;
+pub use mobility::{waypoint_schedule, WaypointConfig};
 pub use node::NodeId;
 pub use schedule::{sample_intercontact, ContactEvent, ContactSchedule};
 pub use time::{Rate, Time, TimeDelta};

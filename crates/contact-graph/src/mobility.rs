@@ -255,9 +255,15 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        let cfg = WaypointConfig { range: 0.0, ..WaypointConfig::default() };
+        let cfg = WaypointConfig {
+            range: 0.0,
+            ..WaypointConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = WaypointConfig { min_speed: 0.0, ..WaypointConfig::default() };
+        let cfg = WaypointConfig {
+            min_speed: 0.0,
+            ..WaypointConfig::default()
+        };
         assert!(cfg.validate().is_err());
         let cfg = WaypointConfig {
             min_speed: 10.0,
@@ -265,7 +271,10 @@ mod tests {
             ..WaypointConfig::default()
         };
         assert!(cfg.validate().is_err());
-        let cfg = WaypointConfig { step: 0.0, ..WaypointConfig::default() };
+        let cfg = WaypointConfig {
+            step: 0.0,
+            ..WaypointConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(WaypointConfig::default().validate().is_ok());
     }

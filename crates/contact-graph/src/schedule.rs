@@ -90,11 +90,7 @@ impl ContactSchedule {
     ///
     /// Panics if an event references a node `>= node_count` or lies after
     /// `horizon`.
-    pub fn from_events(
-        mut events: Vec<ContactEvent>,
-        node_count: usize,
-        horizon: Time,
-    ) -> Self {
+    pub fn from_events(mut events: Vec<ContactEvent>, node_count: usize, horizon: Time) -> Self {
         for e in &events {
             assert!(
                 e.a.index() < node_count && e.b.index() < node_count,
@@ -192,7 +188,10 @@ impl ContactSchedule {
     ///
     /// Panics if the horizon is zero.
     pub fn estimate_rates(&self) -> ContactGraph {
-        assert!(self.horizon > Time::ZERO, "cannot estimate rates over an empty window");
+        assert!(
+            self.horizon > Time::ZERO,
+            "cannot estimate rates over an empty window"
+        );
         let mut counts = std::collections::HashMap::new();
         for e in &self.events {
             *counts.entry((e.a, e.b)).or_insert(0u64) += 1;

@@ -85,7 +85,10 @@ impl Rate {
     ///
     /// Panics if `r` is NaN or negative.
     pub fn new(r: f64) -> Rate {
-        assert!(r.is_finite() && r >= 0.0, "Rate must be finite and >= 0, got {r}");
+        assert!(
+            r.is_finite() && r >= 0.0,
+            "Rate must be finite and >= 0, got {r}"
+        );
         Rate(r)
     }
 
@@ -98,7 +101,10 @@ impl Rate {
     ///
     /// Panics if `mean` is not strictly positive.
     pub fn from_mean_intercontact(mean: TimeDelta) -> Rate {
-        assert!(mean.as_f64() > 0.0, "mean inter-contact time must be positive");
+        assert!(
+            mean.as_f64() > 0.0,
+            "mean inter-contact time must be positive"
+        );
         Rate(1.0 / mean.as_f64())
     }
 
@@ -137,7 +143,9 @@ macro_rules! impl_eq_ord {
         impl Ord for $ty {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Constructors reject NaN, so partial_cmp cannot fail.
-                self.0.partial_cmp(&other.0).expect("no NaN by construction")
+                self.0
+                    .partial_cmp(&other.0)
+                    .expect("no NaN by construction")
             }
         }
         impl PartialOrd for $ty {
@@ -312,7 +320,10 @@ mod tests {
         assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
         assert_eq!(r.contact_probability_within(TimeDelta::ZERO), 0.0);
         // Zero rate never meets.
-        assert_eq!(Rate::ZERO.contact_probability_within(TimeDelta::new(100.0)), 0.0);
+        assert_eq!(
+            Rate::ZERO.contact_probability_within(TimeDelta::new(100.0)),
+            0.0
+        );
     }
 
     #[test]

@@ -190,9 +190,7 @@ mod tests {
     use super::*;
     use crate::engine::{run, SimConfig};
     use crate::message::Message;
-    use contact_graph::{
-        ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder,
-    };
+    use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -237,7 +235,10 @@ mod tests {
         assert!(epi.delivery_rate() >= direct.delivery_rate());
         assert!(epi.total_transmissions() > direct.total_transmissions());
         // Direct delivery costs exactly one transmission per delivery.
-        assert_eq!(direct.total_transmissions(), direct.delivered_count() as u64);
+        assert_eq!(
+            direct.total_transmissions(),
+            direct.delivered_count() as u64
+        );
     }
 
     #[test]

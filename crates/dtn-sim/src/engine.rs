@@ -215,10 +215,10 @@ where
     let injected: Vec<MessageId> = messages.iter().map(|m| m.id).collect();
 
     let inject_due = |state: &mut SimState,
-                          pending: &mut Vec<Message>,
-                          protocol: &mut P,
-                          rng: &mut R,
-                          now: Time| {
+                      pending: &mut Vec<Message>,
+                      protocol: &mut P,
+                      rng: &mut R,
+                      now: Time| {
         while pending.last().is_some_and(|m| m.created <= now) {
             let m = pending.pop().expect("checked non-empty");
             let cs = protocol.on_inject(&m, rng);
@@ -248,8 +248,7 @@ where
             buf.retain(|id, _| !msgs[id].is_expired(event.time));
         }
 
-        if state.buffers[event.a.index()].is_empty() && state.buffers[event.b.index()].is_empty()
-        {
+        if state.buffers[event.a.index()].is_empty() && state.buffers[event.b.index()].is_empty() {
             continue;
         }
 
@@ -283,19 +282,27 @@ where
             }
         };
 
-        apply(&mut state, config, event.time, event.a, event.b, &decisions_ab);
-        apply(&mut state, config, event.time, event.b, event.a, &decisions_ba);
+        apply(
+            &mut state,
+            config,
+            event.time,
+            event.a,
+            event.b,
+            &decisions_ab,
+        );
+        apply(
+            &mut state,
+            config,
+            event.time,
+            event.b,
+            event.a,
+            &decisions_ba,
+        );
     }
 
     // Inject anything scheduled after the last contact so the report's
     // injected set is complete (they can never be delivered).
-    inject_due(
-        &mut state,
-        &mut pending,
-        protocol,
-        rng,
-        schedule.horizon(),
-    );
+    inject_due(&mut state, &mut pending, protocol, rng, schedule.horizon());
 
     Ok(SimReport::new(
         protocol.name().to_string(),
@@ -648,7 +655,14 @@ mod tests {
             record_forwarding: false,
             ..SimConfig::default()
         };
-        let report = run(&s, &mut Flood, vec![msg(1, 0, 1, 0.0, 10.0)], &cfg, &mut rng()).unwrap();
+        let report = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 1, 0.0, 10.0)],
+            &cfg,
+            &mut rng(),
+        )
+        .unwrap();
         assert!(report.forward_log().is_empty());
         assert_eq!(report.delivery_rate(), 1.0);
     }

@@ -48,10 +48,12 @@ pub mod message;
 pub mod prophet;
 pub mod protocol;
 pub mod report;
+pub mod stats;
 pub mod workload;
 
 pub use engine::{run, DropPolicy, SimConfig, SimError};
 pub use message::{CopyState, Message, MessageId};
 pub use protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
 pub use report::{ForwardRecord, SimReport};
+pub use stats::{ReportAggregate, StreamingStats};
 pub use workload::{StartPolicy, WorkloadBuilder};

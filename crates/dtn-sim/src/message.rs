@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(CopyState::new(5), CopyState { tickets: 5, tag: 0 });
         assert_eq!(
             CopyState::with_tag(1, 42),
-            CopyState { tickets: 1, tag: 42 }
+            CopyState {
+                tickets: 1,
+                tag: 42
+            }
         );
     }
 

@@ -74,7 +74,10 @@ impl Prophet {
     pub fn with_params(n: usize, params: ProphetParams) -> Self {
         assert!((0.0..=1.0).contains(&params.p_init), "P_init in [0,1]");
         assert!((0.0..=1.0).contains(&params.beta), "beta in [0,1]");
-        assert!((0.0..1.0).contains(&params.gamma) || params.gamma == 1.0, "gamma in (0,1]");
+        assert!(
+            (0.0..1.0).contains(&params.gamma) || params.gamma == 1.0,
+            "gamma in (0,1]"
+        );
         assert!(params.aging_unit > 0.0, "aging unit must be positive");
         Prophet {
             n,
@@ -145,8 +148,7 @@ impl RoutingProtocol for Prophet {
                     return false;
                 }
                 let dest = view.message(id).destination;
-                peer == dest
-                    || self.predictability(peer, dest) > self.predictability(carrier, dest)
+                peer == dest || self.predictability(peer, dest) > self.predictability(carrier, dest)
             })
             .map(|(id, _)| Forward {
                 message: id,
@@ -225,8 +227,14 @@ mod tests {
             copies: 1,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let report = run(&s, &mut Prophet::new(4), vec![m], &SimConfig::default(), &mut rng)
-            .unwrap();
+        let report = run(
+            &s,
+            &mut Prophet::new(4),
+            vec![m],
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.delivery_time(MessageId(1)), Some(Time::new(4.0)));
         assert_eq!(
             report.delivered_path(MessageId(1)),
@@ -251,15 +259,23 @@ mod tests {
             copies: 1,
         };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let report = run(&s, &mut Prophet::new(4), vec![m], &SimConfig::default(), &mut rng)
-            .unwrap();
+        let report = run(
+            &s,
+            &mut Prophet::new(4),
+            vec![m],
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(report.transmissions_for(MessageId(1)), 0);
     }
 
     #[test]
     fn beats_direct_delivery_on_random_graph() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let graph = UniformGraphBuilder::new(40).connectivity(0.2).build(&mut rng);
+        let graph = UniformGraphBuilder::new(40)
+            .connectivity(0.2)
+            .build(&mut rng);
         let schedule = ContactSchedule::sample(&graph, Time::new(120.0), &mut rng);
         let messages: Vec<Message> = (0..20u64)
             .map(|i| Message {

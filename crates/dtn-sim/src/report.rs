@@ -210,21 +210,16 @@ impl SimReport {
         let delivery_time = self.delivery_time(message)?;
         let meta = self.message_meta(message)?;
         // Find the record that performed the delivery.
-        let mut current = self
-            .forward_log
-            .iter()
-            .find(|r| {
-                r.message == message && r.to == meta.destination && r.time == delivery_time
-            })?;
+        let mut current = self.forward_log.iter().find(|r| {
+            r.message == message && r.to == meta.destination && r.time == delivery_time
+        })?;
         let mut path = vec![current.to, current.from];
         // Walk backwards: who gave the copy to `current.from`?
         while current.from != meta.source {
             let prev = self
                 .forward_log
                 .iter()
-                .filter(|r| {
-                    r.message == message && r.to == current.from && r.time <= current.time
-                })
+                .filter(|r| r.message == message && r.to == current.from && r.time <= current.time)
                 .max_by(|x, y| x.time.cmp(&y.time))?;
             path.push(prev.from);
             current = prev;

@@ -1,0 +1,347 @@
+//! Order-robust streaming aggregates for Monte-Carlo experiment output.
+//!
+//! [`StreamingStats`] is a Welford/Chan accumulator: it ingests samples
+//! one at a time (`push`) or merges whole partial accumulators
+//! (`merge`) in O(1) memory, tracking count, mean, variance, min, and
+//! max without storing the samples. Partials produced on worker threads
+//! merge into the exact same state as a serial pass *when merged in a
+//! fixed order* — the contract the parallel experiment runner relies on
+//! for bit-identical reports regardless of thread count.
+//!
+//! [`ReportAggregate`] composes several `StreamingStats` into a
+//! per-figure summary over many [`SimReport`]s: delivery rate,
+//! transmissions per message, and end-to-end delay.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::SimReport;
+
+/// Welford-style single-pass accumulator for mean/variance/min/max.
+///
+/// The merge formula is Chan et al.'s parallel variance update, so a
+/// set of disjoint partials merged in a fixed order reproduces the
+/// serial result deterministically (floating-point addition is not
+/// associative, so the *fixed order* is what guarantees bit-equality,
+/// not the algebra alone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl StreamingStats {
+    /// An empty accumulator (identity element of [`merge`](Self::merge)).
+    pub fn new() -> Self {
+        StreamingStats::default()
+    }
+
+    /// Ingests one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Merges another accumulator into this one (Chan et al.). Merging
+    /// `b` into `a` is equivalent to having pushed all of `b`'s samples
+    /// after `a`'s.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Number of samples ingested.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased (n−1) sample variance; `None` with fewer than 2 samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation; `None` with fewer than 2 samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean; `None` with fewer than 2 samples.
+    pub fn std_error(&self) -> Option<f64> {
+        self.std_dev().map(|s| s / (self.count as f64).sqrt())
+    }
+
+    /// Smallest sample; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// Streaming summary of many simulation runs: the per-report series the
+/// paper's figures average (delivery rate, transmission cost, delay),
+/// each as a [`StreamingStats`], plus exact injected/delivered totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportAggregate {
+    reports: u64,
+    injected: u64,
+    delivered: u64,
+    delivery_rate: StreamingStats,
+    transmissions: StreamingStats,
+    delay: StreamingStats,
+}
+
+impl ReportAggregate {
+    /// An empty aggregate (identity element of [`merge`](Self::merge)).
+    pub fn new() -> Self {
+        ReportAggregate::default()
+    }
+
+    /// Ingests one report: its delivery rate and mean transmissions as
+    /// one sample each, and every delivered message's delay.
+    pub fn push(&mut self, report: &SimReport) {
+        self.reports += 1;
+        self.injected += report.injected_count() as u64;
+        self.delivered += report.delivered_count() as u64;
+        self.delivery_rate.push(report.delivery_rate());
+        self.transmissions.push(report.mean_transmissions());
+        for delay in report.delays_sorted() {
+            self.delay.push(delay.as_f64());
+        }
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &ReportAggregate) {
+        self.reports += other.reports;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.delivery_rate.merge(&other.delivery_rate);
+        self.transmissions.merge(&other.transmissions);
+        self.delay.merge(&other.delay);
+    }
+
+    /// Number of reports ingested.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Total messages injected across reports.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total messages delivered across reports.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Pooled delivery rate: total delivered over total injected (the
+    /// estimator the paper's figures plot), `None` before any injection.
+    pub fn pooled_delivery_rate(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.delivered as f64 / self.injected as f64)
+    }
+
+    /// Per-report delivery-rate distribution.
+    pub fn delivery_rate(&self) -> &StreamingStats {
+        &self.delivery_rate
+    }
+
+    /// Per-report mean-transmissions distribution.
+    pub fn transmissions(&self) -> &StreamingStats {
+        &self.transmissions
+    }
+
+    /// Per-delivery end-to-end delay distribution.
+    pub fn delay(&self) -> &StreamingStats {
+        &self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let xs = [3.5, -1.0, 0.0, 7.25, 2.0, 2.0, -4.5];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert_eq!(s.count(), xs.len() as u64);
+        assert_close(s.mean().unwrap(), mean);
+        assert_close(s.variance().unwrap(), var);
+        assert_eq!(s.min(), Some(-4.5));
+        assert_eq!(s.max(), Some(7.25));
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        for split in [0, 1, 50, 99, 100] {
+            let mut serial = StreamingStats::new();
+            for &x in &xs {
+                serial.push(x);
+            }
+            let (mut a, mut b) = (StreamingStats::new(), StreamingStats::new());
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), serial.count());
+            assert_close(a.mean().unwrap(), serial.mean().unwrap());
+            assert_close(a.variance().unwrap(), serial.variance().unwrap());
+            assert_eq!(a.min(), serial.min());
+            assert_eq!(a.max(), serial.max());
+        }
+    }
+
+    #[test]
+    fn fixed_merge_order_is_bit_identical() {
+        // The runner's determinism contract: the same partials merged in
+        // the same order give bit-identical state, however they were
+        // produced.
+        let mut parts = Vec::new();
+        for chunk in 0..8 {
+            let mut p = StreamingStats::new();
+            for i in 0..25 {
+                p.push((chunk * 25 + i) as f64 * 0.1 - 7.0);
+            }
+            parts.push(p);
+        }
+        let merge_all = || {
+            let mut acc = StreamingStats::new();
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc
+        };
+        let a = merge_all();
+        let b = merge_all();
+        assert_eq!(a.mean().unwrap().to_bits(), b.mean().unwrap().to_bits());
+        assert_eq!(
+            a.variance().unwrap().to_bits(),
+            b.variance().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let mut s = StreamingStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+
+        s.push(2.5);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.variance(), None); // n-1 denominator needs 2 samples
+        assert_eq!(s.min(), Some(2.5));
+        assert_eq!(s.max(), Some(2.5));
+
+        // Merging with an empty accumulator is the identity both ways.
+        let empty = StreamingStats::new();
+        let before = s;
+        s.merge(&empty);
+        assert_eq!(s, before);
+        let mut e = StreamingStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn report_aggregate_pools_counts() {
+        use crate::message::{Message, MessageId};
+        use contact_graph::{NodeId, Time, TimeDelta};
+        use std::collections::BTreeMap;
+
+        let m = Message {
+            id: MessageId(1),
+            source: NodeId(0),
+            destination: NodeId(2),
+            created: Time::new(0.0),
+            deadline: TimeDelta::new(100.0),
+            copies: 1,
+        };
+        let mut delivered = BTreeMap::new();
+        delivered.insert(MessageId(1), Time::new(40.0));
+        let mut tx = BTreeMap::new();
+        tx.insert(MessageId(1), 2);
+        let report = SimReport::new(
+            "test".into(),
+            vec![m],
+            vec![MessageId(1)],
+            delivered,
+            tx,
+            vec![],
+            0,
+            0,
+        );
+
+        let mut agg = ReportAggregate::new();
+        agg.push(&report);
+        agg.push(&report);
+        assert_eq!(agg.reports(), 2);
+        assert_eq!(agg.injected(), 2);
+        assert_eq!(agg.delivered(), 2);
+        assert_eq!(agg.pooled_delivery_rate(), Some(1.0));
+        assert_eq!(agg.delivery_rate().mean(), Some(1.0));
+        assert_eq!(agg.transmissions().mean(), Some(2.0));
+        assert_eq!(agg.delay().count(), 2);
+        assert_eq!(agg.delay().mean(), Some(40.0));
+
+        let mut other = ReportAggregate::new();
+        other.push(&report);
+        agg.merge(&other);
+        assert_eq!(agg.reports(), 3);
+        assert_eq!(agg.delay().count(), 3);
+    }
+}

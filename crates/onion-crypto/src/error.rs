@@ -42,7 +42,10 @@ impl fmt::Display for CryptoError {
             CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
             CryptoError::InvalidHex => write!(f, "invalid hexadecimal input"),
             CryptoError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             CryptoError::MalformedOnion(what) => write!(f, "malformed onion packet: {what}"),
             CryptoError::EmptyRoute => write!(f, "onion route must contain at least one layer"),

@@ -194,7 +194,12 @@ impl FixedSizeOnion {
             // authentication failure, matching the nested format.
             return Err(CryptoError::AuthenticationFailed);
         }
-        let plain = aead::open(key, &nonce, b"onion-dtn/v1 fixed", &self.blob[start..start + len])?;
+        let plain = aead::open(
+            key,
+            &nonce,
+            b"onion-dtn/v1 fixed",
+            &self.blob[start..start + len],
+        )?;
         let ty = plain[0];
         let id = u32::from_le_bytes([plain[1], plain[2], plain[3], plain[4]]);
         let inner = &plain[HEADER_LEN..];

@@ -39,8 +39,12 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     let mut out = Vec::with_capacity(s.len() / 2);
     let bytes = s.as_bytes();
     for pair in bytes.chunks_exact(2) {
-        let hi = (pair[0] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
-        let lo = (pair[1] as char).to_digit(16).ok_or(CryptoError::InvalidHex)?;
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::InvalidHex)?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::InvalidHex)?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)

@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(ring.len(), 3);
         assert!(ring.contains(5));
         assert!(!ring.contains(4));
-        assert_eq!(ring.key(2).unwrap().as_bytes(), derive_group_key(&master, 2).as_bytes());
+        assert_eq!(
+            ring.key(2).unwrap().as_bytes(),
+            derive_group_key(&master, 2).as_bytes()
+        );
         assert_eq!(ring.key(9), Err(CryptoError::UnknownGroup(9)));
         assert_eq!(ring.group_ids().collect::<Vec<_>>(), vec![2, 5, 8]);
     }

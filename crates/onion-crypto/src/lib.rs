@@ -65,6 +65,6 @@ pub mod x25519;
 
 pub use aead::AeadKey;
 pub use error::CryptoError;
-pub use keys::{EpochKeychain, GroupKeyring};
 pub use fixed_onion::{FixedPeeled, FixedSizeOnion};
+pub use keys::{EpochKeychain, GroupKeyring};
 pub use onion::{OnionBuilder, OnionLayerSpec, OnionPacket, Peeled, RouteTarget};

@@ -378,7 +378,9 @@ mod tests {
     }
 
     fn keys(n: usize) -> Vec<AeadKey> {
-        (0..n).map(|i| AeadKey::from_bytes([i as u8 + 1; 32])).collect()
+        (0..n)
+            .map(|i| AeadKey::from_bytes([i as u8 + 1; 32]))
+            .collect()
     }
 
     #[test]
@@ -416,8 +418,14 @@ mod tests {
         let dest_key = AeadKey::from_bytes([0xDD; 32]);
         let mut rng = rng();
         let onion = OnionBuilder::new(9, b"top secret".to_vec())
-            .layer(OnionLayerSpec { group: 1, key: ks[0].clone() })
-            .layer(OnionLayerSpec { group: 2, key: ks[1].clone() })
+            .layer(OnionLayerSpec {
+                group: 1,
+                key: ks[0].clone(),
+            })
+            .layer(OnionLayerSpec {
+                group: 2,
+                key: ks[1].clone(),
+            })
             .destination_key(dest_key.clone())
             .build(&mut rng)
             .unwrap();
@@ -442,8 +450,14 @@ mod tests {
         let ks = keys(2);
         let mut rng = rng();
         let onion = OnionBuilder::new(1, b"x".to_vec())
-            .layer(OnionLayerSpec { group: 1, key: ks[0].clone() })
-            .layer(OnionLayerSpec { group: 2, key: ks[1].clone() })
+            .layer(OnionLayerSpec {
+                group: 1,
+                key: ks[0].clone(),
+            })
+            .layer(OnionLayerSpec {
+                group: 2,
+                key: ks[1].clone(),
+            })
             .build(&mut rng)
             .unwrap();
         // Peeling with the *second* group's key must fail on the outer layer.
@@ -480,7 +494,10 @@ mod tests {
         let ks = keys(1);
         let mut rng = rng();
         let onion = OnionBuilder::new(5, b"hi".to_vec())
-            .layer(OnionLayerSpec { group: 0, key: ks[0].clone() })
+            .layer(OnionLayerSpec {
+                group: 0,
+                key: ks[0].clone(),
+            })
             .build(&mut rng)
             .unwrap();
         let Peeled::ForwardClear { node, payload } = onion.peel(&ks[0]).unwrap() else {
@@ -495,8 +512,14 @@ mod tests {
         let mut rng = rng();
         let build = |payload: &[u8], rng: &mut StdRng| {
             OnionBuilder::new(5, payload.to_vec())
-                .layer(OnionLayerSpec { group: 0, key: ks[0].clone() })
-                .layer(OnionLayerSpec { group: 1, key: ks[1].clone() })
+                .layer(OnionLayerSpec {
+                    group: 0,
+                    key: ks[0].clone(),
+                })
+                .layer(OnionLayerSpec {
+                    group: 1,
+                    key: ks[1].clone(),
+                })
                 .pad_payload_to(256)
                 .build(rng)
                 .unwrap()
@@ -518,7 +541,13 @@ mod tests {
     #[test]
     fn padding_too_small_rejected() {
         let err = pad_payload(b"0123456789", 10).unwrap_err();
-        assert!(matches!(err, CryptoError::PaddingTooSmall { required: 14, requested: 10 }));
+        assert!(matches!(
+            err,
+            CryptoError::PaddingTooSmall {
+                required: 14,
+                requested: 10
+            }
+        ));
     }
 
     #[test]
@@ -542,7 +571,10 @@ mod tests {
         let ks = keys(1);
         let mut rng = rng();
         let onion = OnionBuilder::new(5, b"hi".to_vec())
-            .layer(OnionLayerSpec { group: 3, key: ks[0].clone() })
+            .layer(OnionLayerSpec {
+                group: 3,
+                key: ks[0].clone(),
+            })
             .build(&mut rng)
             .unwrap();
         let (target, blob) = onion.clone().into_parts();
@@ -556,7 +588,10 @@ mod tests {
         let mut rng = rng();
         let build = |rng: &mut StdRng| {
             OnionBuilder::new(5, b"hi".to_vec())
-                .layer(OnionLayerSpec { group: 3, key: ks[0].clone() })
+                .layer(OnionLayerSpec {
+                    group: 3,
+                    key: ks[0].clone(),
+                })
                 .build(rng)
                 .unwrap()
         };

@@ -20,9 +20,7 @@ impl Fe {
     const ONE: Fe = Fe([1, 0, 0, 0, 0]);
 
     fn from_bytes(bytes: &[u8; 32]) -> Fe {
-        let le64 = |b: &[u8]| {
-            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
-        };
+        let le64 = |b: &[u8]| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
         // Load 255 bits (mask the top bit per RFC 7748).
         let l0 = le64(&bytes[0..8]);
         let l1 = le64(&bytes[8..16]);
@@ -96,7 +94,13 @@ impl Fe {
     fn add(&self, other: &Fe) -> Fe {
         let a = self.0;
         let b = other.0;
-        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
     }
 
     /// `self - other`, with a 2·p bias to keep limbs non-negative.
@@ -161,7 +165,13 @@ impl Fe {
         c[3] &= m;
         c[0] += 19 * (c[4] >> 51);
         c[4] &= m;
-        Fe([c[0] as u64, c[1] as u64, c[2] as u64, c[3] as u64, c[4] as u64])
+        Fe([
+            c[0] as u64,
+            c[1] as u64,
+            c[2] as u64,
+            c[3] as u64,
+            c[4] as u64,
+        ])
     }
 
     /// `self^(p − 2)`, i.e. the multiplicative inverse (0 maps to 0).

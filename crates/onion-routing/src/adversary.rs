@@ -124,10 +124,7 @@ mod tests {
         // Path v1→…→v6 with v2, v3, v5 compromised → bits 01101.
         let a = Adversary::from_nodes([NodeId(2), NodeId(3), NodeId(5)]);
         let path: Vec<NodeId> = (1..=6).map(NodeId).collect();
-        assert_eq!(
-            a.path_bits(&path),
-            vec![false, true, true, false, true]
-        );
+        assert_eq!(a.path_bits(&path), vec![false, true, true, false, true]);
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl std::fmt::Display for WalkError {
                 hop,
                 expected,
                 actual,
-            } => write!(f, "hop {hop}: layer says {expected}, chain went to {actual}"),
+            } => write!(
+                f,
+                "hop {hop}: layer says {expected}, chain went to {actual}"
+            ),
             WalkError::ChainLengthMismatch => {
                 write!(f, "custody chain length does not match onion depth")
             }
@@ -178,9 +181,7 @@ impl OnionCryptoContext {
                     debug_assert_eq!(onion.capacity(), capacity, "size leak");
                     let next_node = chain[idx + 2];
                     let admitted = match next {
-                        RouteTarget::Group(gid) => {
-                            self.groups.contains(GroupId(gid), next_node)
-                        }
+                        RouteTarget::Group(gid) => self.groups.contains(GroupId(gid), next_node),
                         RouteTarget::Node(node) => node == next_node.0,
                     };
                     if !admitted {
@@ -233,9 +234,7 @@ impl OnionCryptoContext {
                     // The next chain node must be admitted by `next`.
                     let next_node = chain[idx + 2];
                     let admitted = match next {
-                        RouteTarget::Group(gid) => {
-                            self.groups.contains(GroupId(gid), next_node)
-                        }
+                        RouteTarget::Group(gid) => self.groups.contains(GroupId(gid), next_node),
                         RouteTarget::Node(node) => node == next_node.0,
                     };
                     if !admitted {
@@ -296,9 +295,7 @@ mod tests {
         let route = vec![GroupId(1), GroupId(2)];
         for relay1 in [NodeId(2), NodeId(3)] {
             for relay2 in [NodeId(4), NodeId(5)] {
-                let onion = ctx
-                    .build_onion(&route, NodeId(7), b"x", &mut rng)
-                    .unwrap();
+                let onion = ctx.build_onion(&route, NodeId(7), b"x", &mut rng).unwrap();
                 assert!(ctx
                     .walk_custody_chain(onion, &[NodeId(0), relay1, relay2, NodeId(7)])
                     .is_ok());
@@ -311,14 +308,15 @@ mod tests {
         let ctx = context();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let route = vec![GroupId(1), GroupId(2)];
-        let onion = ctx
-            .build_onion(&route, NodeId(7), b"x", &mut rng)
-            .unwrap();
+        let onion = ctx.build_onion(&route, NodeId(7), b"x", &mut rng).unwrap();
         // Node 6 (group R3) tries to act as the first relay.
         let err = ctx
             .walk_custody_chain(onion, &[NodeId(0), NodeId(6), NodeId(4), NodeId(7)])
             .unwrap_err();
-        assert!(matches!(err, WalkError::Crypto(CryptoError::AuthenticationFailed)));
+        assert!(matches!(
+            err,
+            WalkError::Crypto(CryptoError::AuthenticationFailed)
+        ));
     }
 
     #[test]
@@ -326,9 +324,7 @@ mod tests {
         let ctx = context();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let route = vec![GroupId(1), GroupId(2)];
-        let onion = ctx
-            .build_onion(&route, NodeId(7), b"x", &mut rng)
-            .unwrap();
+        let onion = ctx.build_onion(&route, NodeId(7), b"x", &mut rng).unwrap();
         // Second relay is in R3, not the R2 the layer mandates — relay 1
         // peels fine but the next hop check fails.
         let err = ctx

@@ -13,32 +13,44 @@
 //!   transmissions start at a random contact of the source ("business
 //!   hours"); rates for the analysis side are estimated ("trained") from
 //!   the trace.
+//!
+//! Every entry point fans its realizations across the deterministic
+//! parallel runner ([`crate::runner`]): trial `i` derives all of its
+//! randomness from [`trial_rng`]`(opts.seed, domain, i)` and produces a
+//! mergeable partial, and partials are folded in ascending trial order —
+//! so reports are bit-identical for any [`ExperimentOptions::threads`]
+//! setting.
 
 use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
-use dtn_sim::{run, Message, MessageId, SimConfig, SimReport};
+use dtn_sim::{run, Message, MessageId, SimConfig, SimReport, StreamingStats};
 use rand::Rng;
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::adversary::Adversary;
 use crate::config::ProtocolConfig;
 use crate::groups::OnionGroups;
 use crate::metrics;
 use crate::protocol::{ForwardingMode, OnionRouting};
+use crate::runner::{run_trials, trial_rng, RunnerConfig, SeedDomain};
 
 /// Knobs that are about the experiment, not the protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
     /// Messages injected per realization.
     pub messages: usize,
     /// Independent realizations (graph + groups + adversary draws)
     /// averaged per point.
     pub realizations: usize,
-    /// Base RNG seed; every realization derives its own stream.
+    /// Base RNG seed; every realization derives its own stream via
+    /// [`trial_rng`] (domain-separated SplitMix64 → ChaCha8).
     pub seed: u64,
     /// Mean inter-contact range of the random graphs (Table II: 1–36
     /// minutes).
     pub intercontact_range: (f64, f64),
+    /// Worker threads for the realization fan-out; `0` auto-detects.
+    /// Results never depend on this value, only wall-clock time does.
+    pub threads: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -48,12 +60,20 @@ impl Default for ExperimentOptions {
             realizations: 10,
             seed: 0x0D10_57E5,
             intercontact_range: (1.0, 36.0),
+            threads: 0,
         }
     }
 }
 
+impl ExperimentOptions {
+    /// The runner configuration these options imply.
+    pub fn runner(&self) -> RunnerConfig {
+        RunnerConfig::new(self.threads)
+    }
+}
+
 /// Aggregated analysis-vs-simulation values for one parameter point.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PointSummary {
     /// Mean model-predicted delivery rate (Eqs. 6–7 on realized rates).
     pub analysis_delivery: f64,
@@ -76,6 +96,10 @@ pub struct PointSummary {
     pub injected: usize,
     /// Total messages delivered across realizations.
     pub delivered: usize,
+    /// Per-realization simulated delivery-rate distribution (streaming
+    /// mean/variance/min/max across realizations) — error bars for
+    /// `sim_delivery`.
+    pub delivery_stats: StreamingStats,
 }
 
 /// Runs one random-graph data point.
@@ -86,20 +110,34 @@ pub struct PointSummary {
 pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) -> PointSummary {
     cfg.validate().expect("experiment config must be valid");
     let mut acc = Accumulator::default();
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x9E37_79B9 + realization as u64));
-        let graph = UniformGraphBuilder::new(cfg.nodes)
-            .mean_intercontact_range(
-                TimeDelta::new(opts.intercontact_range.0),
-                TimeDelta::new(opts.intercontact_range.1),
-            )
-            .build(&mut rng);
-        let horizon = Time::ZERO + cfg.deadline;
-        let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
-        let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
-        run_one_realization(cfg, &schedule, Some(&graph), messages, &mut rng, &mut acc);
-    }
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let mut rng = trial_rng(opts.seed, SeedDomain::GraphRealization, realization as u64);
+            let graph = UniformGraphBuilder::new(cfg.nodes)
+                .mean_intercontact_range(
+                    TimeDelta::new(opts.intercontact_range.0),
+                    TimeDelta::new(opts.intercontact_range.1),
+                )
+                .build(&mut rng);
+            let horizon = Time::ZERO + cfg.deadline;
+            let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
+            let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+            let mut partial = Accumulator::default();
+            run_one_realization(
+                cfg,
+                &schedule,
+                Some(&graph),
+                messages,
+                &mut rng,
+                &mut partial,
+            );
+            partial
+        },
+        &mut acc,
+        |acc, _realization, partial| acc.merge(&partial),
+    );
     acc.finish(cfg)
 }
 
@@ -124,38 +162,58 @@ pub fn run_schedule_point(
     );
     let estimated = schedule.estimate_rates();
     let mut acc = Accumulator::default();
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x51ED_2701 + realization as u64));
-        // Start each message at a random contact event of its source.
-        let events = schedule.events();
-        let messages = random_messages(
-            cfg,
-            opts.messages,
-            |source| {
-                let candidates: Vec<Time> = events
-                    .iter()
-                    .filter(|e| e.involves(source))
-                    .map(|e| e.time)
-                    .collect();
-                if candidates.is_empty() {
-                    Time::ZERO
-                } else {
-                    candidates[rng.gen_range(0..candidates.len())]
-                }
-            },
-            &mut ChaCha8Rng::seed_from_u64(opts.seed ^ (0xABCD + realization as u64)),
-        );
-        run_one_realization(cfg, schedule, Some(&estimated), messages, &mut rng, &mut acc);
-    }
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let trial = realization as u64;
+            let mut rng = trial_rng(opts.seed, SeedDomain::ScheduleRealization, trial);
+            let mut start_rng = trial_rng(opts.seed, SeedDomain::ScheduleStarts, trial);
+            // Start each message at a random contact event of its source.
+            let events = schedule.events();
+            let messages = random_messages(
+                cfg,
+                opts.messages,
+                |source| {
+                    let candidates: Vec<Time> = events
+                        .iter()
+                        .filter(|e| e.involves(source))
+                        .map(|e| e.time)
+                        .collect();
+                    if candidates.is_empty() {
+                        Time::ZERO
+                    } else {
+                        candidates[start_rng.gen_range(0..candidates.len())]
+                    }
+                },
+                &mut rng,
+            );
+            let mut partial = Accumulator::default();
+            run_one_realization(
+                cfg,
+                schedule,
+                Some(&estimated),
+                messages,
+                &mut rng,
+                &mut partial,
+            );
+            partial
+        },
+        &mut acc,
+        |acc, _realization, partial| acc.merge(&partial),
+    );
     acc.finish(cfg)
 }
 
-/// Accumulates per-realization results.
+/// Accumulates per-realization results. Mergeable: the parallel runner
+/// folds one `Accumulator` per realization into the final one in trial
+/// order.
 #[derive(Default)]
 struct Accumulator {
-    analysis_delivery_sum: f64,
-    analysis_delivery_count: usize,
+    /// Per-message model-predicted delivery probability (Eq. 6/7).
+    analysis_delivery: StreamingStats,
+    /// Per-realization simulated delivery rate.
+    realization_delivery: StreamingStats,
     injected: usize,
     delivered: usize,
     trace_sum: f64,
@@ -167,12 +225,23 @@ struct Accumulator {
 }
 
 impl Accumulator {
+    fn merge(&mut self, other: &Accumulator) {
+        self.analysis_delivery.merge(&other.analysis_delivery);
+        self.realization_delivery.merge(&other.realization_delivery);
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.trace_sum += other.trace_sum;
+        self.trace_count += other.trace_count;
+        self.anon_sum += other.anon_sum;
+        self.anon_count += other.anon_count;
+        self.tx_sum += other.tx_sum;
+        self.tx_count += other.tx_count;
+    }
+
     fn finish(self, cfg: &ProtocolConfig) -> PointSummary {
-        let analysis_traceable = analysis::expected_traceable_rate(
-            cfg.eta(),
-            cfg.compromise_probability(),
-        )
-        .expect("validated parameters");
+        let analysis_traceable =
+            analysis::expected_traceable_rate(cfg.eta(), cfg.compromise_probability())
+                .expect("validated parameters");
         let analysis_anonymity = analysis::path_anonymity(
             cfg.nodes,
             cfg.group_size,
@@ -187,11 +256,7 @@ impl Accumulator {
             analysis::multi_copy_bound(cfg.onions, cfg.copies).expect("L > 0") as f64
         };
         PointSummary {
-            analysis_delivery: if self.analysis_delivery_count > 0 {
-                self.analysis_delivery_sum / self.analysis_delivery_count as f64
-            } else {
-                0.0
-            },
+            analysis_delivery: self.analysis_delivery.mean().unwrap_or(0.0),
             sim_delivery: if self.injected > 0 {
                 self.delivered as f64 / self.injected as f64
             } else {
@@ -217,6 +282,7 @@ impl Accumulator {
             analysis_cost_bound,
             injected: self.injected,
             delivered: self.delivered,
+            delivery_stats: self.realization_delivery,
         }
     }
 }
@@ -263,8 +329,7 @@ fn run_one_realization(
     } else {
         ForwardingMode::MultiCopy
     };
-    let mut protocol =
-        OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
+    let mut protocol = OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
 
     let report: SimReport = run(
         schedule,
@@ -304,8 +369,7 @@ fn run_one_realization(
                         _ => 0.0,
                     }
                 };
-                acc.analysis_delivery_sum += p;
-                acc.analysis_delivery_count += 1;
+                acc.analysis_delivery.push(p);
             }
         }
     }
@@ -313,6 +377,7 @@ fn run_one_realization(
     // Simulation series.
     acc.injected += report.injected_count();
     acc.delivered += report.delivered_count();
+    acc.realization_delivery.push(report.delivery_rate());
     acc.tx_sum += report.mean_transmissions() * report.injected_count() as f64;
     acc.tx_count += report.injected_count();
 
@@ -321,13 +386,9 @@ fn run_one_realization(
         acc.trace_sum += t * report.delivered_count() as f64;
         acc.trace_count += report.delivered_count();
     }
-    if let Some(a) = metrics::mean_path_anonymity(
-        &report,
-        &adversary,
-        cfg.nodes,
-        cfg.group_size,
-        cfg.eta(),
-    ) {
+    if let Some(a) =
+        metrics::mean_path_anonymity(&report, &adversary, cfg.nodes, cfg.group_size, cfg.eta())
+    {
         acc.anon_sum += a * report.injected_count() as f64;
         acc.anon_count += report.injected_count();
     }
@@ -360,6 +421,120 @@ pub struct SecuritySweepRow {
     pub sim_anonymity: Option<f64>,
 }
 
+/// Per-realization partial of a delivery sweep; merged index-wise in
+/// trial order.
+struct DeliveryPartial {
+    sim_hits: Vec<usize>,
+    analysis_sum: Vec<f64>,
+    injected: usize,
+    analysis_count: usize,
+}
+
+impl DeliveryPartial {
+    fn new(points: usize) -> Self {
+        DeliveryPartial {
+            sim_hits: vec![0; points],
+            analysis_sum: vec![0.0; points],
+            injected: 0,
+            analysis_count: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &DeliveryPartial) {
+        for (a, b) in self.sim_hits.iter_mut().zip(&other.sim_hits) {
+            *a += b;
+        }
+        for (a, b) in self.analysis_sum.iter_mut().zip(&other.analysis_sum) {
+            *a += b;
+        }
+        self.injected += other.injected;
+        self.analysis_count += other.analysis_count;
+    }
+
+    fn rows(&self, deadlines: &[f64]) -> Vec<DeliverySweepRow> {
+        deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| DeliverySweepRow {
+                deadline: t,
+                analysis: if self.analysis_count > 0 {
+                    self.analysis_sum[i] / self.analysis_count as f64
+                } else {
+                    0.0
+                },
+                sim: if self.injected > 0 {
+                    self.sim_hits[i] as f64 / self.injected as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// Scores one realization's simulation + analysis series against
+    /// every deadline of the sweep.
+    fn score_realization(
+        &mut self,
+        run_cfg: &ProtocolConfig,
+        rate_graph: &contact_graph::ContactGraph,
+        deadlines: &[f64],
+        messages: &[Message],
+        protocol: &OnionRouting,
+        report: &SimReport,
+    ) {
+        self.injected += messages.len();
+        for m in messages {
+            // Simulation: delivery within each deadline.
+            if let Some(delay) = report.delivery_delay(m.id) {
+                for (i, &t) in deadlines.iter().enumerate() {
+                    if delay.as_f64() <= t {
+                        self.sim_hits[i] += 1;
+                    }
+                }
+            }
+            // Analysis: Eq. 4 rates → hypoexponential CDF at each T.
+            if let Some(route) = protocol.route_of(m.id) {
+                let members: Vec<Vec<NodeId>> = protocol
+                    .groups()
+                    .route_members(route)
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .filter(|&v| v != m.source && v != m.destination)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                self.analysis_count += 1;
+                if members.iter().any(|g| g.is_empty()) {
+                    continue;
+                }
+                if let Ok(rates) =
+                    analysis::onion_path_rates(rate_graph, m.source, &members, m.destination)
+                {
+                    if rates.iter().all(|&r| r > 0.0) {
+                        let boosted: Vec<f64> =
+                            rates.iter().map(|&r| r * run_cfg.copies as f64).collect();
+                        if let Ok(h) = analysis::HypoExp::new(boosted) {
+                            for (i, &t) in deadlines.iter().enumerate() {
+                                self.analysis_sum[i] += h.cdf(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn onion_protocol(cfg: &ProtocolConfig, groups: OnionGroups) -> OnionRouting {
+    let mode = if cfg.copies == 1 {
+        ForwardingMode::SingleCopy
+    } else {
+        ForwardingMode::MultiCopy
+    };
+    OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection)
+}
+
 /// Delivery rate vs deadline on random graphs, reusing one simulation per
 /// realization for every deadline: delivering within `T` is equivalent to
 /// a delivery delay `≤ T`, so a single maximum-deadline run yields the
@@ -382,102 +557,40 @@ pub fn delivery_sweep_random_graph(
     };
     run_cfg.validate().expect("experiment config must be valid");
 
-    let mut sim_hits = vec![0usize; deadlines.len()];
-    let mut analysis_sum = vec![0.0f64; deadlines.len()];
-    let mut injected = 0usize;
-    let mut analysis_count = 0usize;
+    let mut total = DeliveryPartial::new(deadlines.len());
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let mut rng = trial_rng(opts.seed, SeedDomain::GraphRealization, realization as u64);
+            let graph = UniformGraphBuilder::new(run_cfg.nodes)
+                .mean_intercontact_range(
+                    TimeDelta::new(opts.intercontact_range.0),
+                    TimeDelta::new(opts.intercontact_range.1),
+                )
+                .build(&mut rng);
+            let schedule = ContactSchedule::sample(&graph, Time::new(max_t), &mut rng);
+            let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
 
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x9E37_79B9 + realization as u64));
-        let graph = UniformGraphBuilder::new(run_cfg.nodes)
-            .mean_intercontact_range(
-                TimeDelta::new(opts.intercontact_range.0),
-                TimeDelta::new(opts.intercontact_range.1),
+            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(&run_cfg, groups);
+            let report = run(
+                &schedule,
+                &mut protocol,
+                messages.clone(),
+                &SimConfig::default(),
+                &mut rng,
             )
-            .build(&mut rng);
-        let schedule = ContactSchedule::sample(&graph, Time::new(max_t), &mut rng);
-        let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
+            .expect("validated");
 
-        let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-        let mode = if run_cfg.copies == 1 {
-            ForwardingMode::SingleCopy
-        } else {
-            ForwardingMode::MultiCopy
-        };
-        let mut protocol =
-            OnionRouting::new(groups, run_cfg.onions, mode).with_selection(run_cfg.selection);
-        let report = run(
-            &schedule,
-            &mut protocol,
-            messages.clone(),
-            &SimConfig::default(),
-            &mut rng,
-        )
-        .expect("validated");
-
-        injected += messages.len();
-        for m in &messages {
-            // Simulation: delivery within each deadline.
-            if let Some(delay) = report.delivery_delay(m.id) {
-                for (i, &t) in deadlines.iter().enumerate() {
-                    if delay.as_f64() <= t {
-                        sim_hits[i] += 1;
-                    }
-                }
-            }
-            // Analysis: Eq. 4 rates → hypoexponential CDF at each T.
-            if let Some(route) = protocol.route_of(m.id) {
-                let members: Vec<Vec<NodeId>> = protocol
-                    .groups()
-                    .route_members(route)
-                    .into_iter()
-                    .map(|g| {
-                        g.into_iter()
-                            .filter(|&v| v != m.source && v != m.destination)
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                analysis_count += 1;
-                if members.iter().any(|g| g.is_empty()) {
-                    continue;
-                }
-                if let Ok(rates) =
-                    analysis::onion_path_rates(&graph, m.source, &members, m.destination)
-                {
-                    if rates.iter().all(|&r| r > 0.0) {
-                        let boosted: Vec<f64> = rates
-                            .iter()
-                            .map(|&r| r * run_cfg.copies as f64)
-                            .collect();
-                        if let Ok(h) = analysis::HypoExp::new(boosted) {
-                            for (i, &t) in deadlines.iter().enumerate() {
-                                analysis_sum[i] += h.cdf(t);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    deadlines
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| DeliverySweepRow {
-            deadline: t,
-            analysis: if analysis_count > 0 {
-                analysis_sum[i] / analysis_count as f64
-            } else {
-                0.0
-            },
-            sim: if injected > 0 {
-                sim_hits[i] as f64 / injected as f64
-            } else {
-                0.0
-            },
-        })
-        .collect()
+            let mut partial = DeliveryPartial::new(deadlines.len());
+            partial.score_realization(&run_cfg, &graph, deadlines, &messages, &protocol, &report);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    total.rows(deadlines)
 }
 
 /// Delivery rate vs deadline on a fixed contact schedule (trace-driven;
@@ -520,112 +633,158 @@ pub fn delivery_sweep_schedule_with_rates(
         ..cfg.clone()
     };
     run_cfg.validate().expect("experiment config must be valid");
-    assert_eq!(run_cfg.nodes, schedule.node_count(), "config nodes must match the trace");
-    let mut sim_hits = vec![0usize; deadlines.len()];
-    let mut analysis_sum = vec![0.0f64; deadlines.len()];
-    let mut injected = 0usize;
-    let mut analysis_count = 0usize;
+    assert_eq!(
+        run_cfg.nodes,
+        schedule.node_count(),
+        "config nodes must match the trace"
+    );
 
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x51ED_2701 + realization as u64));
-        let events = schedule.events().to_vec();
-        let mut start_rng = ChaCha8Rng::seed_from_u64(opts.seed ^ (0xABCD + realization as u64));
-        let messages = random_messages(
-            &run_cfg,
-            opts.messages,
-            |source| {
-                let candidates: Vec<Time> = events
-                    .iter()
-                    .filter(|e| e.involves(source))
-                    .map(|e| e.time)
-                    .collect();
-                if candidates.is_empty() {
-                    Time::ZERO
-                } else {
-                    candidates[start_rng.gen_range(0..candidates.len())]
-                }
-            },
-            &mut rng,
-        );
-
-        let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-        let mode = if run_cfg.copies == 1 {
-            ForwardingMode::SingleCopy
-        } else {
-            ForwardingMode::MultiCopy
-        };
-        let mut protocol =
-            OnionRouting::new(groups, run_cfg.onions, mode).with_selection(run_cfg.selection);
-        let report = run(
-            schedule,
-            &mut protocol,
-            messages.clone(),
-            &SimConfig::default(),
-            &mut rng,
-        )
-        .expect("validated");
-
-        injected += messages.len();
-        for m in &messages {
-            if let Some(delay) = report.delivery_delay(m.id) {
-                for (i, &t) in deadlines.iter().enumerate() {
-                    if delay.as_f64() <= t {
-                        sim_hits[i] += 1;
+    let mut total = DeliveryPartial::new(deadlines.len());
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let trial = realization as u64;
+            let mut rng = trial_rng(opts.seed, SeedDomain::ScheduleRealization, trial);
+            let mut start_rng = trial_rng(opts.seed, SeedDomain::ScheduleStarts, trial);
+            let events = schedule.events();
+            let messages = random_messages(
+                &run_cfg,
+                opts.messages,
+                |source| {
+                    let candidates: Vec<Time> = events
+                        .iter()
+                        .filter(|e| e.involves(source))
+                        .map(|e| e.time)
+                        .collect();
+                    if candidates.is_empty() {
+                        Time::ZERO
+                    } else {
+                        candidates[start_rng.gen_range(0..candidates.len())]
                     }
+                },
+                &mut rng,
+            );
+
+            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(&run_cfg, groups);
+            let report = run(
+                schedule,
+                &mut protocol,
+                messages.clone(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .expect("validated");
+
+            let mut partial = DeliveryPartial::new(deadlines.len());
+            partial.score_realization(
+                &run_cfg, estimated, deadlines, &messages, &protocol, &report,
+            );
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    total.rows(deadlines)
+}
+
+/// Per-realization partial of a security sweep: per-`c` weighted sums.
+struct SecurityPartial {
+    trace_sum: Vec<f64>,
+    trace_count: Vec<usize>,
+    anon_sum: Vec<f64>,
+    anon_count: Vec<usize>,
+}
+
+impl SecurityPartial {
+    fn new(points: usize) -> Self {
+        SecurityPartial {
+            trace_sum: vec![0.0; points],
+            trace_count: vec![0; points],
+            anon_sum: vec![0.0; points],
+            anon_count: vec![0; points],
+        }
+    }
+
+    fn merge(&mut self, other: &SecurityPartial) {
+        for (a, b) in self.trace_sum.iter_mut().zip(&other.trace_sum) {
+            *a += b;
+        }
+        for (a, b) in self.trace_count.iter_mut().zip(&other.trace_count) {
+            *a += b;
+        }
+        for (a, b) in self.anon_sum.iter_mut().zip(&other.anon_sum) {
+            *a += b;
+        }
+        for (a, b) in self.anon_count.iter_mut().zip(&other.anon_count) {
+            *a += b;
+        }
+    }
+
+    /// Draws `adversary_draws` compromise sets per `c` against one
+    /// realization's report.
+    fn score_realization(
+        &mut self,
+        cfg: &ProtocolConfig,
+        compromised_values: &[usize],
+        adversary_draws: usize,
+        report: &SimReport,
+        rng: &mut ChaCha8Rng,
+    ) {
+        for (i, &c) in compromised_values.iter().enumerate() {
+            for _ in 0..adversary_draws.max(1) {
+                let adversary = Adversary::random(cfg.nodes, c, rng);
+                if let Some(t) = metrics::mean_traceable_rate(report, &adversary) {
+                    self.trace_sum[i] += t;
+                    self.trace_count[i] += 1;
                 }
-            }
-            if let Some(route) = protocol.route_of(m.id) {
-                let members: Vec<Vec<NodeId>> = protocol
-                    .groups()
-                    .route_members(route)
-                    .into_iter()
-                    .map(|g| {
-                        g.into_iter()
-                            .filter(|&v| v != m.source && v != m.destination)
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                analysis_count += 1;
-                if members.iter().any(|g| g.is_empty()) {
-                    continue;
-                }
-                if let Ok(rates) =
-                    analysis::onion_path_rates(estimated, m.source, &members, m.destination)
-                {
-                    if rates.iter().all(|&r| r > 0.0) {
-                        let boosted: Vec<f64> = rates
-                            .iter()
-                            .map(|&r| r * run_cfg.copies as f64)
-                            .collect();
-                        if let Ok(h) = analysis::HypoExp::new(boosted) {
-                            for (i, &t) in deadlines.iter().enumerate() {
-                                analysis_sum[i] += h.cdf(t);
-                            }
-                        }
-                    }
+                if let Some(a) = metrics::mean_path_anonymity(
+                    report,
+                    &adversary,
+                    cfg.nodes,
+                    cfg.group_size,
+                    cfg.eta(),
+                ) {
+                    self.anon_sum[i] += a;
+                    self.anon_count[i] += 1;
                 }
             }
         }
     }
 
-    deadlines
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| DeliverySweepRow {
-            deadline: t,
-            analysis: if analysis_count > 0 {
-                analysis_sum[i] / analysis_count as f64
-            } else {
-                0.0
-            },
-            sim: if injected > 0 {
-                sim_hits[i] as f64 / injected as f64
-            } else {
-                0.0
-            },
-        })
-        .collect()
+    fn rows(&self, cfg: &ProtocolConfig, compromised_values: &[usize]) -> Vec<SecuritySweepRow> {
+        compromised_values
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| SecuritySweepRow {
+                compromised: c,
+                analysis_traceable: analysis::expected_traceable_rate(
+                    cfg.eta(),
+                    c as f64 / cfg.nodes as f64,
+                )
+                .expect("validated"),
+                sim_traceable: if self.trace_count[i] > 0 {
+                    Some(self.trace_sum[i] / self.trace_count[i] as f64)
+                } else {
+                    None
+                },
+                analysis_anonymity: analysis::path_anonymity(
+                    cfg.nodes,
+                    cfg.group_size,
+                    cfg.onions,
+                    c,
+                    cfg.copies,
+                )
+                .expect("validated"),
+                sim_anonymity: if self.anon_count[i] > 0 {
+                    Some(self.anon_sum[i] / self.anon_count[i] as f64)
+                } else {
+                    None
+                },
+            })
+            .collect()
+    }
 }
 
 /// Security metrics vs compromised-node count, reusing one simulation per
@@ -646,93 +805,41 @@ pub fn security_sweep_random_graph(
 ) -> Vec<SecuritySweepRow> {
     cfg.validate().expect("experiment config must be valid");
 
-    // Per-c accumulators.
-    let mut trace_sum = vec![0.0f64; compromised_values.len()];
-    let mut trace_count = vec![0usize; compromised_values.len()];
-    let mut anon_sum = vec![0.0f64; compromised_values.len()];
-    let mut anon_count = vec![0usize; compromised_values.len()];
+    let mut total = SecurityPartial::new(compromised_values.len());
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let mut rng = trial_rng(opts.seed, SeedDomain::SecurityGraph, realization as u64);
+            let graph = UniformGraphBuilder::new(cfg.nodes)
+                .mean_intercontact_range(
+                    TimeDelta::new(opts.intercontact_range.0),
+                    TimeDelta::new(opts.intercontact_range.1),
+                )
+                .build(&mut rng);
+            let horizon = Time::ZERO + cfg.deadline;
+            let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
+            let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
 
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x0BAD_CAFE + realization as u64));
-        let graph = UniformGraphBuilder::new(cfg.nodes)
-            .mean_intercontact_range(
-                TimeDelta::new(opts.intercontact_range.0),
-                TimeDelta::new(opts.intercontact_range.1),
+            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(cfg, groups);
+            let report = run(
+                &schedule,
+                &mut protocol,
+                messages,
+                &SimConfig::default(),
+                &mut rng,
             )
-            .build(&mut rng);
-        let horizon = Time::ZERO + cfg.deadline;
-        let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
-        let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+            .expect("validated");
 
-        let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-        let mode = if cfg.copies == 1 {
-            ForwardingMode::SingleCopy
-        } else {
-            ForwardingMode::MultiCopy
-        };
-        let mut protocol =
-            OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
-        let report = run(
-            &schedule,
-            &mut protocol,
-            messages,
-            &SimConfig::default(),
-            &mut rng,
-        )
-        .expect("validated");
-
-        for (i, &c) in compromised_values.iter().enumerate() {
-            for _ in 0..adversary_draws.max(1) {
-                let adversary = Adversary::random(cfg.nodes, c, &mut rng);
-                if let Some(t) = metrics::mean_traceable_rate(&report, &adversary) {
-                    trace_sum[i] += t;
-                    trace_count[i] += 1;
-                }
-                if let Some(a) = metrics::mean_path_anonymity(
-                    &report,
-                    &adversary,
-                    cfg.nodes,
-                    cfg.group_size,
-                    cfg.eta(),
-                ) {
-                    anon_sum[i] += a;
-                    anon_count[i] += 1;
-                }
-            }
-        }
-    }
-
-    compromised_values
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| SecuritySweepRow {
-            compromised: c,
-            analysis_traceable: analysis::expected_traceable_rate(
-                cfg.eta(),
-                c as f64 / cfg.nodes as f64,
-            )
-            .expect("validated"),
-            sim_traceable: if trace_count[i] > 0 {
-                Some(trace_sum[i] / trace_count[i] as f64)
-            } else {
-                None
-            },
-            analysis_anonymity: analysis::path_anonymity(
-                cfg.nodes,
-                cfg.group_size,
-                cfg.onions,
-                c,
-                cfg.copies,
-            )
-            .expect("validated"),
-            sim_anonymity: if anon_count[i] > 0 {
-                Some(anon_sum[i] / anon_count[i] as f64)
-            } else {
-                None
-            },
-        })
-        .collect()
+            let mut partial = SecurityPartial::new(compromised_values.len());
+            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    total.rows(cfg, compromised_values)
 }
 
 /// Security metrics vs compromised count on a fixed schedule (trace-driven;
@@ -749,110 +856,64 @@ pub fn security_sweep_schedule(
     opts: &ExperimentOptions,
 ) -> Vec<SecuritySweepRow> {
     cfg.validate().expect("experiment config must be valid");
-    assert_eq!(cfg.nodes, schedule.node_count(), "config nodes must match the trace");
+    assert_eq!(
+        cfg.nodes,
+        schedule.node_count(),
+        "config nodes must match the trace"
+    );
 
-    let mut trace_sum = vec![0.0f64; compromised_values.len()];
-    let mut trace_count = vec![0usize; compromised_values.len()];
-    let mut anon_sum = vec![0.0f64; compromised_values.len()];
-    let mut anon_count = vec![0usize; compromised_values.len()];
+    let mut total = SecurityPartial::new(compromised_values.len());
+    run_trials(
+        &opts.runner(),
+        opts.realizations,
+        |realization| {
+            let trial = realization as u64;
+            let mut rng = trial_rng(opts.seed, SeedDomain::SecuritySchedule, trial);
+            let mut start_rng = trial_rng(opts.seed, SeedDomain::SecurityStarts, trial);
+            let events = schedule.events();
+            let messages = random_messages(
+                cfg,
+                opts.messages,
+                |source| {
+                    let candidates: Vec<Time> = events
+                        .iter()
+                        .filter(|e| e.involves(source))
+                        .map(|e| e.time)
+                        .collect();
+                    if candidates.is_empty() {
+                        Time::ZERO
+                    } else {
+                        candidates[start_rng.gen_range(0..candidates.len())]
+                    }
+                },
+                &mut rng,
+            );
 
-    for realization in 0..opts.realizations {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0xFEED_F00D + realization as u64));
-        let events = schedule.events().to_vec();
-        let mut start_rng =
-            ChaCha8Rng::seed_from_u64(opts.seed ^ (0x1234 + realization as u64));
-        let messages = random_messages(
-            cfg,
-            opts.messages,
-            |source| {
-                let candidates: Vec<Time> = events
-                    .iter()
-                    .filter(|e| e.involves(source))
-                    .map(|e| e.time)
-                    .collect();
-                if candidates.is_empty() {
-                    Time::ZERO
-                } else {
-                    candidates[start_rng.gen_range(0..candidates.len())]
-                }
-            },
-            &mut rng,
-        );
-
-        let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-        let mode = if cfg.copies == 1 {
-            ForwardingMode::SingleCopy
-        } else {
-            ForwardingMode::MultiCopy
-        };
-        let mut protocol =
-            OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
-        let report = run(
-            schedule,
-            &mut protocol,
-            messages,
-            &SimConfig::default(),
-            &mut rng,
-        )
-        .expect("validated");
-
-        for (i, &c) in compromised_values.iter().enumerate() {
-            for _ in 0..adversary_draws.max(1) {
-                let adversary = Adversary::random(cfg.nodes, c, &mut rng);
-                if let Some(t) = metrics::mean_traceable_rate(&report, &adversary) {
-                    trace_sum[i] += t;
-                    trace_count[i] += 1;
-                }
-                if let Some(a) = metrics::mean_path_anonymity(
-                    &report,
-                    &adversary,
-                    cfg.nodes,
-                    cfg.group_size,
-                    cfg.eta(),
-                ) {
-                    anon_sum[i] += a;
-                    anon_count[i] += 1;
-                }
-            }
-        }
-    }
-
-    compromised_values
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| SecuritySweepRow {
-            compromised: c,
-            analysis_traceable: analysis::expected_traceable_rate(
-                cfg.eta(),
-                c as f64 / cfg.nodes as f64,
+            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(cfg, groups);
+            let report = run(
+                schedule,
+                &mut protocol,
+                messages,
+                &SimConfig::default(),
+                &mut rng,
             )
-            .expect("validated"),
-            sim_traceable: if trace_count[i] > 0 {
-                Some(trace_sum[i] / trace_count[i] as f64)
-            } else {
-                None
-            },
-            analysis_anonymity: analysis::path_anonymity(
-                cfg.nodes,
-                cfg.group_size,
-                cfg.onions,
-                c,
-                cfg.copies,
-            )
-            .expect("validated"),
-            sim_anonymity: if anon_count[i] > 0 {
-                Some(anon_sum[i] / anon_count[i] as f64)
-            } else {
-                None
-            },
-        })
-        .collect()
+            .expect("validated");
+
+            let mut partial = SecurityPartial::new(compromised_values.len());
+            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    total.rows(cfg, compromised_values)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn quick_opts() -> ExperimentOptions {
         ExperimentOptions {
@@ -860,6 +921,7 @@ mod tests {
             realizations: 3,
             seed: 7,
             intercontact_range: (1.0, 36.0),
+            threads: 0,
         }
     }
 
@@ -885,6 +947,14 @@ mod tests {
         assert!(point.sim_anonymity.is_some());
         // Single-copy cost is at most K + 1.
         assert!(point.sim_transmissions <= point.analysis_cost_bound + 1e-9);
+        // Per-realization stats cover every realization and bracket the
+        // pooled rate.
+        assert_eq!(point.delivery_stats.count(), 3);
+        let (lo, hi) = (
+            point.delivery_stats.min().unwrap(),
+            point.delivery_stats.max().unwrap(),
+        );
+        assert!(lo <= point.sim_delivery && point.sim_delivery <= hi);
     }
 
     #[test]
@@ -1002,5 +1072,31 @@ mod tests {
         assert!(rows[1].sim >= rows[0].sim);
         let sec = security_sweep_schedule(&schedule, &cfg, &[0, 6], 2, &quick_opts());
         assert!(sec[1].analysis_anonymity < sec[0].analysis_anonymity);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = ProtocolConfig {
+            deadline: TimeDelta::new(360.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let base = quick_opts();
+        let serial = run_random_graph_point(
+            &cfg,
+            &ExperimentOptions {
+                threads: 1,
+                ..base.clone()
+            },
+        );
+        for threads in [2, 8] {
+            let parallel = run_random_graph_point(
+                &cfg,
+                &ExperimentOptions {
+                    threads,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 }

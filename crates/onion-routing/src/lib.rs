@@ -43,6 +43,7 @@ pub mod experiment;
 pub mod groups;
 pub mod metrics;
 pub mod protocol;
+pub mod runner;
 pub mod tps;
 
 pub use adversary::Adversary;
@@ -50,10 +51,10 @@ pub use config::{ProtocolConfig, RouteSelection};
 pub use crypto::{OnionCryptoContext, WalkError};
 pub use experiment::{
     delivery_sweep_random_graph, delivery_sweep_schedule, delivery_sweep_schedule_with_rates,
-    run_random_graph_point,
-    run_schedule_point, security_sweep_random_graph, security_sweep_schedule,
-    DeliverySweepRow, ExperimentOptions, PointSummary, SecuritySweepRow,
+    run_random_graph_point, run_schedule_point, security_sweep_random_graph,
+    security_sweep_schedule, DeliverySweepRow, ExperimentOptions, PointSummary, SecuritySweepRow,
 };
 pub use groups::{GroupId, OnionGroups};
 pub use protocol::{ForwardingMode, OnionRouting};
-pub use tps::{run_tps_message, destination_exposure, tps_cost_bound, TpsConfig, TpsOutcome};
+pub use runner::{run_trials, trial_rng, trial_seed, RunnerConfig, SeedDomain};
+pub use tps::{destination_exposure, run_tps_message, tps_cost_bound, TpsConfig, TpsOutcome};

@@ -160,10 +160,7 @@ mod tests {
         let (_, report) = delivered_run(2);
         let none = Adversary::default();
         assert_eq!(mean_traceable_rate(&report, &none), Some(0.0));
-        assert_eq!(
-            mean_path_anonymity(&report, &none, 8, 2, 3),
-            Some(1.0)
-        );
+        assert_eq!(mean_path_anonymity(&report, &none, 8, 2, 3), Some(1.0));
     }
 
     #[test]

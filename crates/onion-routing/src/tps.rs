@@ -87,7 +87,10 @@ pub fn run_tps_message(
     cfg.validate().expect("valid TPS parameters");
     assert!(source != destination, "source must differ from destination");
     let n = schedule.node_count();
-    assert!(n >= 4, "TPS needs at least source, destination, relay, pivot");
+    assert!(
+        n >= 4,
+        "TPS needs at least source, destination, relay, pivot"
+    );
 
     // Pick a pivot that is neither endpoint.
     let mut candidates: Vec<NodeId> = (0..n as u32)
@@ -120,11 +123,7 @@ pub fn run_tps_message(
     .expect("valid share messages");
 
     let mut arrivals: Vec<(Time, usize)> = (0..cfg.shares)
-        .filter_map(|i| {
-            report
-                .delivery_time(MessageId(i as u64))
-                .map(|t| (t, i))
-        })
+        .filter_map(|i| report.delivery_time(MessageId(i as u64)).map(|t| (t, i)))
         .collect();
     arrivals.sort();
     let shares_at_pivot: Vec<usize> = arrivals.iter().map(|&(_, i)| i).collect();
@@ -144,10 +143,7 @@ pub fn run_tps_message(
             .events()
             .iter()
             .find(|e| {
-                e.time >= t_star
-                    && e.time <= expiry
-                    && e.involves(pivot)
-                    && e.involves(destination)
+                e.time >= t_star && e.time <= expiry && e.involves(pivot) && e.involves(destination)
             })
             .map(|e| e.time)
     });
@@ -217,7 +213,10 @@ mod tests {
             TimeDelta::new(600.0),
             &mut rng,
         );
-        assert!(outcome.reconstructed_at.is_some(), "pivot should collect τ shares");
+        assert!(
+            outcome.reconstructed_at.is_some(),
+            "pivot should collect τ shares"
+        );
         let delivered = outcome.delivered_at.expect("dense graph delivers");
         assert!(delivered >= outcome.reconstructed_at.unwrap());
         assert!(outcome.transmissions <= tps_cost_bound(&cfg));
@@ -281,10 +280,30 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(TpsConfig { shares: 3, threshold: 0 }.validate().is_err());
-        assert!(TpsConfig { shares: 3, threshold: 4 }.validate().is_err());
-        assert!(TpsConfig { shares: 300, threshold: 2 }.validate().is_err());
-        assert!(TpsConfig { shares: 5, threshold: 5 }.validate().is_ok());
+        assert!(TpsConfig {
+            shares: 3,
+            threshold: 0
+        }
+        .validate()
+        .is_err());
+        assert!(TpsConfig {
+            shares: 3,
+            threshold: 4
+        }
+        .validate()
+        .is_err());
+        assert!(TpsConfig {
+            shares: 300,
+            threshold: 2
+        }
+        .validate()
+        .is_err());
+        assert!(TpsConfig {
+            shares: 5,
+            threshold: 5
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -296,7 +315,10 @@ mod tests {
     #[test]
     fn cost_bound_formula() {
         assert_eq!(
-            tps_cost_bound(&TpsConfig { shares: 4, threshold: 2 }),
+            tps_cost_bound(&TpsConfig {
+                shares: 4,
+                threshold: 2
+            }),
             9
         );
     }

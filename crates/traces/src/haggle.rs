@@ -192,7 +192,11 @@ impl HaggleParser {
                 continue;
             }
             let mut fields = line.split_whitespace();
-            let mut next_field = || fields.next().ok_or(TraceError::MissingFields { line: lineno });
+            let mut next_field = || {
+                fields
+                    .next()
+                    .ok_or(TraceError::MissingFields { line: lineno })
+            };
             let a_tok = next_field()?;
             let b_tok = next_field()?;
             let start_tok = next_field()?;
@@ -206,10 +210,12 @@ impl HaggleParser {
             };
             let a = parse_u64(a_tok)?;
             let b = parse_u64(b_tok)?;
-            let start = start_tok.parse::<f64>().map_err(|_| TraceError::BadNumber {
-                line: lineno,
-                token: start_tok.to_string(),
-            })?;
+            let start = start_tok
+                .parse::<f64>()
+                .map_err(|_| TraceError::BadNumber {
+                    line: lineno,
+                    token: start_tok.to_string(),
+                })?;
             if a == b {
                 return Err(TraceError::SelfContact { line: lineno });
             }

@@ -73,10 +73,12 @@ pub fn parse_one_reader<R: BufRead>(reader: R) -> Result<ParsedOneTrace, TraceEr
         if fields[4] != "up" {
             continue;
         }
-        let time = fields[0].parse::<f64>().map_err(|_| TraceError::BadNumber {
-            line: lineno,
-            token: fields[0].to_string(),
-        })?;
+        let time = fields[0]
+            .parse::<f64>()
+            .map_err(|_| TraceError::BadNumber {
+                line: lineno,
+                token: fields[0].to_string(),
+            })?;
         if fields[2] == fields[3] {
             return Err(TraceError::SelfContact { line: lineno });
         }

@@ -203,7 +203,11 @@ mod tests {
     fn cambridge_like_shape() {
         let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng(1));
         assert_eq!(trace.node_count(), 12);
-        assert!(trace.len() > 500, "dense trace expected, got {}", trace.len());
+        assert!(
+            trace.len() > 500,
+            "dense trace expected, got {}",
+            trace.len()
+        );
         // Every contact falls in business hours.
         let pattern = ActivityPattern::business_hours();
         for e in trace.iter() {
@@ -233,10 +237,7 @@ mod tests {
     fn overnight_gap_exists() {
         let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng(3));
         // No contacts between 17:00 day 0 and 09:00 day 1.
-        let gap = trace.window(
-            Time::new(17.0 * 3600.0),
-            Time::new(86_400.0 + 9.0 * 3600.0),
-        );
+        let gap = trace.window(Time::new(17.0 * 3600.0), Time::new(86_400.0 + 9.0 * 3600.0));
         assert!(gap.is_empty());
     }
 

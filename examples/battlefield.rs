@@ -73,10 +73,8 @@ fn main() {
         )
         .expect("valid orders");
 
-        let anonymity = onion_routing::metrics::mean_path_anonymity(
-            &report, &captured, n, 5, 4,
-        )
-        .expect("non-empty report");
+        let anonymity = onion_routing::metrics::mean_path_anonymity(&report, &captured, n, 5, 4)
+            .expect("non-empty report");
         let traceable =
             onion_routing::metrics::mean_traceable_rate(&report, &captured).unwrap_or(0.0);
 

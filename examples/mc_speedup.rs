@@ -1,0 +1,98 @@
+//! Monte-Carlo runner scaling check: times a Figure-4-style delivery
+//! sweep (1000 random-graph realizations) at several worker counts and
+//! verifies the determinism contract — every thread count must produce
+//! bit-identical rows.
+//!
+//! Run with: `cargo run --release --example mc_speedup [realizations]`
+//!
+//! On a single-core machine the parallel runs only add channel and
+//! reorder-buffer overhead (expect ≈1× or slightly below); on an N-core
+//! machine the trials are embarrassingly parallel, so wall-clock should
+//! approach N× at `--threads 0` (auto). The printed figures are the
+//! honest measurement either way — the *values* never move.
+
+use std::time::Instant;
+
+use onion_dtn::prelude::*;
+use onion_routing::delivery_sweep_random_graph;
+
+fn main() {
+    let realizations: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+
+    // Figure 4 shape: Table II defaults, delivery vs deadline, but few
+    // messages per realization so the study is runner-bound, not
+    // simulator-bound.
+    let cfg = ProtocolConfig::table2_defaults();
+    let deadlines = [60.0, 180.0, 360.0, 720.0, 1080.0];
+    let base = ExperimentOptions {
+        messages: 5,
+        realizations,
+        seed: 0xF1_604,
+        ..Default::default()
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fig04-style sweep: {} realizations x {} messages, {} deadlines, {} core(s)\n",
+        realizations,
+        base.messages,
+        deadlines.len(),
+        cores
+    );
+
+    // (deadline, analysis, sim) per row of the baseline run.
+    type Rows = Vec<(f64, f64, f64)>;
+    let mut reference: Option<(f64, Rows)> = None;
+    for threads in [1usize, 2, 0] {
+        let opts = ExperimentOptions {
+            threads,
+            ..base.clone()
+        };
+        let start = Instant::now();
+        let rows = delivery_sweep_random_graph(&cfg, &deadlines, &opts);
+        let secs = start.elapsed().as_secs_f64();
+        let flat: Rows = rows
+            .iter()
+            .map(|r| (r.deadline, r.analysis, r.sim))
+            .collect();
+        let label = if threads == 0 {
+            format!("auto ({})", opts.runner().effective_threads(realizations))
+        } else {
+            format!("{threads}")
+        };
+        match &reference {
+            None => {
+                println!("threads {label:>10}: {secs:7.2} s  (baseline)");
+                reference = Some((secs, flat));
+            }
+            Some((base_secs, base_rows)) => {
+                assert_eq!(
+                    base_rows.len(),
+                    flat.len(),
+                    "row count must not depend on threads"
+                );
+                for (a, b) in base_rows.iter().zip(&flat) {
+                    assert_eq!(
+                        (a.1.to_bits(), a.2.to_bits()),
+                        (b.1.to_bits(), b.2.to_bits()),
+                        "rows must be bit-identical at T = {}",
+                        a.0
+                    );
+                }
+                println!(
+                    "threads {label:>10}: {secs:7.2} s  ({:.2}x vs 1 thread, bit-identical)",
+                    base_secs / secs
+                );
+            }
+        }
+    }
+
+    println!("\nfinal rows (identical for every thread count):");
+    let (_, rows) = reference.expect("baseline ran");
+    for (t, analysis, sim) in rows {
+        println!("  T = {t:>6.0}  analysis {analysis:.6}  sim {sim:.6}");
+    }
+}

@@ -53,7 +53,10 @@ fn main() {
         Some(path) => {
             println!(
                 "delivered in {:.1} min via {path:?} ({} transmissions)",
-                report.delivery_delay(MessageId(1)).expect("delivered").as_f64(),
+                report
+                    .delivery_delay(MessageId(1))
+                    .expect("delivered")
+                    .as_f64(),
                 report.transmissions_for(MessageId(1)),
             );
 
@@ -63,7 +66,11 @@ fn main() {
             let onion = ctx
                 .build_onion(route, NodeId(99), b"attack at dawn", &mut rng)
                 .expect("non-empty route");
-            println!("onion packet: {} bytes, target {}", onion.len(), onion.target());
+            println!(
+                "onion packet: {} bytes, target {}",
+                onion.len(),
+                onion.target()
+            );
             let payload = ctx
                 .walk_custody_chain(onion, &path)
                 .expect("realized chain must be cryptographically valid");
@@ -86,8 +93,8 @@ fn main() {
                 .collect()
         })
         .collect();
-    let rates = analysis::onion_path_rates(&graph, NodeId(0), &members, NodeId(99))
-        .expect("valid route");
+    let rates =
+        analysis::onion_path_rates(&graph, NodeId(0), &members, NodeId(99)).expect("valid route");
     println!(
         "model: per-hop rates {rates:.3?}, P[delivery within 6 h] = {:.4}",
         analysis::delivery_rate(&rates, 360.0).expect("valid rates")

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! onion-dtn point   [--n 100] [--g 5] [--k 3] [--l 1] [--t 1080] [--c 10]
-//!                   [--messages 25] [--realizations 5] [--seed 1]
+//!                   [--messages 25] [--realizations 5] [--seed 1] [--threads 0]
 //! onion-dtn deadline-sweep [same flags; sweeps T over a log grid]
 //! onion-dtn security-sweep [same flags; sweeps c from 1% to 50%]
 //! onion-dtn trace (cambridge|infocom|PATH) [--t 3600]
@@ -20,6 +20,8 @@ fn print_usage() {
          \n\
          common flags: --n <nodes> --g <group size> --k <onions> --l <copies>\n\
          \t--t <deadline> --c <compromised> --messages <m> --realizations <r> --seed <s>\n\
+         \t--threads <w>  (worker threads for the realization fan-out; 0 = auto;\n\
+         \t                results are identical for every value)\n\
          trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
          plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)"
     );
@@ -76,6 +78,7 @@ fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, Strin
         realizations: flag(flags, "realizations", 5usize)?,
         seed: flag(flags, "seed", 0x0D10_57E5u64)?,
         intercontact_range: (1.0, 36.0),
+        threads: flag(flags, "threads", 0usize)?,
     })
 }
 
@@ -94,16 +97,21 @@ fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
         opts.realizations
     );
     let p = run_random_graph_point(&cfg, &opts);
-    println!("delivery   analysis {:.4} | simulation {:.4}", p.analysis_delivery, p.sim_delivery);
+    println!(
+        "delivery   analysis {:.4} | simulation {:.4}",
+        p.analysis_delivery, p.sim_delivery
+    );
     println!(
         "traceable  analysis {:.4} | simulation {}",
         p.analysis_traceable,
-        p.sim_traceable.map_or("   -  ".into(), |v| format!("{v:.4}"))
+        p.sim_traceable
+            .map_or("   -  ".into(), |v| format!("{v:.4}"))
     );
     println!(
         "anonymity  analysis {:.4} | simulation {}",
         p.analysis_anonymity,
-        p.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}"))
+        p.sim_anonymity
+            .map_or("   -  ".into(), |v| format!("{v:.4}"))
     );
     println!(
         "cost       bound    {:.1} | simulation {:.2} tx/msg",
@@ -122,7 +130,10 @@ fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         .collect();
     println!("{:<12}{:>12}{:>12}", "deadline", "analysis", "simulation");
     for row in onion_routing::delivery_sweep_random_graph(&cfg, &deadlines, &opts) {
-        println!("{:<12}{:>12.4}{:>12.4}", row.deadline, row.analysis, row.sim);
+        println!(
+            "{:<12}{:>12.4}{:>12.4}",
+            row.deadline, row.analysis, row.sim
+        );
     }
     Ok(())
 }
@@ -143,9 +154,11 @@ fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             "{:<8}{:>12.4}{:>12}{:>12.4}{:>12}",
             row.compromised,
             row.analysis_traceable,
-            row.sim_traceable.map_or("   -  ".into(), |v| format!("{v:.4}")),
+            row.sim_traceable
+                .map_or("   -  ".into(), |v| format!("{v:.4}")),
             row.analysis_anonymity,
-            row.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}")),
+            row.sim_anonymity
+                .map_or("   -  ".into(), |v| format!("{v:.4}")),
         );
     }
     Ok(())
@@ -188,14 +201,19 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         messages: flag(flags, "messages", 25usize)?,
         realizations: flag(flags, "realizations", 4usize)?,
         seed: flag(flags, "seed", 1u64)?,
+        threads: flag(flags, "threads", 0usize)?,
         ..Default::default()
     };
     let p = run_schedule_point(&schedule, &cfg, &opts);
-    println!("delivery   analysis {:.4} | simulation {:.4}", p.analysis_delivery, p.sim_delivery);
+    println!(
+        "delivery   analysis {:.4} | simulation {:.4}",
+        p.analysis_delivery, p.sim_delivery
+    );
     println!(
         "anonymity  analysis {:.4} | simulation {}",
         p.analysis_anonymity,
-        p.sim_anonymity.map_or("   -  ".into(), |v| format!("{v:.4}"))
+        p.sim_anonymity
+            .map_or("   -  ".into(), |v| format!("{v:.4}"))
     );
     Ok(())
 }
@@ -216,7 +234,9 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "(median delay {:.1} min, mean {:.1} min)",
         analysis::median_delay(&rates).map_err(|e| e.to_string())?,
-        analysis::HypoExp::new(rates).map_err(|e| e.to_string())?.mean()
+        analysis::HypoExp::new(rates)
+            .map_err(|e| e.to_string())?
+            .mean()
     );
     Ok(())
 }
@@ -256,8 +276,7 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let (pos, flags) =
-            parse_flags(&strings(&["cambridge", "--g", "5", "--t", "60"])).unwrap();
+        let (pos, flags) = parse_flags(&strings(&["cambridge", "--g", "5", "--t", "60"])).unwrap();
         assert_eq!(pos, vec!["cambridge"]);
         assert_eq!(flags.get("g").map(String::as_str), Some("5"));
         assert_eq!(flag(&flags, "t", 0.0f64).unwrap(), 60.0);
@@ -273,6 +292,16 @@ mod tests {
     fn bad_value_is_error() {
         let (_, flags) = parse_flags(&strings(&["--g", "five"])).unwrap();
         assert!(flag(&flags, "g", 1usize).is_err());
+    }
+
+    #[test]
+    fn threads_flag_reaches_experiment_options() {
+        let (_, flags) = parse_flags(&strings(&["--threads", "4"])).unwrap();
+        let opts = opts_from(&flags).unwrap();
+        assert_eq!(opts.threads, 4);
+        // Default is auto-detect.
+        let (_, flags) = parse_flags(&strings(&[])).unwrap();
+        assert_eq!(opts_from(&flags).unwrap().threads, 0);
     }
 
     #[test]

@@ -55,22 +55,22 @@ pub mod prelude {
         delivery_rate, delivery_rate_multicopy, expected_traceable_rate, path_anonymity,
         uniform_onion_path_rates, HypoExp,
     };
+    pub use contact_graph::{waypoint_schedule, WaypointConfig};
     pub use contact_graph::{
         ContactEvent, ContactGraph, ContactSchedule, NodeId, Rate, Time, TimeDelta,
         UniformGraphBuilder,
     };
     pub use dtn_sim::{
-        run, DropPolicy, Message, MessageId, RoutingProtocol, SimConfig, SimReport, StartPolicy,
-        WorkloadBuilder,
+        run, DropPolicy, Message, MessageId, ReportAggregate, RoutingProtocol, SimConfig,
+        SimReport, StartPolicy, StreamingStats, WorkloadBuilder,
     };
     pub use onion_crypto::{
         EpochKeychain, FixedSizeOnion, GroupKeyring, OnionBuilder, OnionPacket, Peeled,
     };
     pub use onion_routing::{
-        run_random_graph_point, run_schedule_point, Adversary, ExperimentOptions,
-        ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting, ProtocolConfig,
-        RouteSelection,
+        run_random_graph_point, run_schedule_point, run_trials, trial_rng, trial_seed, Adversary,
+        ExperimentOptions, ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting,
+        PointSummary, ProtocolConfig, RouteSelection, RunnerConfig, SeedDomain,
     };
     pub use traces::{ActivityPattern, HaggleParser, SyntheticTraceBuilder};
-    pub use contact_graph::{waypoint_schedule, WaypointConfig};
 }

@@ -73,7 +73,10 @@ fn every_delivered_single_copy_chain_is_cryptographically_valid() {
             verified += 1;
         }
     }
-    assert!(verified > 20, "expected many delivered chains, got {verified}");
+    assert!(
+        verified > 20,
+        "expected many delivered chains, got {verified}"
+    );
 }
 
 #[test]
@@ -92,8 +95,7 @@ fn multi_copy_winning_chains_are_cryptographically_valid() {
             // transport-level carriers, not onion relays: strip leading
             // tag-0 holders so the crypto walk starts at the last
             // pre-route custodian.
-            let positions =
-                onion_routing::metrics::custodians_per_position(&report, m.id, 4);
+            let positions = onion_routing::metrics::custodians_per_position(&report, m.id, 4);
             let route = protocol.route_of(m.id).expect("route exists");
             // Find where the chain enters R_1 (skipping the source, which
             // may itself belong to R_1's group without acting as a relay).
@@ -118,7 +120,10 @@ fn multi_copy_winning_chains_are_cryptographically_valid() {
             verified += 1;
         }
     }
-    assert!(verified > 10, "expected many delivered chains, got {verified}");
+    assert!(
+        verified > 10,
+        "expected many delivered chains, got {verified}"
+    );
 }
 
 #[test]

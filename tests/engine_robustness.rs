@@ -120,11 +120,14 @@ impl RoutingProtocol for Duplicator {
         view.carried()
             .into_iter()
             .flat_map(|(id, _)| {
-                std::iter::repeat_n(Forward {
-                    message: id,
-                    kind: ForwardKind::Replicate,
-                    receiver_tag: 0,
-                }, 5)
+                std::iter::repeat_n(
+                    Forward {
+                        message: id,
+                        kind: ForwardKind::Replicate,
+                        receiver_tag: 0,
+                    },
+                    5,
+                )
             })
             .collect()
     }
@@ -153,7 +156,10 @@ fn duplicate_decisions_transfer_once() {
             rec.to
         );
     }
-    assert!(report.rejected_forwards() > 0, "duplicates must be rejected");
+    assert!(
+        report.rejected_forwards() > 0,
+        "duplicates must be rejected"
+    );
 }
 
 /// Hands the message back and forth (tries to create a custody loop).

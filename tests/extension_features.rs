@@ -95,12 +95,18 @@ fn tps_trades_exposure_for_delay() {
         if outcome.delivered_at.is_some() {
             tps_delivered += 1;
         }
-        assert!(outcome.transmissions <= onion_routing::tps_cost_bound(&TpsConfig {
-            shares: 4,
-            threshold: 2
-        }));
+        assert!(
+            outcome.transmissions
+                <= onion_routing::tps_cost_bound(&TpsConfig {
+                    shares: 4,
+                    threshold: 2
+                })
+        );
     }
-    assert!(tps_delivered >= 8, "TPS delivered only {tps_delivered}/{trials}");
+    assert!(
+        tps_delivered >= 8,
+        "TPS delivered only {tps_delivered}/{trials}"
+    );
     // The structural exposure trade-off.
     assert!(onion_routing::destination_exposure(50, 5) > 0.05);
 }
@@ -192,7 +198,12 @@ fn one_format_feeds_the_same_pipeline() {
 
     let mut log = String::new();
     for e in schedule.iter() {
-        log.push_str(&format!("{} CONN n{} n{} up\n", e.time.as_f64(), e.a.0, e.b.0));
+        log.push_str(&format!(
+            "{} CONN n{} n{} up\n",
+            e.time.as_f64(),
+            e.a.0,
+            e.b.0
+        ));
     }
     let parsed = traces::parse_one_str(&log).unwrap();
     assert_eq!(parsed.schedule.len(), schedule.len());
@@ -209,8 +220,14 @@ fn report_percentiles_match_deadline_curve() {
     let groups = OnionGroups::random_partition(30, 3, &mut rng);
     let mut protocol = OnionRouting::new(groups, 2, ForwardingMode::SingleCopy);
     let messages = WorkloadBuilder::new(25, TimeDelta::new(300.0)).build(30, &mut rng);
-    let report = run(&schedule, &mut protocol, messages, &SimConfig::default(), &mut rng)
-        .unwrap();
+    let report = run(
+        &schedule,
+        &mut protocol,
+        messages,
+        &SimConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     let delivered_fraction = report.delivery_rate();
     if let Some(median) = report.median_delay() {
         let at_median = report.delivery_rate_within(median);

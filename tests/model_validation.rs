@@ -7,9 +7,10 @@
 
 use contact_graph::TimeDelta;
 use onion_routing::{
-    delivery_sweep_random_graph, run_random_graph_point, security_sweep_random_graph,
-    ExperimentOptions, ProtocolConfig,
+    delivery_sweep_random_graph, run_random_graph_point, run_trials, security_sweep_random_graph,
+    trial_rng, ExperimentOptions, ProtocolConfig, RunnerConfig, SeedDomain,
 };
+use rand::Rng;
 
 fn opts() -> ExperimentOptions {
     ExperimentOptions {
@@ -17,6 +18,7 @@ fn opts() -> ExperimentOptions {
         realizations: 5,
         seed: 0x0A11_DA7A,
         intercontact_range: (1.0, 36.0),
+        threads: 0,
     }
 }
 
@@ -149,6 +151,58 @@ fn cost_bounds_hold_in_simulation() {
         // Single-copy cost is *exactly* K + 1 for delivered messages, so
         // the mean is positive once anything is delivered.
         assert!(point.sim_transmissions > 0.0);
+    }
+}
+
+/// Direct Monte-Carlo convergence to the delivery model (Eqs. 4–7): the
+/// parallel runner samples the onion path's per-hop exponential delays
+/// (with the Eq. 7 `L`-boosted rates) and the empirical delivery
+/// frequency over ≥2k trials must match the hypoexponential CDF within
+/// the binomial sampling tolerance. Exercises [`run_trials`] with a
+/// multi-thread config on a workload that is pure model, no simulator.
+#[test]
+fn parallel_mc_delivery_converges_to_hypoexponential_model() {
+    // Mean pairwise contact rate of the Table II graph: E[1/X], X ~ U(1, 36).
+    let lambda = (36f64.ln() - 1f64.ln()) / 35.0;
+    let trials = 4000usize;
+    // 4·sqrt(p(1-p)/n) ≤ 4·0.5/sqrt(4000) ≈ 0.032 — deterministic at
+    // these seeds with ample slack.
+    let tolerance = 0.035;
+
+    // Two (K, g, L) settings from the paper's sweeps: the single-copy
+    // Table II default and a long multi-copy route.
+    for (k, g, l, t) in [(3usize, 5usize, 1u32, 360.0), (5usize, 2usize, 3u32, 240.0)] {
+        let rates = analysis::uniform_onion_path_rates(lambda, g, k).expect("valid parameters");
+        let model = analysis::delivery_rate_multicopy(&rates, l, t).expect("valid parameters");
+
+        let boosted: Vec<f64> = rates.iter().map(|&r| r * l as f64).collect();
+        let mut hits = 0usize;
+        run_trials(
+            &RunnerConfig::new(4),
+            trials,
+            |trial| {
+                let mut rng = trial_rng(0x0A11_DA7A, SeedDomain::ModelValidation, trial as u64);
+                let total: f64 = boosted
+                    .iter()
+                    .map(|&rate| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        -(1.0 - u).ln() / rate
+                    })
+                    .sum();
+                total <= t
+            },
+            &mut hits,
+            |hits, _, delivered| {
+                if delivered {
+                    *hits += 1;
+                }
+            },
+        );
+        let empirical = hits as f64 / trials as f64;
+        assert!(
+            (empirical - model).abs() < tolerance,
+            "K = {k}, g = {g}, L = {l}: model {model} vs Monte-Carlo {empirical}"
+        );
     }
 }
 

@@ -1,0 +1,107 @@
+//! The parallel runner's headline invariant, property-tested: for the
+//! same seed, experiment reports are **bit-identical** no matter how
+//! many worker threads ran the realizations.
+//!
+//! Two layers: a cheap pure-fold property hammered over many cases, and
+//! a full experiment-pipeline property (graph → groups → simulation →
+//! metrics) at a handful of cases since each one runs real simulations.
+
+use contact_graph::TimeDelta;
+use onion_routing::{
+    run_random_graph_point, run_trials, trial_rng, ExperimentOptions, ProtocolConfig, RunnerConfig,
+    SeedDomain,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Sums a seeded pseudo-random series through the runner. Floating-point
+/// addition is not associative, so this is bit-identical across thread
+/// counts only if the fold order really is scheduling-independent.
+fn fold_sum(threads: usize, seed: u64, trials: usize) -> (u64, u64) {
+    let mut sum = 0.0f64;
+    let mut order_check = 0u64;
+    run_trials(
+        &RunnerConfig::new(threads),
+        trials,
+        |i| {
+            let mut rng = trial_rng(seed, SeedDomain::ModelValidation, i as u64);
+            rng.gen_range(-1.0e6..1.0e6)
+        },
+        &mut (&mut sum, &mut order_check),
+        |acc, i, x| {
+            *acc.0 += x;
+            // Rolling hash of the fold sequence: detects any reordering
+            // even where the sum happens to agree.
+            *acc.1 = acc.1.wrapping_mul(31).wrapping_add(i as u64);
+        },
+    );
+    (sum.to_bits(), order_check)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fold_is_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        trials in 1usize..200,
+    ) {
+        let serial = fold_sum(1, seed, trials);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(serial, fold_sum(threads, seed, trials), "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    // Each case runs 3 × 3 real simulations; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn experiment_reports_are_bit_identical_across_thread_counts(seed in any::<u64>()) {
+        let cfg = ProtocolConfig {
+            nodes: 40,
+            group_size: 4,
+            onions: 2,
+            compromised: 4,
+            deadline: TimeDelta::new(240.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let base = ExperimentOptions {
+            messages: 6,
+            realizations: 3,
+            seed,
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = run_random_graph_point(&cfg, &base);
+        for threads in [2usize, 8] {
+            let parallel = run_random_graph_point(
+                &cfg,
+                &ExperimentOptions { threads, ..base.clone() },
+            );
+            // Bit-level equality of every floating-point series, not
+            // approximate agreement.
+            prop_assert_eq!(
+                serial.analysis_delivery.to_bits(),
+                parallel.analysis_delivery.to_bits()
+            );
+            prop_assert_eq!(serial.sim_delivery.to_bits(), parallel.sim_delivery.to_bits());
+            prop_assert_eq!(
+                serial.sim_transmissions.to_bits(),
+                parallel.sim_transmissions.to_bits()
+            );
+            prop_assert_eq!(
+                serial.sim_traceable.map(f64::to_bits),
+                parallel.sim_traceable.map(f64::to_bits)
+            );
+            prop_assert_eq!(
+                serial.sim_anonymity.map(f64::to_bits),
+                parallel.sim_anonymity.map(f64::to_bits)
+            );
+            // Structural equality of the whole summary (counts, streaming
+            // stats) on top of the bit checks above.
+            prop_assert_eq!(&serial, &parallel, "threads = {}", threads);
+        }
+    }
+}

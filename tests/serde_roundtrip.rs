@@ -63,6 +63,129 @@ fn groups_roundtrip() {
 }
 
 #[test]
+fn streaming_stats_roundtrip_preserves_moments_exactly() {
+    use dtn_sim::StreamingStats;
+
+    let mut stats = StreamingStats::new();
+    for i in 0..64 {
+        stats.push((i as f64) * 0.37 - 5.5);
+    }
+    let back: StreamingStats = json_roundtrip(&stats);
+    assert_eq!(back, stats);
+    // Bit-exact moments: checkpoint/resume must not perturb a running
+    // aggregation (serde_json float_roundtrip semantics).
+    assert_eq!(
+        back.mean().unwrap().to_bits(),
+        stats.mean().unwrap().to_bits()
+    );
+    assert_eq!(
+        back.variance().unwrap().to_bits(),
+        stats.variance().unwrap().to_bits()
+    );
+    assert_eq!(back.min(), stats.min());
+    assert_eq!(back.max(), stats.max());
+
+    // Empty stats (None min/max) survive too.
+    let empty = StreamingStats::new();
+    assert_eq!(json_roundtrip(&empty), empty);
+}
+
+#[test]
+fn report_aggregate_roundtrip() {
+    use dtn_sim::ReportAggregate;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let graph = UniformGraphBuilder::new(20).build(&mut rng);
+    let schedule = ContactSchedule::sample(&graph, Time::new(120.0), &mut rng);
+    let groups = OnionGroups::random_partition(20, 2, &mut rng);
+    let mut protocol = OnionRouting::new(groups, 2, ForwardingMode::SingleCopy);
+    let messages: Vec<Message> = (0..4)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: NodeId(i as u32),
+            destination: NodeId(19 - i as u32),
+            created: Time::ZERO,
+            deadline: TimeDelta::new(120.0),
+            copies: 1,
+        })
+        .collect();
+    let report = run(
+        &schedule,
+        &mut protocol,
+        messages,
+        &SimConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut agg = ReportAggregate::new();
+    agg.push(&report);
+    agg.push(&report);
+    let back: ReportAggregate = json_roundtrip(&agg);
+    assert_eq!(back, agg);
+    assert_eq!(back.pooled_delivery_rate(), agg.pooled_delivery_rate());
+    assert_eq!(back.delay().count(), agg.delay().count());
+}
+
+#[test]
+fn runner_and_experiment_config_roundtrip() {
+    use onion_routing::{RunnerConfig, SeedDomain};
+
+    let runner = RunnerConfig::new(8);
+    assert_eq!(json_roundtrip(&runner), runner);
+    assert_eq!(
+        json_roundtrip(&RunnerConfig::default()),
+        RunnerConfig::default()
+    );
+
+    for domain in [
+        SeedDomain::GraphRealization,
+        SeedDomain::ScheduleRealization,
+        SeedDomain::ScheduleStarts,
+        SeedDomain::SecurityGraph,
+        SeedDomain::SecuritySchedule,
+        SeedDomain::SecurityStarts,
+        SeedDomain::ModelValidation,
+    ] {
+        assert_eq!(json_roundtrip(&domain), domain);
+    }
+
+    let opts = ExperimentOptions {
+        messages: 12,
+        realizations: 7,
+        seed: 0xDEAD_BEEF,
+        intercontact_range: (1.0, 36.0),
+        threads: 3,
+    };
+    assert_eq!(json_roundtrip(&opts), opts);
+}
+
+#[test]
+fn point_summary_roundtrip() {
+    let cfg = ProtocolConfig {
+        nodes: 40,
+        group_size: 4,
+        onions: 2,
+        compromised: 4,
+        deadline: TimeDelta::new(240.0),
+        ..ProtocolConfig::table2_defaults()
+    };
+    let opts = ExperimentOptions {
+        messages: 6,
+        realizations: 2,
+        seed: 5,
+        ..Default::default()
+    };
+    let point = run_random_graph_point(&cfg, &opts);
+    let back: PointSummary = json_roundtrip(&point);
+    assert_eq!(back, point);
+    assert_eq!(
+        back.delivery_stats.mean().map(f64::to_bits),
+        point.delivery_stats.mean().map(f64::to_bits)
+    );
+}
+
+#[test]
 fn sim_report_roundtrip_preserves_metrics() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let graph = UniformGraphBuilder::new(20).build(&mut rng);

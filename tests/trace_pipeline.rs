@@ -58,7 +58,11 @@ fn cambridge_like_trace_has_the_figure_14_shape() {
     let trace = SyntheticTraceBuilder::cambridge_like().build(&mut rng);
     let stats = trace_stats(&trace);
     assert_eq!(stats.nodes, 12);
-    assert!(stats.density > 0.95, "Cambridge is dense: {}", stats.density);
+    assert!(
+        stats.density > 0.95,
+        "Cambridge is dense: {}",
+        stats.density
+    );
 
     // All contacts inside business hours.
     let pattern = ActivityPattern::business_hours();
@@ -76,10 +80,7 @@ fn infocom_like_trace_has_the_figure_17_plateau() {
     assert_eq!(trace.node_count(), 41);
 
     // Overnight gap: no contact between 18:00 and 08:30 next day.
-    let night = trace.window(
-        Time::new(18.0 * 3600.0),
-        Time::new(86_400.0 + 8.5 * 3600.0),
-    );
+    let night = trace.window(Time::new(18.0 * 3600.0), Time::new(86_400.0 + 8.5 * 3600.0));
     assert!(night.is_empty(), "found {} overnight contacts", night.len());
 
     // The plateau property that shapes Fig. 17: a message created at

@@ -1,0 +1,285 @@
+//! Vendored offline micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses: [`Criterion`] with
+//! `sample_size` / `warm_up_time` / `measurement_time`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::throughput`] /
+//! `bench_function` / `finish`, [`Bencher::iter`], [`Throughput`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is wall-clock via `std::time::Instant`: each benchmark warms
+//! up for the configured duration, calibrates an iteration count so one
+//! sample fits in `measurement_time / sample_size`, then reports the
+//! fastest and mean per-iteration times across samples.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for callers that use `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units-processed-per-iteration annotation for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark configuration and driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Accepted for CLI compatibility; this shim takes no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent `bench_function`s.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            result: None,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match bencher.result {
+            Some(ref m) => println!("{label:<50} {}", m.render(self.throughput)),
+            None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    fastest_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Measurement {
+    fn render(&self, throughput: Option<Throughput>) -> String {
+        let mut out = format!(
+            "time: [fastest {} mean {}] ({} samples x {} iters)",
+            format_ns(self.fastest_ns),
+            format_ns(self.mean_ns),
+            self.samples,
+            self.iters_per_sample
+        );
+        if let Some(t) = throughput {
+            let (units, suffix) = match t {
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+            };
+            if self.mean_ns > 0.0 {
+                out.push_str(&format!(
+                    " thrpt: {}{suffix}",
+                    format_rate(units * 1e9 / self.mean_ns)
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    config: Criterion,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates how many iterations fit in a sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let warm_elapsed = warm_start.elapsed().as_nanos().max(1) as f64;
+        let ns_per_iter_estimate = warm_elapsed / warm_iters as f64;
+
+        let sample_budget_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget_ns / ns_per_iter_estimate) as u64).max(1);
+
+        let mut fastest = f64::INFINITY;
+        let mut total = 0.0f64;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            fastest = fastest.min(ns);
+            total += ns;
+        }
+        self.result = Some(Measurement {
+            fastest_ns: fastest,
+            mean_ns: total / self.config.sample_size as f64,
+            samples: self.config.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form:
+/// `criterion_group!(name, target_a, target_b)` or
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(plain_form, smoke_target);
+    criterion_group! {
+        name = config_form;
+        config = quick();
+        targets = smoke_target, smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.benchmark_group("smoke")
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        // The macros produce plain functions; just ensure they run.
+        let _ = plain_form;
+        config_form();
+    }
+}

@@ -1,0 +1,177 @@
+//! Vendored ChaCha-based deterministic generators (`ChaCha8Rng`,
+//! `ChaCha12Rng`, `ChaCha20Rng`) over the workspace's vendored `rand`
+//! traits.
+//!
+//! The keystream is the RFC 7539 ChaCha block function (with the round
+//! count lowered for the 8- and 12-round variants), keyed by the 32-byte
+//! seed, with a 64-bit block counter and zero nonce. Output words are
+//! served in block order, so the stream is a pure function of the seed —
+//! the reproducibility anchor for every experiment in this workspace.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one ChaCha block with `rounds` rounds (must be even).
+fn chacha_block(key_words: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865; // "expa"
+    state[1] = 0x3320_646e; // "nd 3"
+    state[2] = 0x7962_2d32; // "2-by"
+    state[3] = 0x6b20_6574; // "te k"
+    state[4..12].copy_from_slice(key_words);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, word) in key.iter_mut().enumerate() {
+                    let mut bytes = [0u8; 4];
+                    bytes.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+                    *word = u32::from_le_bytes(bytes);
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the workspace's experiment RNG."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_block_matches_rfc7539_structure() {
+        // With a zero key and counter 0 the 20-round block must differ
+        // from the raw initial state and be stable.
+        let key = [0u32; 8];
+        let one = chacha_block(&key, 0, 20);
+        let two = chacha_block(&key, 0, 20);
+        assert_eq!(one, two);
+        assert_ne!(one[0], 0x6170_7865);
+        // Different counters give different blocks.
+        assert_ne!(chacha_block(&key, 1, 20), one);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_f64_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for &count in &buckets {
+            assert!((800..1200).contains(&count), "bucket {count}");
+        }
+    }
+}

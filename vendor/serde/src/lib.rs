@@ -1,0 +1,446 @@
+//! Vendored, dependency-free serialization framework exposing the
+//! `serde`-shaped API surface this workspace uses.
+//!
+//! Instead of serde's visitor-based zero-copy model, this shim routes
+//! everything through an owned [`Value`] tree (the "miniserde" approach):
+//! [`Serialize`] renders a value into a [`Value`], [`Deserialize`] parses
+//! one back out. `serde_json` (also vendored) converts between [`Value`]
+//! and JSON text. That is exactly enough for the workspace's needs —
+//! checkpointing experiment reports and configs — while building offline
+//! with no proc-macro dependencies beyond the paired `serde_derive` shim.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used when the source was negative).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved for readable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// bounds like `for<'de> Deserialize<'de>`; this owned-value shim never
+/// borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Parses `Self` out of the value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Alias matching serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f)
+                        if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+                    {
+                        *f as u64
+                    }
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(DeError::new(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError::new(format!(
+                "expected array of {N}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected {LEN}-tuple, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Serializes a map key: strings pass through, integers become their
+/// decimal representation (mirroring `serde_json`'s integer-key support).
+fn key_to_string(value: &Value) -> Result<String, DeError> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(DeError::new(format!("unsupported map key {other:?}"))),
+    }
+}
+
+/// Re-interprets an object key for value-typed key deserialization.
+fn key_from_string(key: &str) -> Value {
+    if let Ok(u) = key.parse::<u64>() {
+        Value::UInt(u)
+    } else if let Ok(i) = key.parse::<i64>() {
+        Value::Int(i)
+    } else {
+        Value::Str(key.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value())
+                        .expect("map keys must serialize to strings or integers");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&key_from_string(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("map keys must serialize to strings or integers");
+                (key, v.to_value())
+            })
+            .collect();
+        // Sort for stable output: hash iteration order is unspecified.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&key_from_string(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), o);
+
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+
+        let mut m = BTreeMap::new();
+        m.insert(3u64, "x".to_string());
+        m.insert(1u64, "y".to_string());
+        assert_eq!(
+            BTreeMap::<u64, String>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn integer_map_keys_become_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(12u64, 1u8);
+        match m.to_value() {
+            Value::Object(fields) => assert_eq!(fields[0].0, "12"),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+}

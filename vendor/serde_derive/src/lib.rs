@@ -1,0 +1,455 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's offline serde shim.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives on:
+//!
+//! * named-field structs → JSON objects;
+//! * newtype structs (one unnamed field) → transparent inner value
+//!   (matching real serde, which is what makes `NodeId`/`MessageId`
+//!   usable as integer-like map keys);
+//! * tuple structs with 2+ fields → arrays;
+//! * unit structs → `null`;
+//! * enums with unit / newtype / tuple variants → externally tagged
+//!   (`"Variant"` or `{"Variant": ...}`), serde's default.
+//!
+//! Generic types and struct-variants are rejected with a compile error —
+//! extend the parser before deriving on one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit, `Some(n)` = tuple variant with `n` fields.
+    arity: Option<usize>,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`) starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated items in a field-list group, tracking
+/// angle-bracket depth so `BTreeMap<K, V>` counts as one.
+fn count_top_level_items(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1usize;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        items -= 1; // trailing comma
+    }
+    items
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: tokens until a top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts the variants of an enum body.
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut arity = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = Some(count_top_level_items(g));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct-variant `{name}` is not supported by the vendored serde_derive"
+                ));
+            }
+            _ => {}
+        }
+        // Skip a discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body {other:?}")),
+        },
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        Some(1) => format!(
+                            "{name}::{vname}(ref __f0) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        Some(n) => {
+                            let binders: Vec<String> =
+                                (0..n).map(|idx| format!("ref __f{idx}")).collect();
+                            let values: Vec<String> = (0..n)
+                                .map(|idx| format!("::serde::Serialize::to_value(__f{idx})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(vec![{}]))])",
+                                binders.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::new(\
+                         \"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(\"expected object for {name}, found {{:?}}\", other))),\n\
+                 }}",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let parts: Vec<String> = (0..*arity)
+                .map(|idx| format!("::serde::Deserialize::from_value(&items[{idx}])?"))
+                .collect();
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(\"expected {arity}-array for {name}, found {{:?}}\", other))),\n\
+                 }}",
+                parts.join(", ")
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            let body = format!(
+                "match value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(\"expected null for {name}, found {{:?}}\", other))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname})")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        None => None,
+                        Some(1) => Some(format!(
+                            "if let ::std::option::Option::Some(inner) = value.get(\"{vname}\") \
+                             {{ return ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?)); }}"
+                        )),
+                        Some(n) => {
+                            let parts: Vec<String> = (0..n)
+                                .map(|idx| {
+                                    format!("::serde::Deserialize::from_value(&items[{idx}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let ::std::option::Option::Some(\
+                                 ::serde::Value::Array(items)) = value.get(\"{vname}\") {{ \
+                                 if items.len() == {n} {{ return ::std::result::Result::Ok(\
+                                 {name}::{vname}({})); }} }}",
+                                parts.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "if let ::serde::Value::Str(s) = value {{\n\
+                     return match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown variant `{{}}` of {name}\", other))),\n\
+                     }};\n\
+                 }}\n\
+                 {}\n\
+                 ::std::result::Result::Err(::serde::DeError::new(\
+                     format!(\"cannot deserialize {name} from {{:?}}\", value)))",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                payload_arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
