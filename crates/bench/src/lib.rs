@@ -9,6 +9,12 @@
 //!
 //! This library holds the shared table renderer and the default
 //! experiment sizes, so every figure uses consistent settings.
+//!
+//! Benches opt into telemetry through the environment: set
+//! `ONION_DTN_METRICS=target/metrics.jsonl` to capture per-point
+//! counters and timing histograms while figures regenerate, and
+//! `ONION_DTN_PROGRESS=1` for a live trials/s line. Neither affects
+//! figure values.
 
 use onion_routing::ExperimentOptions;
 
@@ -141,8 +147,8 @@ impl FigureTable {
     /// Writes the CSV under the workspace's `target/figures/<name>.csv`
     /// (benches run with the crate directory as cwd, so the path is
     /// anchored at the workspace root), creating the directory as needed;
-    /// prints the path. Errors are reported, not fatal — a read-only
-    /// filesystem must not kill a bench run.
+    /// reports the path as an info event. Errors are reported, not
+    /// fatal — a read-only filesystem must not kill a bench run.
     pub fn save_csv(&self, name: &str) {
         let dir =
             std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/figures"));
@@ -150,15 +156,15 @@ impl FigureTable {
         let result =
             std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_csv()));
         match result {
-            Ok(()) => println!("(csv written to {})", path.display()),
-            Err(e) => println!("(csv not written: {e})"),
+            Ok(()) => obs::info!("bench", "csv written to {}", path.display()),
+            Err(e) => obs::warn!("bench", "csv not written: {e}"),
         }
     }
 }
 
 /// Checks that a series is (weakly) monotone, with `slack` tolerance for
-/// simulation noise; prints a warning rather than panicking so a noisy
-/// bench run still produces its full output.
+/// simulation noise; emits a warning event rather than panicking so a
+/// noisy bench run still produces its full output.
 pub fn check_trend(name: &str, values: &[f64], increasing: bool, slack: f64) {
     for (i, pair) in values.windows(2).enumerate() {
         let ok = if increasing {
@@ -167,8 +173,9 @@ pub fn check_trend(name: &str, values: &[f64], increasing: bool, slack: f64) {
             pair[1] <= pair[0] + slack
         };
         if !ok {
-            println!(
-                "WARNING: series {name} violates expected {} trend at index {i}: {} -> {}",
+            obs::warn!(
+                "bench",
+                "series {name} violates expected {} trend at index {i}: {} -> {}",
                 if increasing {
                     "increasing"
                 } else {

@@ -7,16 +7,18 @@
 //! reconstructed for the security analyses).
 
 use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 use contact_graph::{ContactSchedule, NodeId, Time};
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 use crate::message::{CopyState, Message, MessageId};
 use crate::protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
-use crate::report::{ForwardRecord, SimReport};
+use crate::report::{ForwardRecord, SimCounters, SimReport};
 
 /// What to do when a transfer arrives at a full buffer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DropPolicy {
     /// Refuse the incoming copy (the transfer never happens).
     #[default]
@@ -26,7 +28,7 @@ pub enum DropPolicy {
 }
 
 /// Engine configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Whether to keep the full forwarding log (needed for path
     /// reconstruction; disable only for throughput benchmarks).
@@ -93,8 +95,7 @@ struct SimState {
     delivered: BTreeMap<MessageId, Time>,
     transmissions: BTreeMap<MessageId, u64>,
     forward_log: Vec<ForwardRecord>,
-    rejected_forwards: u64,
-    buffer_drops: u64,
+    counters: SimCounters,
 }
 
 /// Makes room at `node` for one more copy, per the drop policy. Returns
@@ -108,7 +109,7 @@ fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
     }
     match config.drop_policy {
         DropPolicy::DropIncoming => {
-            state.buffer_drops += 1;
+            state.counters.buffer_drops += 1;
             false
         }
         DropPolicy::DropOldest => {
@@ -118,11 +119,12 @@ fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
                 .copied();
             if let Some(victim) = oldest {
                 state.buffers[node.index()].remove(&victim);
-                state.buffer_drops += 1;
+                state.counters.buffer_drops += 1;
+                state.counters.buffer_evictions += 1;
                 true
             } else {
                 // Capacity is zero.
-                state.buffer_drops += 1;
+                state.counters.buffer_drops += 1;
                 false
             }
         }
@@ -201,6 +203,9 @@ where
     // Inject latest-first so we can pop from the back as time advances.
     pending.sort_by_key(|m| std::cmp::Reverse(m.created));
 
+    // Timing is gated so disabled telemetry skips even the clock reads.
+    let started = obs::metrics_enabled().then(Instant::now);
+
     let mut state = SimState {
         messages: BTreeMap::new(),
         buffers: vec![BTreeMap::new(); n],
@@ -208,8 +213,7 @@ where
         delivered: BTreeMap::new(),
         transmissions: BTreeMap::new(),
         forward_log: Vec::new(),
-        rejected_forwards: 0,
-        buffer_drops: 0,
+        counters: SimCounters::default(),
     };
 
     let injected: Vec<MessageId> = messages.iter().map(|m| m.id).collect();
@@ -236,6 +240,7 @@ where
     };
 
     for event in schedule.iter() {
+        state.counters.contacts += 1;
         inject_due(&mut state, &mut pending, protocol, rng, event.time);
 
         // Let utility-based protocols observe every encounter.
@@ -245,7 +250,9 @@ where
         for node in [event.a, event.b] {
             let buf = &mut state.buffers[node.index()];
             let msgs = &state.messages;
+            let before = buf.len();
             buf.retain(|id, _| !msgs[id].is_expired(event.time));
+            state.counters.deadline_expiries += (before - buf.len()) as u64;
         }
 
         if state.buffers[event.a.index()].is_empty() && state.buffers[event.b.index()].is_empty() {
@@ -304,6 +311,25 @@ where
     // injected set is complete (they can never be delivered).
     inject_due(&mut state, &mut pending, protocol, rng, schedule.horizon());
 
+    state.counters.injected = injected.len() as u64;
+    state.counters.delivered = state.delivered.len() as u64;
+    state.counters.expired = state.counters.injected - state.counters.delivered;
+
+    if let Some(started) = started {
+        let elapsed = started.elapsed().as_secs_f64();
+        obs::record("sim.run_secs", elapsed);
+        state.counters.for_each_named("sim", obs::counter_add);
+        obs::trace!(
+            "dtn_sim::engine",
+            "run: {} contacts, {} forwards, {}/{} delivered in {:.3}ms",
+            state.counters.contacts,
+            state.counters.total_forwards(),
+            state.counters.delivered,
+            state.counters.injected,
+            elapsed * 1e3,
+        );
+    }
+
     Ok(SimReport::new(
         protocol.name().to_string(),
         state.messages.into_values().collect(),
@@ -311,8 +337,9 @@ where
         state.delivered,
         state.transmissions,
         state.forward_log,
-        state.rejected_forwards,
-        state.buffer_drops,
+        state.counters.rejected_forwards,
+        state.counters.buffer_drops,
+        Some(state.counters),
     ))
 }
 
@@ -328,7 +355,7 @@ fn apply(
         let Some(&copy) = state.buffers[carrier.index()].get(&fwd.message) else {
             // The protocol referenced a message the carrier no longer
             // holds; ignore but count.
-            state.rejected_forwards += 1;
+            state.counters.rejected_forwards += 1;
             continue;
         };
         let destination = state.messages[&fwd.message].destination;
@@ -337,13 +364,13 @@ fn apply(
         let peer_holds = state.buffers[peer.index()].contains_key(&fwd.message);
         let peer_seen = state.seen[peer.index()].contains(&fwd.message);
         if peer_holds || (config.reject_seen && peer_seen && peer != destination) {
-            state.rejected_forwards += 1;
+            state.counters.rejected_forwards += 1;
             continue;
         }
         // Suppress transfers of already-delivered messages to the
         // destination (it has the message).
         if peer == destination && state.delivered.contains_key(&fwd.message) {
-            state.rejected_forwards += 1;
+            state.counters.rejected_forwards += 1;
             continue;
         }
         // Buffer admission at the receiver (destinations consume without
@@ -362,7 +389,7 @@ fn apply(
                 tickets_to_receiver,
             } => {
                 if tickets_to_receiver == 0 || tickets_to_receiver > copy.tickets {
-                    state.rejected_forwards += 1;
+                    state.counters.rejected_forwards += 1;
                     continue;
                 }
                 let remaining = copy.tickets - tickets_to_receiver;
@@ -383,6 +410,11 @@ fn apply(
         };
 
         // The transmission happens.
+        match fwd.kind {
+            ForwardKind::Handoff => state.counters.forwards_handoff += 1,
+            ForwardKind::Split { .. } => state.counters.forwards_split += 1,
+            ForwardKind::Replicate => state.counters.forwards_replicate += 1,
+        }
         *state.transmissions.entry(fwd.message).or_insert(0) += 1;
         if config.record_forwarding {
             state.forward_log.push(ForwardRecord {

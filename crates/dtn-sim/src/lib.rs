@@ -54,6 +54,6 @@ pub mod workload;
 pub use engine::{run, DropPolicy, SimConfig, SimError};
 pub use message::{CopyState, Message, MessageId};
 pub use protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
-pub use report::{ForwardRecord, SimReport};
+pub use report::{ForwardRecord, SimCounters, SimReport};
 pub use stats::{ReportAggregate, StreamingStats};
 pub use workload::{StartPolicy, WorkloadBuilder};

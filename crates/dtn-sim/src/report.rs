@@ -23,6 +23,92 @@ pub struct ForwardRecord {
     pub receiver_tag: u64,
 }
 
+/// Deterministic event tallies from one simulation run.
+///
+/// Every field is an exact integer count derived purely from the
+/// simulated events, so counters are bit-identical across thread counts
+/// and telemetry settings — safe to carry inside results that the
+/// determinism suite compares. The engine always fills them (a handful
+/// of integer increments per event); mirroring into the global `obs`
+/// registry only happens when metrics are enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Contact events processed from the schedule.
+    pub contacts: u64,
+    /// Successful forwards that moved custody ([`ForwardKind::Handoff`]).
+    ///
+    /// [`ForwardKind::Handoff`]: crate::protocol::ForwardKind::Handoff
+    pub forwards_handoff: u64,
+    /// Successful forwards that split tickets ([`ForwardKind::Split`]).
+    ///
+    /// [`ForwardKind::Split`]: crate::protocol::ForwardKind::Split
+    pub forwards_split: u64,
+    /// Successful forwards that replicated ([`ForwardKind::Replicate`]).
+    ///
+    /// [`ForwardKind::Replicate`]: crate::protocol::ForwardKind::Replicate
+    pub forwards_replicate: u64,
+    /// Forwards the engine refused (invalid proposal, peer already had
+    /// the copy, or already delivered).
+    pub rejected_forwards: u64,
+    /// Copies dropped or refused because of finite buffers.
+    pub buffer_drops: u64,
+    /// Subset of `buffer_drops` where an older copy was evicted to admit
+    /// a new one (`DropPolicy::DropOldest`).
+    pub buffer_evictions: u64,
+    /// Buffered copies discarded because their deadline passed.
+    pub deadline_expiries: u64,
+    /// Messages injected into the network.
+    pub injected: u64,
+    /// Messages delivered within their deadlines.
+    pub delivered: u64,
+    /// Injected messages that were never delivered in time.
+    pub expired: u64,
+}
+
+impl SimCounters {
+    /// Total successful forwards across all kinds.
+    pub fn total_forwards(&self) -> u64 {
+        self.forwards_handoff + self.forwards_split + self.forwards_replicate
+    }
+
+    /// Adds every tally of `other` into `self` (associative and
+    /// commutative, like plain integer sums).
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.contacts += other.contacts;
+        self.forwards_handoff += other.forwards_handoff;
+        self.forwards_split += other.forwards_split;
+        self.forwards_replicate += other.forwards_replicate;
+        self.rejected_forwards += other.rejected_forwards;
+        self.buffer_drops += other.buffer_drops;
+        self.buffer_evictions += other.buffer_evictions;
+        self.deadline_expiries += other.deadline_expiries;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.expired += other.expired;
+    }
+
+    /// Visits each `(name, value)` pair under the given prefix, in a
+    /// fixed order — how counters are mirrored into the `obs` registry.
+    pub fn for_each_named(&self, prefix: &str, mut f: impl FnMut(&str, u64)) {
+        let entries = [
+            ("contacts", self.contacts),
+            ("forwards_handoff", self.forwards_handoff),
+            ("forwards_split", self.forwards_split),
+            ("forwards_replicate", self.forwards_replicate),
+            ("rejected_forwards", self.rejected_forwards),
+            ("buffer_drops", self.buffer_drops),
+            ("buffer_evictions", self.buffer_evictions),
+            ("deadline_expiries", self.deadline_expiries),
+            ("injected", self.injected),
+            ("delivered", self.delivered),
+            ("expired", self.expired),
+        ];
+        for (name, value) in entries {
+            f(&format!("{prefix}.{name}"), value);
+        }
+    }
+}
+
 /// The outcome of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimReport {
@@ -34,6 +120,7 @@ pub struct SimReport {
     forward_log: Vec<ForwardRecord>,
     rejected_forwards: u64,
     buffer_drops: u64,
+    counters: Option<SimCounters>,
 }
 
 impl SimReport {
@@ -47,6 +134,7 @@ impl SimReport {
         forward_log: Vec<ForwardRecord>,
         rejected_forwards: u64,
         buffer_drops: u64,
+        counters: Option<SimCounters>,
     ) -> Self {
         SimReport {
             protocol,
@@ -57,6 +145,7 @@ impl SimReport {
             forward_log,
             rejected_forwards,
             buffer_drops,
+            counters,
         }
     }
 
@@ -195,6 +284,12 @@ impl SimReport {
         self.buffer_drops
     }
 
+    /// The full per-run event tallies, when the engine produced them
+    /// (always, for engine-built reports).
+    pub fn counters(&self) -> Option<&SimCounters> {
+        self.counters.as_ref()
+    }
+
     /// Metadata of `message`.
     pub fn message_meta(&self, message: MessageId) -> Option<&Message> {
         self.messages.iter().find(|m| m.id == message)
@@ -302,6 +397,7 @@ mod tests {
             log,
             3,
             0,
+            None,
         )
     }
 
@@ -368,9 +464,39 @@ mod tests {
             vec![],
             0,
             0,
+            None,
         );
         assert_eq!(r.delivery_rate(), 0.0);
         assert_eq!(r.mean_transmissions(), 0.0);
         assert!(r.mean_delay().is_none());
+        assert!(r.counters().is_none());
+    }
+
+    #[test]
+    fn counters_merge_and_totals() {
+        let a = SimCounters {
+            contacts: 10,
+            forwards_handoff: 1,
+            forwards_split: 2,
+            forwards_replicate: 3,
+            rejected_forwards: 4,
+            buffer_drops: 2,
+            buffer_evictions: 1,
+            deadline_expiries: 5,
+            injected: 6,
+            delivered: 4,
+            expired: 2,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.contacts, 20);
+        assert_eq!(b.total_forwards(), 12);
+        assert_eq!(b.expired, 4);
+
+        let mut names = Vec::new();
+        a.for_each_named("sim", |name, value| names.push((name.to_string(), value)));
+        assert_eq!(names.len(), 11);
+        assert_eq!(names[0], ("sim.contacts".to_string(), 10));
+        assert!(names.iter().any(|(n, v)| n == "sim.delivered" && *v == 4));
     }
 }

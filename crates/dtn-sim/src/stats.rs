@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::report::SimReport;
+use crate::report::{SimCounters, SimReport};
 
 /// Welford-style single-pass accumulator for mean/variance/min/max.
 ///
@@ -127,6 +127,7 @@ pub struct ReportAggregate {
     delivery_rate: StreamingStats,
     transmissions: StreamingStats,
     delay: StreamingStats,
+    counters: SimCounters,
 }
 
 impl ReportAggregate {
@@ -146,6 +147,9 @@ impl ReportAggregate {
         for delay in report.delays_sorted() {
             self.delay.push(delay.as_f64());
         }
+        if let Some(c) = report.counters() {
+            self.counters.merge(c);
+        }
     }
 
     /// Merges another aggregate into this one.
@@ -156,6 +160,7 @@ impl ReportAggregate {
         self.delivery_rate.merge(&other.delivery_rate);
         self.transmissions.merge(&other.transmissions);
         self.delay.merge(&other.delay);
+        self.counters.merge(&other.counters);
     }
 
     /// Number of reports ingested.
@@ -192,6 +197,12 @@ impl ReportAggregate {
     /// Per-delivery end-to-end delay distribution.
     pub fn delay(&self) -> &StreamingStats {
         &self.delay
+    }
+
+    /// Summed engine event tallies over every ingested report (zeroes
+    /// for reports that carried no counters).
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
     }
 }
 
@@ -315,6 +326,13 @@ mod tests {
         delivered.insert(MessageId(1), Time::new(40.0));
         let mut tx = BTreeMap::new();
         tx.insert(MessageId(1), 2);
+        let counters = SimCounters {
+            contacts: 12,
+            forwards_replicate: 2,
+            injected: 1,
+            delivered: 1,
+            ..SimCounters::default()
+        };
         let report = SimReport::new(
             "test".into(),
             vec![m],
@@ -324,6 +342,7 @@ mod tests {
             vec![],
             0,
             0,
+            Some(counters),
         );
 
         let mut agg = ReportAggregate::new();
@@ -338,10 +357,14 @@ mod tests {
         assert_eq!(agg.delay().count(), 2);
         assert_eq!(agg.delay().mean(), Some(40.0));
 
+        assert_eq!(agg.counters().contacts, 24);
+        assert_eq!(agg.counters().forwards_replicate, 4);
+
         let mut other = ReportAggregate::new();
         other.push(&report);
         agg.merge(&other);
         assert_eq!(agg.reports(), 3);
         assert_eq!(agg.delay().count(), 3);
+        assert_eq!(agg.counters().contacts, 36);
     }
 }

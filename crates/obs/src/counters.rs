@@ -1,0 +1,113 @@
+//! Named monotonic counters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted map from counter name to accumulated value.
+///
+/// Addition saturates, which keeps [`CounterMap::merge`] associative and
+/// commutative even in overflow corner cases — the property the runner
+/// relies on when folding per-trial deltas in reorder-buffer order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterMap(BTreeMap<String, u64>);
+
+impl CounterMap {
+    /// An empty counter map; `const` so it can seed a static.
+    pub const fn new() -> Self {
+        CounterMap(BTreeMap::new())
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.0.get_mut(name) {
+            Some(v) => *v = v.saturating_add(n),
+            None => {
+                self.0.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// The current value of `name`, or zero if never incremented.
+    pub fn get(&self, name: &str) -> u64 {
+        self.0.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CounterMap) {
+        for (name, &n) in &other.0 {
+            self.add(name, n);
+        }
+    }
+
+    /// Iterates counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counter names.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no counter has been incremented.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = CounterMap::new();
+        assert_eq!(c.get("x"), 0);
+        c.add("x", 3);
+        c.add("x", 4);
+        c.add("y", 1);
+        assert_eq!(c.get("x"), 7);
+        assert_eq!(c.get("y"), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_add_creates_nothing() {
+        let mut c = CounterMap::new();
+        c.add("x", 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut c = CounterMap::new();
+        c.add("x", u64::MAX - 1);
+        c.add("x", 5);
+        assert_eq!(c.get("x"), u64::MAX);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CounterMap::new();
+        a.add("x", 2);
+        let mut b = CounterMap::new();
+        b.add("x", 3);
+        b.add("y", 9);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 9);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut c = CounterMap::new();
+        c.add("zeta", 1);
+        c.add("alpha", 1);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Event severities and the `ONION_DTN_LOG`-style environment filter.
+
+use std::str::FromStr;
+
+/// Severity of a telemetry event, from most to least severe.
+///
+/// The numeric discriminants order levels so that `Error < Trace`; a
+/// filter set to level `L` admits every event with `level <= L`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed; output may be missing or wrong.
+    Error = 1,
+    /// Something looks off but the run continues.
+    Warn = 2,
+    /// High-level progress and results (default verbosity).
+    Info = 3,
+    /// Per-point / per-run internals.
+    Debug = 4,
+    /// Per-trial firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Fixed-width display name (`ERROR`, `WARN `, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Verbosity ceiling: `0` is off, `1..=5` map to [`Level`].
+fn parse_ceiling(s: &str) -> Option<u8> {
+    let t = s.trim().to_ascii_lowercase();
+    if t == "off" || t == "none" || t == "0" {
+        return Some(0);
+    }
+    t.parse::<Level>().ok().map(|l| l as u8)
+}
+
+/// A parsed `ONION_DTN_LOG` filter.
+///
+/// Grammar (comma-separated, in the spirit of `env_logger`):
+///
+/// ```text
+/// ONION_DTN_LOG = directive ("," directive)*
+/// directive     = level            -- default ceiling for all targets
+///               | target "=" level -- ceiling for targets with this prefix
+///               | target           -- shorthand for target=trace
+/// level         = off | error | warn | info | debug | trace
+/// ```
+///
+/// The most specific (longest) matching target prefix wins; unmatched
+/// targets use the default ceiling. Malformed directives are ignored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvFilter {
+    default: u8,
+    directives: Vec<(String, u8)>,
+}
+
+impl Default for EnvFilter {
+    /// Everything at `info` and below.
+    fn default() -> Self {
+        EnvFilter::new()
+    }
+}
+
+impl EnvFilter {
+    /// The default filter (`info` for every target); `const` so it can
+    /// seed a static.
+    pub const fn new() -> Self {
+        EnvFilter {
+            default: Level::Info as u8,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Parses a filter spec; see the type docs for the grammar.
+    pub fn parse(spec: &str) -> Self {
+        let mut filter = EnvFilter::default();
+        let mut saw_default = false;
+        for raw in spec.split(',') {
+            let token = raw.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some((target, level)) = token.split_once('=') {
+                let target = target.trim();
+                if target.is_empty() {
+                    continue;
+                }
+                if let Some(ceiling) = parse_ceiling(level) {
+                    filter.directives.push((target.to_string(), ceiling));
+                }
+            } else if let Some(ceiling) = parse_ceiling(token) {
+                filter.default = ceiling;
+                saw_default = true;
+            } else {
+                // Bare target: enable it fully.
+                filter
+                    .directives
+                    .push((token.to_string(), Level::Trace as u8));
+            }
+        }
+        // A spec made only of target directives silences everything else,
+        // matching env_logger ("ONION_DTN_LOG=dtn_sim" shows only dtn_sim).
+        if !saw_default && !filter.directives.is_empty() {
+            filter.default = 0;
+        }
+        filter
+    }
+
+    /// The loosest ceiling any target can reach — the cheap upfront gate.
+    pub fn max_ceiling(&self) -> u8 {
+        self.directives
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(self.default, u8::max)
+    }
+
+    /// Whether an event at `level` from `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let ceiling = self
+            .directives
+            .iter()
+            .filter(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, c)| c)
+            .unwrap_or(self.default);
+        level as u8 <= ceiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!("WARN".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert!("noise".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn default_filter_is_info() {
+        let f = EnvFilter::default();
+        assert!(f.enabled(Level::Info, "anything"));
+        assert!(f.enabled(Level::Error, "anything"));
+        assert!(!f.enabled(Level::Debug, "anything"));
+        assert_eq!(f.max_ceiling(), Level::Info as u8);
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = EnvFilter::parse("debug");
+        assert!(f.enabled(Level::Debug, "dtn_sim::engine"));
+        assert!(!f.enabled(Level::Trace, "dtn_sim::engine"));
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let f = EnvFilter::parse("off");
+        assert!(!f.enabled(Level::Error, "x"));
+        assert_eq!(f.max_ceiling(), 0);
+    }
+
+    #[test]
+    fn target_directives_override_default() {
+        let f = EnvFilter::parse("warn,dtn_sim=debug,onion_routing::runner=trace");
+        assert!(f.enabled(Level::Warn, "bench"));
+        assert!(!f.enabled(Level::Info, "bench"));
+        assert!(f.enabled(Level::Debug, "dtn_sim::engine"));
+        assert!(!f.enabled(Level::Trace, "dtn_sim::engine"));
+        assert!(f.enabled(Level::Trace, "onion_routing::runner"));
+        assert_eq!(f.max_ceiling(), Level::Trace as u8);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = EnvFilter::parse("onion_routing=warn,onion_routing::runner=debug");
+        assert!(f.enabled(Level::Debug, "onion_routing::runner"));
+        assert!(!f.enabled(Level::Debug, "onion_routing::experiment"));
+    }
+
+    #[test]
+    fn bare_target_enables_it_and_silences_the_rest() {
+        let f = EnvFilter::parse("dtn_sim");
+        assert!(f.enabled(Level::Trace, "dtn_sim::engine"));
+        assert!(!f.enabled(Level::Error, "bench"));
+    }
+
+    #[test]
+    fn malformed_directives_are_ignored() {
+        let f = EnvFilter::parse("=debug, ,bogus=notalevel,info");
+        assert!(f.enabled(Level::Info, "x"));
+        assert!(!f.enabled(Level::Debug, "x"));
+        assert!(!f.enabled(Level::Debug, "bogus"));
+    }
+
+    #[test]
+    fn empty_spec_is_the_default() {
+        assert_eq!(EnvFilter::parse(""), EnvFilter::default());
+    }
+}

@@ -1,0 +1,96 @@
+//! Live single-line progress reporting on stderr.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use crate::recorder;
+
+/// Minimum interval between repaints of the progress line.
+const RENDER_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A throttled `\r`-overwriting progress line: `label done/total (pct)
+/// rate/s eta mm:ss`. Inert (no clock, no output) unless progress is
+/// enabled at construction; see [`recorder::set_progress`].
+///
+/// Designed for single-threaded use on the fold side of `run_trials`,
+/// where completions arrive on the caller thread in order.
+#[derive(Debug)]
+pub struct Progress {
+    label: &'static str,
+    total: u64,
+    done: u64,
+    started: Instant,
+    last_render: Option<Instant>,
+    active: bool,
+}
+
+impl Progress {
+    /// Starts a progress line over `total` units of work.
+    pub fn new(label: &'static str, total: u64) -> Self {
+        let active = recorder::progress_enabled() && total > 0;
+        Progress {
+            label,
+            total,
+            done: 0,
+            started: Instant::now(),
+            last_render: None,
+            active,
+        }
+    }
+
+    /// Marks `n` more units complete, repainting at most every ~100 ms.
+    pub fn inc(&mut self, n: u64) {
+        if !self.active {
+            return;
+        }
+        self.done = (self.done + n).min(self.total);
+        let now = Instant::now();
+        let due = match self.last_render {
+            None => true,
+            Some(t) => now.duration_since(t) >= RENDER_INTERVAL,
+        };
+        if due || self.done == self.total {
+            self.render(now);
+            self.last_render = Some(now);
+        }
+    }
+
+    fn render(&self, now: Instant) {
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && self.done < self.total {
+            (self.total - self.done) as f64 / rate
+        } else {
+            0.0
+        };
+        let pct = 100.0 * self.done as f64 / self.total as f64;
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r{} {}/{} ({:5.1}%) {:8.1}/s eta {:02}:{:02}   ",
+            self.label,
+            self.done,
+            self.total,
+            pct,
+            rate,
+            (eta as u64) / 60,
+            (eta as u64) % 60,
+        );
+        let _ = err.flush();
+    }
+}
+
+impl Drop for Progress {
+    /// Finishes the line so subsequent stderr output starts cleanly.
+    fn drop(&mut self) {
+        if self.active && self.last_render.is_some() {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+            let _ = err.flush();
+        }
+    }
+}

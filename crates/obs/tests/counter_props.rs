@@ -1,0 +1,59 @@
+//! Property tests for counter merging: the runner folds per-trial
+//! counter deltas in reorder-buffer order, so aggregation must not care
+//! how the deltas are grouped or (for the final totals) ordered.
+
+use obs::CounterMap;
+use proptest::prelude::*;
+
+/// Small name alphabet so maps collide on keys often; occasional huge
+/// values exercise the saturating-add path.
+fn arb_counter_map() -> impl Strategy<Value = CounterMap> {
+    proptest::collection::vec(any::<u64>(), 0..8).prop_map(|entries| {
+        let mut m = CounterMap::new();
+        for raw in entries {
+            let key = raw % 5;
+            let value = if raw % 97 == 0 { u64::MAX } else { raw >> 3 };
+            m.add(&format!("c{key}"), value);
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in arb_counter_map(),
+        b in arb_counter_map(),
+        c in arb_counter_map(),
+    ) {
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_counter_map(), b in arb_counter_map()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_is_identity(a in arb_counter_map()) {
+        let mut merged = a.clone();
+        merged.merge(&CounterMap::new());
+        prop_assert_eq!(&merged, &a);
+        let mut from_empty = CounterMap::new();
+        from_empty.merge(&a);
+        prop_assert_eq!(&from_empty, &a);
+    }
+}

@@ -22,7 +22,7 @@
 //! setting.
 
 use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
-use dtn_sim::{run, Message, MessageId, SimConfig, SimReport, StreamingStats};
+use dtn_sim::{run, Message, MessageId, SimConfig, SimCounters, SimReport, StreamingStats};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,11 @@ pub struct PointSummary {
     /// mean/variance/min/max across realizations) — error bars for
     /// `sim_delivery`.
     pub delivery_stats: StreamingStats,
+    /// Engine event tallies summed over every realization. Deterministic
+    /// integers (bit-identical across thread counts and telemetry
+    /// settings), so they are safe inside the determinism-compared
+    /// summary.
+    pub sim_counters: SimCounters,
 }
 
 /// Runs one random-graph data point.
@@ -109,6 +114,7 @@ pub struct PointSummary {
 /// Panics if `cfg` fails validation (programmer error in a sweep).
 pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) -> PointSummary {
     cfg.validate().expect("experiment config must be valid");
+    let span = obs::span("experiment.point_secs");
     let mut acc = Accumulator::default();
     run_trials(
         &opts.runner(),
@@ -138,7 +144,10 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
         &mut acc,
         |acc, _realization, partial| acc.merge(&partial),
     );
-    acc.finish(cfg)
+    let summary = acc.finish(cfg);
+    drop(span);
+    obs::flush_point("random_graph_point");
+    summary
 }
 
 /// Runs one trace-driven data point over `schedule` (synthetic or parsed
@@ -160,6 +169,7 @@ pub fn run_schedule_point(
         schedule.node_count(),
         "config nodes must match the trace"
     );
+    let span = obs::span("experiment.point_secs");
     let estimated = schedule.estimate_rates();
     let mut acc = Accumulator::default();
     run_trials(
@@ -202,7 +212,10 @@ pub fn run_schedule_point(
         &mut acc,
         |acc, _realization, partial| acc.merge(&partial),
     );
-    acc.finish(cfg)
+    let summary = acc.finish(cfg);
+    drop(span);
+    obs::flush_point("schedule_point");
+    summary
 }
 
 /// Accumulates per-realization results. Mergeable: the parallel runner
@@ -222,6 +235,7 @@ struct Accumulator {
     anon_count: usize,
     tx_sum: f64,
     tx_count: usize,
+    counters: SimCounters,
 }
 
 impl Accumulator {
@@ -236,6 +250,7 @@ impl Accumulator {
         self.anon_count += other.anon_count;
         self.tx_sum += other.tx_sum;
         self.tx_count += other.tx_count;
+        self.counters.merge(&other.counters);
     }
 
     fn finish(self, cfg: &ProtocolConfig) -> PointSummary {
@@ -283,6 +298,7 @@ impl Accumulator {
             injected: self.injected,
             delivered: self.delivered,
             delivery_stats: self.realization_delivery,
+            sim_counters: self.counters,
         }
     }
 }
@@ -375,6 +391,9 @@ fn run_one_realization(
     }
 
     // Simulation series.
+    if let Some(c) = report.counters() {
+        acc.counters.merge(c);
+    }
     acc.injected += report.injected_count();
     acc.delivered += report.delivered_count();
     acc.realization_delivery.push(report.delivery_rate());
@@ -556,6 +575,7 @@ pub fn delivery_sweep_random_graph(
         ..cfg.clone()
     };
     run_cfg.validate().expect("experiment config must be valid");
+    let span = obs::span("experiment.sweep_secs");
 
     let mut total = DeliveryPartial::new(deadlines.len());
     run_trials(
@@ -590,7 +610,10 @@ pub fn delivery_sweep_random_graph(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
-    total.rows(deadlines)
+    let rows = total.rows(deadlines);
+    drop(span);
+    obs::flush_point("delivery_sweep_random_graph");
+    rows
 }
 
 /// Delivery rate vs deadline on a fixed contact schedule (trace-driven;
@@ -638,6 +661,7 @@ pub fn delivery_sweep_schedule_with_rates(
         schedule.node_count(),
         "config nodes must match the trace"
     );
+    let span = obs::span("experiment.sweep_secs");
 
     let mut total = DeliveryPartial::new(deadlines.len());
     run_trials(
@@ -686,7 +710,10 @@ pub fn delivery_sweep_schedule_with_rates(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
-    total.rows(deadlines)
+    let rows = total.rows(deadlines);
+    drop(span);
+    obs::flush_point("delivery_sweep_schedule");
+    rows
 }
 
 /// Per-realization partial of a security sweep: per-`c` weighted sums.
@@ -804,6 +831,7 @@ pub fn security_sweep_random_graph(
     opts: &ExperimentOptions,
 ) -> Vec<SecuritySweepRow> {
     cfg.validate().expect("experiment config must be valid");
+    let span = obs::span("experiment.sweep_secs");
 
     let mut total = SecurityPartial::new(compromised_values.len());
     run_trials(
@@ -839,7 +867,10 @@ pub fn security_sweep_random_graph(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
-    total.rows(cfg, compromised_values)
+    let rows = total.rows(cfg, compromised_values);
+    drop(span);
+    obs::flush_point("security_sweep_random_graph");
+    rows
 }
 
 /// Security metrics vs compromised count on a fixed schedule (trace-driven;
@@ -861,6 +892,7 @@ pub fn security_sweep_schedule(
         schedule.node_count(),
         "config nodes must match the trace"
     );
+    let span = obs::span("experiment.sweep_secs");
 
     let mut total = SecurityPartial::new(compromised_values.len());
     run_trials(
@@ -907,7 +939,10 @@ pub fn security_sweep_schedule(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
-    total.rows(cfg, compromised_values)
+    let rows = total.rows(cfg, compromised_values);
+    drop(span);
+    obs::flush_point("security_sweep_schedule");
+    rows
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -165,49 +166,97 @@ pub fn run_trials<T, Job, Acc, Fold>(
         return;
     }
     let threads = config.effective_threads(trials);
+    // Telemetry is sampled once up front; when disabled, the per-trial
+    // cost is a `None` check (no clock reads, no locks). Metrics only
+    // observe the run — they never feed back into `fold`, so reports are
+    // identical with telemetry on or off.
+    let metrics = obs::metrics_enabled();
+    let wall_start = metrics.then(Instant::now);
+    let mut progress = obs::Progress::new("trials", trials as u64);
+    let mut busy_secs = 0.0f64;
+    let mut reorder_high_water = 0usize;
+
     if threads == 1 {
         for i in 0..trials {
+            let trial_start = metrics.then(Instant::now);
             let out = job(i);
-            fold(acc, i, out);
-        }
-        return;
-    }
-
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let job = &job;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let out = job(i);
-                if tx.send((i, out)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        // In-order merge through a reorder buffer: results are folded
-        // strictly by trial index, so aggregation order (and therefore
-        // floating-point rounding) is scheduling-independent.
-        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
-        let mut next_fold = 0usize;
-        for (i, out) in rx {
-            pending.insert(i, out);
-            while let Some(out) = pending.remove(&next_fold) {
-                fold(acc, next_fold, out);
-                next_fold += 1;
+            if let Some(t0) = trial_start {
+                let dt = t0.elapsed().as_secs_f64();
+                busy_secs += dt;
+                obs::record("runner.trial_secs", dt);
             }
+            fold(acc, i, out);
+            progress.inc(1);
         }
-        // If a worker panicked, the scope re-raises the panic when it
-        // joins; otherwise every index was received and folded.
-    });
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T, f64)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let trial_start = metrics.then(Instant::now);
+                    let out = job(i);
+                    let dt = trial_start.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
+                    if tx.send((i, out, dt)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // In-order merge through a reorder buffer: results are folded
+            // strictly by trial index, so aggregation order (and therefore
+            // floating-point rounding) is scheduling-independent.
+            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+            let mut next_fold = 0usize;
+            for (i, out, dt) in rx {
+                if metrics {
+                    busy_secs += dt;
+                    obs::record("runner.trial_secs", dt);
+                }
+                pending.insert(i, out);
+                reorder_high_water = reorder_high_water.max(pending.len());
+                while let Some(out) = pending.remove(&next_fold) {
+                    fold(acc, next_fold, out);
+                    next_fold += 1;
+                    progress.inc(1);
+                }
+            }
+            // If a worker panicked, the scope re-raises the panic when it
+            // joins; otherwise every index was received and folded.
+        });
+    }
+    drop(progress);
+
+    if let Some(t0) = wall_start {
+        let wall = t0.elapsed().as_secs_f64();
+        obs::counter_add("runner.trials", trials as u64);
+        obs::counter_add("runner.threads", threads as u64);
+        obs::record("runner.wall_secs", wall);
+        obs::record("runner.reorder_high_water", reorder_high_water as f64);
+        // Fraction of the workers' wall-clock budget spent inside jobs;
+        // the rest is channel/fold/scheduling overhead or idle stealing.
+        let utilization = if wall > 0.0 {
+            (busy_secs / (wall * threads as f64)).min(1.0)
+        } else {
+            1.0
+        };
+        obs::record("runner.utilization", utilization);
+        obs::debug!(
+            "onion_routing::runner",
+            "{trials} trials on {threads} thread(s): {wall:.2}s wall, \
+             {:.1} trials/s, {:.0}% utilization, reorder high-water {reorder_high_water}",
+            trials as f64 / wall.max(1e-9),
+            utilization * 100.0,
+        );
+    }
 }
 
 #[cfg(test)]

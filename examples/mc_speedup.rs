@@ -9,7 +9,9 @@
 //! reorder-buffer overhead (expect ≈1× or slightly below); on an N-core
 //! machine the trials are embarrassingly parallel, so wall-clock should
 //! approach N× at `--threads 0` (auto). The printed figures are the
-//! honest measurement either way — the *values* never move.
+//! honest measurement either way — the *values* never move. Each run
+//! also reports its per-trial duration p50/p99 from the telemetry
+//! histogram, separating per-trial cost from fan-out overhead.
 
 use std::time::Instant;
 
@@ -21,6 +23,11 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000);
+
+    // Record per-trial durations so each run can report its p50/p99
+    // alongside the wall-clock speedup. Timings live only in the global
+    // telemetry registry, never in the compared rows.
+    obs::set_metrics_enabled(true);
 
     // Figure 4 shape: Table II defaults, delivery vs deadline, but few
     // messages per realization so the study is runner-bound, not
@@ -54,6 +61,17 @@ fn main() {
         let start = Instant::now();
         let rows = delivery_sweep_random_graph(&cfg, &deadlines, &opts);
         let secs = start.elapsed().as_secs_f64();
+        // The sweep flushes its metrics on return; read back the
+        // per-trial duration histogram for this run.
+        let trial = obs::take_last_snapshot()
+            .and_then(|s| s.histograms.get("runner.trial_secs").copied())
+            .map_or("p50/p99      -/-".to_string(), |h| {
+                format!(
+                    "p50/p99 {:6.1}/{:6.1} ms",
+                    h.p50.unwrap_or(0.0) * 1e3,
+                    h.p99.unwrap_or(0.0) * 1e3
+                )
+            });
         let flat: Rows = rows
             .iter()
             .map(|r| (r.deadline, r.analysis, r.sim))
@@ -65,7 +83,7 @@ fn main() {
         };
         match &reference {
             None => {
-                println!("threads {label:>10}: {secs:7.2} s  (baseline)");
+                println!("threads {label:>10}: {secs:7.2} s  trial {trial}  (baseline)");
                 reference = Some((secs, flat));
             }
             Some((base_secs, base_rows)) => {
@@ -83,7 +101,8 @@ fn main() {
                     );
                 }
                 println!(
-                    "threads {label:>10}: {secs:7.2} s  ({:.2}x vs 1 thread, bit-identical)",
+                    "threads {label:>10}: {secs:7.2} s  trial {trial}  \
+                     ({:.2}x vs 1 thread, bit-identical)",
                     base_secs / secs
                 );
             }

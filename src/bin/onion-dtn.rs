@@ -8,6 +8,13 @@
 //! onion-dtn trace (cambridge|infocom|PATH) [--t 3600]
 //! onion-dtn plan  --target 0.95 [--g 5] [--k 3] [--l 1]
 //! ```
+//!
+//! Telemetry flags (any command): `--metrics-out <path>` appends one
+//! JSON object per experiment point to `<path>`, `--progress` shows a
+//! live trials/s + ETA line on stderr, and `--quiet` silences all
+//! status output below the error level. `ONION_DTN_LOG`,
+//! `ONION_DTN_METRICS`, and `ONION_DTN_PROGRESS` set the same defaults
+//! from the environment (see the `obs` crate).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -23,9 +30,14 @@ fn print_usage() {
          \t--threads <w>  (worker threads for the realization fan-out; 0 = auto;\n\
          \t                results are identical for every value)\n\
          trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
-         plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)"
+         plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)\n\
+         telemetry: --metrics-out <path> (JSONL per experiment point)\n\
+         \t--progress (live trials/s + ETA on stderr)  --quiet (errors only)"
     );
 }
+
+/// Flags that take no value; present means `"true"`.
+const BOOL_FLAGS: &[&str] = &["progress", "quiet"];
 
 /// Parses `--key value` pairs; returns positional args and the flag map.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
@@ -34,6 +46,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(key) = arg.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -43,6 +59,23 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
         }
     }
     Ok((positional, flags))
+}
+
+/// Applies the telemetry flags to the global `obs` recorder. Env vars
+/// (`ONION_DTN_*`) set the defaults; explicit flags override them.
+fn apply_telemetry(flags: &HashMap<String, String>) {
+    obs::init();
+    if let Some(path) = flags.get("metrics-out") {
+        obs::set_metrics_enabled(true);
+        obs::set_metrics_path(Some(std::path::Path::new(path)));
+    }
+    if flags.contains_key("progress") {
+        obs::set_progress(true);
+    }
+    if flags.contains_key("quiet") {
+        obs::set_filter("error");
+        obs::set_progress(false);
+    }
 }
 
 fn flag<T: std::str::FromStr>(
@@ -85,7 +118,8 @@ fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, Strin
 fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
     let cfg = config_from(flags)?;
     let opts = opts_from(flags)?;
-    println!(
+    obs::info!(
+        "onion_dtn",
         "n={} g={} K={} L={} T={} c={} ({} msgs x {} realizations)",
         cfg.nodes,
         cfg.group_size,
@@ -182,7 +216,8 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         }
     };
     let n = schedule.node_count();
-    println!(
+    obs::info!(
+        "onion_dtn",
         "trace: {n} nodes, {} contacts over {:.2} days",
         schedule.len(),
         schedule.horizon().as_f64() / 86_400.0
@@ -248,18 +283,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
-    let result = parse_flags(rest).and_then(|(positional, flags)| match command.as_str() {
-        "point" => cmd_point(&flags),
-        "deadline-sweep" => cmd_deadline_sweep(&flags),
-        "security-sweep" => cmd_security_sweep(&flags),
-        "trace" => cmd_trace(&positional, &flags),
-        "plan" => cmd_plan(&flags),
-        other => Err(format!("unknown command {other:?}")),
+    let result = parse_flags(rest).and_then(|(positional, flags)| {
+        apply_telemetry(&flags);
+        match command.as_str() {
+            "point" => cmd_point(&flags),
+            "deadline-sweep" => cmd_deadline_sweep(&flags),
+            "security-sweep" => cmd_security_sweep(&flags),
+            "trace" => cmd_trace(&positional, &flags),
+            "plan" => cmd_plan(&flags),
+            other => Err(format!("unknown command {other:?}")),
+        }
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error!("onion_dtn", "error: {e}");
             print_usage();
             ExitCode::FAILURE
         }
@@ -302,6 +340,35 @@ mod tests {
         // Default is auto-detect.
         let (_, flags) = parse_flags(&strings(&[])).unwrap();
         assert_eq!(opts_from(&flags).unwrap().threads, 0);
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        // `--progress` and `--quiet` must not consume the token after
+        // them, so they can precede positionals and other flags.
+        let (pos, flags) = parse_flags(&strings(&[
+            "--progress",
+            "cambridge",
+            "--quiet",
+            "--g",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(pos, vec!["cambridge"]);
+        assert_eq!(flags.get("progress").map(String::as_str), Some("true"));
+        assert_eq!(flags.get("quiet").map(String::as_str), Some("true"));
+        assert_eq!(flags.get("g").map(String::as_str), Some("5"));
+    }
+
+    #[test]
+    fn metrics_out_flag_takes_a_path() {
+        let (_, flags) =
+            parse_flags(&strings(&["--metrics-out", "target/m.jsonl", "--quiet"])).unwrap();
+        assert_eq!(
+            flags.get("metrics-out").map(String::as_str),
+            Some("target/m.jsonl")
+        );
+        assert!(parse_flags(&strings(&["--metrics-out"])).is_err());
     }
 
     #[test]

@@ -52,6 +52,52 @@ fn message_and_config_roundtrip() {
 }
 
 #[test]
+fn sim_config_roundtrip() {
+    use dtn_sim::DropPolicy;
+
+    // The paper's default (unlimited buffers) and a constrained
+    // variant both survive checkpointing.
+    let default = SimConfig::default();
+    assert_eq!(json_roundtrip(&default), default);
+
+    let constrained = SimConfig {
+        record_forwarding: false,
+        reject_seen: false,
+        buffer_capacity: Some(8),
+        drop_policy: DropPolicy::DropOldest,
+    };
+    assert_eq!(json_roundtrip(&constrained), constrained);
+
+    for policy in [DropPolicy::DropIncoming, DropPolicy::DropOldest] {
+        assert_eq!(json_roundtrip(&policy), policy);
+    }
+}
+
+#[test]
+fn sim_counters_roundtrip() {
+    use dtn_sim::SimCounters;
+
+    let counters = SimCounters {
+        contacts: 1000,
+        forwards_handoff: 40,
+        forwards_split: 7,
+        forwards_replicate: 12,
+        rejected_forwards: 3,
+        buffer_drops: 2,
+        buffer_evictions: 1,
+        deadline_expiries: 5,
+        injected: 25,
+        delivered: 21,
+        expired: 4,
+    };
+    assert_eq!(json_roundtrip(&counters), counters);
+    assert_eq!(
+        json_roundtrip(&SimCounters::default()),
+        SimCounters::default()
+    );
+}
+
+#[test]
 fn groups_roundtrip() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let groups = OnionGroups::random_partition(30, 4, &mut rng);

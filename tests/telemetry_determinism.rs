@@ -1,0 +1,79 @@
+//! Telemetry must be a pure observer: enabling metrics, recording
+//! spans, and flushing snapshots may not perturb a single bit of the
+//! experiment results. This is the contract that lets `--metrics-out`
+//! ride along on published runs.
+
+use onion_dtn::prelude::*;
+
+fn small_point() -> (ProtocolConfig, ExperimentOptions) {
+    let cfg = ProtocolConfig {
+        nodes: 40,
+        group_size: 4,
+        onions: 2,
+        compromised: 4,
+        deadline: TimeDelta::new(240.0),
+        ..ProtocolConfig::table2_defaults()
+    };
+    let opts = ExperimentOptions {
+        messages: 6,
+        realizations: 4,
+        seed: 0x7E1E_3E7A,
+        threads: 2,
+        ..Default::default()
+    };
+    (cfg, opts)
+}
+
+/// One test function (not several) so the global recorder toggles
+/// cannot race between parallel test threads within this binary.
+#[test]
+fn metrics_on_and_off_produce_bit_identical_summaries() {
+    let (cfg, opts) = small_point();
+
+    obs::set_metrics_enabled(false);
+    let quiet = run_random_graph_point(&cfg, &opts);
+    assert!(obs::flush_point("off").is_none(), "no snapshot while off");
+
+    obs::set_metrics_enabled(true);
+    let measured = run_random_graph_point(&cfg, &opts);
+    let snapshot = obs::take_last_snapshot().expect("point flushed a snapshot");
+    obs::set_metrics_enabled(false);
+
+    // The full summary — including the deterministic SimCounters block —
+    // must match bit for bit, so serialized forms are identical too.
+    assert_eq!(quiet, measured);
+    assert_eq!(
+        serde_json::to_string(&quiet).unwrap(),
+        serde_json::to_string(&measured).unwrap()
+    );
+    assert_eq!(
+        quiet.delivery_stats.mean().map(f64::to_bits),
+        measured.delivery_stats.mean().map(f64::to_bits)
+    );
+
+    // The snapshot itself carries the expected engine counters and the
+    // runner's per-trial histogram.
+    assert_eq!(snapshot.label, "random_graph_point");
+    assert!(snapshot.counters.get("sim.contacts") > 0);
+    assert_eq!(
+        snapshot.counters.get("sim.injected"),
+        measured.sim_counters.injected
+    );
+    let trial = snapshot
+        .histograms
+        .get("runner.trial_secs")
+        .expect("runner records per-trial durations");
+    assert_eq!(trial.count, opts.realizations as u64);
+
+    // Thread count must not move results even with telemetry enabled.
+    obs::set_metrics_enabled(true);
+    let serial = run_random_graph_point(
+        &cfg,
+        &ExperimentOptions {
+            threads: 1,
+            ..opts.clone()
+        },
+    );
+    obs::set_metrics_enabled(false);
+    assert_eq!(serial, measured);
+}
