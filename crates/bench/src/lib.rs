@@ -38,6 +38,7 @@ pub fn default_opts() -> ExperimentOptions {
         seed: 0x5EED_2016,
         intercontact_range: (1.0, 36.0),
         threads: threads_from_env(),
+        ..Default::default()
     }
 }
 
@@ -49,6 +50,7 @@ pub fn sweep_opts() -> ExperimentOptions {
         seed: 0x5EED_2016,
         intercontact_range: (1.0, 36.0),
         threads: threads_from_env(),
+        ..Default::default()
     }
 }
 

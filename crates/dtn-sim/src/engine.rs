@@ -13,6 +13,7 @@ use contact_graph::{ContactSchedule, NodeId, Time};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{ChurnMemory, FaultPlan, FaultState};
 use crate::message::{CopyState, Message, MessageId};
 use crate::protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
 use crate::report::{ForwardRecord, SimCounters, SimReport};
@@ -67,6 +68,9 @@ pub enum SimError {
     DuplicateId(MessageId),
     /// A message allows zero copies.
     ZeroCopies(MessageId),
+    /// The fault plan has an out-of-range probability or churn
+    /// parameter.
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -80,6 +84,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::DuplicateId(id) => write!(f, "duplicate message id {id}"),
             SimError::ZeroCopies(id) => write!(f, "message {id} allows zero copies"),
+            SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -92,6 +97,10 @@ struct SimState {
     buffers: Vec<BTreeMap<MessageId, CopyState>>,
     /// Per-node set of message ids ever carried.
     seen: Vec<HashSet<MessageId>>,
+    /// Per-node arrival time of each buffered copy — maintained only
+    /// when churn faults are active (crash wipes destroy copies that
+    /// arrived at or before the crash instant). Empty otherwise.
+    arrivals: Vec<BTreeMap<MessageId, Time>>,
     delivered: BTreeMap<MessageId, Time>,
     transmissions: BTreeMap<MessageId, u64>,
     forward_log: Vec<ForwardRecord>,
@@ -168,6 +177,9 @@ impl ContactView for View<'_> {
 /// Runs `protocol` over `schedule`, injecting `messages` at their creation
 /// times.
 ///
+/// Equivalent to [`run_with_faults`] with the no-op [`FaultPlan`] — and
+/// bit-identical to it, since a no-op plan never touches the fault RNG.
+///
 /// # Errors
 ///
 /// Returns a [`SimError`] if any message is malformed for this schedule.
@@ -182,6 +194,47 @@ where
     P: RoutingProtocol + ?Sized,
     R: RngCore,
 {
+    // The no-op plan draws nothing, so any stand-in RNG works.
+    let mut unused = rand::rngs::mock::StepRng::new(0, 0);
+    run_with_faults(
+        schedule,
+        protocol,
+        messages,
+        config,
+        &FaultPlan::default(),
+        &mut unused,
+        rng,
+    )
+}
+
+/// Runs `protocol` over `schedule` while injecting the faults described
+/// by `plan`.
+///
+/// Fault decisions are drawn exclusively from `fault_rng`, never from
+/// the protocol RNG, so a plan with all rates zero is bit-identical to
+/// [`run`] and a faulted run is a pure function of
+/// `(plan, fault seed, schedule, protocol seed)`. See [`crate::faults`]
+/// for the fault semantics.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if any message is malformed for this schedule
+/// or the plan fails [`FaultPlan::validate`].
+pub fn run_with_faults<P, R, F>(
+    schedule: &ContactSchedule,
+    protocol: &mut P,
+    messages: Vec<Message>,
+    config: &SimConfig,
+    plan: &FaultPlan,
+    fault_rng: &mut F,
+    rng: &mut R,
+) -> Result<SimReport, SimError>
+where
+    P: RoutingProtocol + ?Sized,
+    R: RngCore,
+    F: RngCore,
+{
+    plan.validate().map_err(SimError::InvalidFaultPlan)?;
     let n = schedule.node_count();
     let mut ids = HashSet::new();
     for m in &messages {
@@ -206,10 +259,17 @@ where
     // Timing is gated so disabled telemetry skips even the clock reads.
     let started = obs::metrics_enabled().then(Instant::now);
 
+    // Churn timelines are pre-drawn here (node order), so the fault RNG
+    // layout is independent of the contact pattern.
+    let mut faults =
+        (!plan.is_noop()).then(|| FaultState::new(plan, n, schedule.horizon(), fault_rng));
+    let track_arrivals = faults.as_ref().is_some_and(FaultState::has_churn);
+
     let mut state = SimState {
         messages: BTreeMap::new(),
         buffers: vec![BTreeMap::new(); n],
         seen: vec![HashSet::new(); n],
+        arrivals: vec![BTreeMap::new(); if track_arrivals { n } else { 0 }],
         delivered: BTreeMap::new(),
         transmissions: BTreeMap::new(),
         forward_log: Vec::new(),
@@ -222,6 +282,7 @@ where
                       pending: &mut Vec<Message>,
                       protocol: &mut P,
                       rng: &mut R,
+                      faults: &Option<FaultState>,
                       now: Time| {
         while pending.last().is_some_and(|m| m.created <= now) {
             let m = pending.pop().expect("checked non-empty");
@@ -230,18 +291,49 @@ where
             state.transmissions.insert(m.id, 0);
             let source = m.source;
             let id = m.id;
+            let created = m.created;
             state.messages.insert(m.id, m);
+            // A source that is crashed at the creation instant loses the
+            // copy outright (the message still counts as injected).
+            if faults
+                .as_ref()
+                .is_some_and(|f| f.node_down(source, created))
+            {
+                state.counters.fault_buffer_wipes += 1;
+                continue;
+            }
             // A full source buffer refuses (or evicts for) the new
             // message, per the drop policy.
             if make_room(state, config, source) {
                 state.buffers[source.index()].insert(id, cs);
+                if track_arrivals {
+                    state.arrivals[source.index()].insert(id, created);
+                }
             }
         }
     };
 
     for event in schedule.iter() {
         state.counters.contacts += 1;
-        inject_due(&mut state, &mut pending, protocol, rng, event.time);
+        inject_due(&mut state, &mut pending, protocol, rng, &faults, event.time);
+
+        if let Some(f) = faults.as_mut() {
+            // Apply pending crash wipes at the endpoints before anything
+            // can observe their buffers.
+            apply_crashes(&mut state, f, event.a, event.time);
+            apply_crashes(&mut state, f, event.b, event.time);
+            // A contact with a crashed endpoint never happens; a live
+            // contact can still fail i.i.d. (radio fault, missed
+            // beacon). Neither is observed by the protocol.
+            if f.node_down(event.a, event.time) || f.node_down(event.b, event.time) {
+                state.counters.fault_contacts_dropped += 1;
+                continue;
+            }
+            if f.contact_dropped(fault_rng) {
+                state.counters.fault_contacts_dropped += 1;
+                continue;
+            }
+        }
 
         // Let utility-based protocols observe every encounter.
         protocol.on_contact_observed(event.a, event.b, event.time);
@@ -289,13 +381,31 @@ where
             }
         };
 
+        // Mid-transfer truncation: the contact window may close early,
+        // completing only a prefix of the planned transfers (both
+        // directions combined, in apply order).
+        let total = decisions_ab.len() + decisions_ba.len();
+        let (keep_ab, keep_ba) = match faults
+            .as_ref()
+            .and_then(|f| f.truncation_point(total, fault_rng))
+        {
+            Some(keep) => {
+                state.counters.fault_transfers_truncated += (total - keep) as u64;
+                let keep_ab = keep.min(decisions_ab.len());
+                (keep_ab, keep - keep_ab)
+            }
+            None => (decisions_ab.len(), decisions_ba.len()),
+        };
+
         apply(
             &mut state,
             config,
             event.time,
             event.a,
             event.b,
-            &decisions_ab,
+            &decisions_ab[..keep_ab],
+            faults.as_ref(),
+            fault_rng,
         );
         apply(
             &mut state,
@@ -303,13 +413,31 @@ where
             event.time,
             event.b,
             event.a,
-            &decisions_ba,
+            &decisions_ba[..keep_ba],
+            faults.as_ref(),
+            fault_rng,
         );
     }
 
     // Inject anything scheduled after the last contact so the report's
     // injected set is complete (they can never be delivered).
-    inject_due(&mut state, &mut pending, protocol, rng, schedule.horizon());
+    inject_due(
+        &mut state,
+        &mut pending,
+        protocol,
+        rng,
+        &faults,
+        schedule.horizon(),
+    );
+
+    // Account for crashes no contact ever surfaced, so `faults.crashes`
+    // counts every crash up to the horizon regardless of the contact
+    // pattern.
+    if let Some(f) = faults.as_mut() {
+        for node in 0..n {
+            apply_crashes(&mut state, f, NodeId(node as u32), schedule.horizon());
+        }
+    }
 
     state.counters.injected = injected.len() as u64;
     state.counters.delivered = state.delivered.len() as u64;
@@ -343,6 +471,60 @@ where
     ))
 }
 
+/// Applies every crash of `node` at or before `now` whose wipe is still
+/// pending: destroys buffered copies that had arrived by the crash
+/// instant and, with [`ChurnMemory::Forget`], resets the summary vector
+/// to the surviving copies.
+fn apply_crashes(state: &mut SimState, faults: &mut FaultState, node: NodeId, now: Time) {
+    for crash in faults.take_crashes(node, now) {
+        state.counters.fault_crashes += 1;
+        let arrivals = &state.arrivals[node.index()];
+        let buf = &mut state.buffers[node.index()];
+        let before = buf.len();
+        buf.retain(|id, _| arrivals.get(id).is_some_and(|&t| t > crash));
+        state.counters.fault_buffer_wipes += (before - buf.len()) as u64;
+        if faults.churn_memory() == Some(ChurnMemory::Forget) {
+            // RAM-only summary vector: only copies that arrived after
+            // the crash are still known.
+            let survivors: Vec<MessageId> = buf.keys().copied().collect();
+            let seen = &mut state.seen[node.index()];
+            seen.clear();
+            seen.extend(survivors);
+        }
+    }
+}
+
+/// Removes the transferred tickets from the carrier's copy per the
+/// forward kind and returns the ticket count travelling to the
+/// receiver. The split ticket range must already be validated.
+fn take_from_carrier(state: &mut SimState, carrier: NodeId, fwd: &Forward, copy: CopyState) -> u32 {
+    match fwd.kind {
+        ForwardKind::Handoff => {
+            state.buffers[carrier.index()].remove(&fwd.message);
+            copy.tickets
+        }
+        ForwardKind::Split {
+            tickets_to_receiver,
+        } => {
+            let remaining = copy.tickets - tickets_to_receiver;
+            if remaining == 0 {
+                state.buffers[carrier.index()].remove(&fwd.message);
+            } else {
+                state.buffers[carrier.index()].insert(
+                    fwd.message,
+                    CopyState {
+                        tickets: remaining,
+                        tag: copy.tag,
+                    },
+                );
+            }
+            tickets_to_receiver
+        }
+        ForwardKind::Replicate => copy.tickets,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn apply(
     state: &mut SimState,
     config: &SimConfig,
@@ -350,7 +532,10 @@ fn apply(
     carrier: NodeId,
     peer: NodeId,
     decisions: &[Forward],
+    faults: Option<&FaultState>,
+    fault_rng: &mut dyn RngCore,
 ) {
+    let track_arrivals = faults.is_some_and(FaultState::has_churn);
     for fwd in decisions {
         let Some(&copy) = state.buffers[carrier.index()].get(&fwd.message) else {
             // The protocol referenced a message the carrier no longer
@@ -373,6 +558,26 @@ fn apply(
             state.counters.rejected_forwards += 1;
             continue;
         }
+        // Sender-side ticket validation: an invalid split never goes on
+        // air.
+        if let ForwardKind::Split {
+            tickets_to_receiver,
+        } = fwd.kind
+        {
+            if tickets_to_receiver == 0 || tickets_to_receiver > copy.tickets {
+                state.counters.rejected_forwards += 1;
+                continue;
+            }
+        }
+        // In-flight loss: the sender pays the transmission (and, for
+        // handoff/split, the tickets), the receiver gets nothing — so
+        // no admission is attempted and no forward is logged.
+        if faults.is_some_and(|f| f.transfer_lost(fault_rng)) {
+            take_from_carrier(state, carrier, fwd, copy);
+            *state.transmissions.entry(fwd.message).or_insert(0) += 1;
+            state.counters.fault_messages_lost += 1;
+            continue;
+        }
         // Buffer admission at the receiver (destinations consume without
         // buffering). Must happen before any carrier-side mutation.
         if peer != destination && !make_room(state, config, peer) {
@@ -380,34 +585,7 @@ fn apply(
         }
 
         // Ticket accounting on the carrier side.
-        let receiver_tickets = match fwd.kind {
-            ForwardKind::Handoff => {
-                state.buffers[carrier.index()].remove(&fwd.message);
-                copy.tickets
-            }
-            ForwardKind::Split {
-                tickets_to_receiver,
-            } => {
-                if tickets_to_receiver == 0 || tickets_to_receiver > copy.tickets {
-                    state.counters.rejected_forwards += 1;
-                    continue;
-                }
-                let remaining = copy.tickets - tickets_to_receiver;
-                if remaining == 0 {
-                    state.buffers[carrier.index()].remove(&fwd.message);
-                } else {
-                    state.buffers[carrier.index()].insert(
-                        fwd.message,
-                        CopyState {
-                            tickets: remaining,
-                            tag: copy.tag,
-                        },
-                    );
-                }
-                tickets_to_receiver
-            }
-            ForwardKind::Replicate => copy.tickets,
-        };
+        let receiver_tickets = take_from_carrier(state, carrier, fwd, copy);
 
         // The transmission happens.
         match fwd.kind {
@@ -438,6 +616,9 @@ fn apply(
                     tag: fwd.receiver_tag,
                 },
             );
+            if track_arrivals {
+                state.arrivals[peer.index()].insert(fwd.message, now);
+            }
         }
     }
 }
@@ -825,5 +1006,242 @@ mod buffer_tests {
         .unwrap();
         assert_eq!(report.delivery_rate(), 1.0);
         assert_eq!(report.buffer_drops(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::baselines::Epidemic;
+    use crate::faults::ChurnConfig;
+    use contact_graph::{ContactEvent, ContactSchedule, TimeDelta, UniformGraphBuilder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn schedule(events: Vec<(f64, u32, u32)>, n: usize, horizon: f64) -> ContactSchedule {
+        let evs = events
+            .into_iter()
+            .map(|(t, a, b)| ContactEvent::new(Time::new(t), NodeId(a), NodeId(b)))
+            .collect();
+        ContactSchedule::from_events(evs, n, Time::new(horizon))
+    }
+
+    fn msg(id: u64, src: u32, dst: u32, created: f64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: NodeId(src),
+            destination: NodeId(dst),
+            created: Time::new(created),
+            deadline: TimeDelta::new(100.0),
+            copies: 1,
+        }
+    }
+
+    /// A randomized scenario big enough that every fault class can fire.
+    fn random_run(plan: &FaultPlan, fault_seed: u64) -> SimReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let graph = UniformGraphBuilder::new(20).build(&mut rng);
+        let sched = ContactSchedule::sample(&graph, Time::new(200.0), &mut rng);
+        let messages: Vec<Message> = (0..10)
+            .map(|i| msg(i, i as u32, 19 - i as u32, 0.0))
+            .collect();
+        let mut fault_rng = ChaCha8Rng::seed_from_u64(fault_seed);
+        run_with_faults(
+            &sched,
+            &mut Epidemic,
+            messages,
+            &SimConfig::default(),
+            plan,
+            &mut fault_rng,
+            &mut ChaCha8Rng::seed_from_u64(11),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noop_plan_is_bit_identical_to_run() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let graph = UniformGraphBuilder::new(20).build(&mut rng);
+        let sched = ContactSchedule::sample(&graph, Time::new(200.0), &mut rng);
+        let messages: Vec<Message> = (0..10)
+            .map(|i| msg(i, i as u32, 19 - i as u32, 0.0))
+            .collect();
+
+        let baseline = run(
+            &sched,
+            &mut Epidemic,
+            messages.clone(),
+            &SimConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(11),
+        )
+        .unwrap();
+        let faulted = run_with_faults(
+            &sched,
+            &mut Epidemic,
+            messages,
+            &SimConfig::default(),
+            &FaultPlan::none(),
+            &mut ChaCha8Rng::seed_from_u64(999),
+            &mut ChaCha8Rng::seed_from_u64(11),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&faulted).unwrap()
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible() {
+        let plan = FaultPlan {
+            contact_failure: 0.2,
+            transfer_truncation: 0.2,
+            message_loss: 0.2,
+            churn: Some(ChurnConfig {
+                crash_rate: 0.01,
+                mean_downtime: 20.0,
+                memory: ChurnMemory::Persist,
+            }),
+        };
+        let a = random_run(&plan, 42);
+        let b = random_run(&plan, 42);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // A different fault seed gives a different (but valid) outcome.
+        let c = random_run(&plan, 43);
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn contact_failure_one_blocks_everything() {
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 1, 2)], 3, 10.0);
+        let plan = FaultPlan {
+            contact_failure: 1.0,
+            ..FaultPlan::default()
+        };
+        let report = run_with_faults(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 2, 0.0)],
+            &SimConfig::default(),
+            &plan,
+            &mut ChaCha8Rng::seed_from_u64(1),
+            &mut ChaCha8Rng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert_eq!(report.delivered_count(), 0);
+        assert_eq!(report.total_transmissions(), 0);
+        let c = report.counters().unwrap();
+        assert_eq!(c.fault_contacts_dropped, 2);
+    }
+
+    #[test]
+    fn message_loss_one_transmits_but_never_delivers() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let plan = FaultPlan {
+            message_loss: 1.0,
+            ..FaultPlan::default()
+        };
+        let report = run_with_faults(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 1, 0.0)],
+            &SimConfig::default(),
+            &plan,
+            &mut ChaCha8Rng::seed_from_u64(1),
+            &mut ChaCha8Rng::seed_from_u64(2),
+        )
+        .unwrap();
+        // The sender paid the transmission; the copy died in flight.
+        assert_eq!(report.total_transmissions(), 1);
+        assert_eq!(report.delivered_count(), 0);
+        assert!(report.forward_log().is_empty());
+        let c = report.counters().unwrap();
+        assert_eq!(c.fault_messages_lost, 1);
+        assert_eq!(c.total_forwards(), 0);
+    }
+
+    #[test]
+    fn truncation_cancels_a_suffix_of_the_window() {
+        // Node 0 carries two messages for distinct destinations; with
+        // certain truncation only a strict prefix of the two planned
+        // transfers completes.
+        let s = schedule(vec![(1.0, 0, 1)], 4, 10.0);
+        let plan = FaultPlan {
+            transfer_truncation: 1.0,
+            ..FaultPlan::default()
+        };
+        let report = run_with_faults(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 2, 0.0), msg(2, 0, 3, 0.0)],
+            &SimConfig::default(),
+            &plan,
+            &mut ChaCha8Rng::seed_from_u64(1),
+            &mut ChaCha8Rng::seed_from_u64(2),
+        )
+        .unwrap();
+        let c = report.counters().unwrap();
+        assert!(c.fault_transfers_truncated >= 1);
+        assert_eq!(c.total_forwards() + c.fault_transfers_truncated, 2);
+    }
+
+    #[test]
+    fn permanent_churn_kills_delivery_and_wipes_buffers() {
+        // Crash almost immediately and never recover: nothing delivers
+        // and the injected copies are wiped.
+        let plan = FaultPlan {
+            churn: Some(ChurnConfig {
+                crash_rate: 100.0,
+                mean_downtime: 1e12,
+                memory: ChurnMemory::Persist,
+            }),
+            ..FaultPlan::default()
+        };
+        let report = random_run(&plan, 5);
+        let c = report.counters().unwrap();
+        assert_eq!(report.delivered_count(), 0);
+        assert!(c.fault_crashes >= 20, "every node should crash");
+        assert!(c.fault_buffer_wipes >= 1, "injected copies must be wiped");
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let plan = FaultPlan {
+            message_loss: 1.5,
+            ..FaultPlan::default()
+        };
+        let err = run_with_faults(
+            &s,
+            &mut Epidemic,
+            vec![msg(1, 0, 1, 0.0)],
+            &SimConfig::default(),
+            &plan,
+            &mut ChaCha8Rng::seed_from_u64(1),
+            &mut ChaCha8Rng::seed_from_u64(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan(_)));
+    }
+
+    #[test]
+    fn moderate_faults_degrade_but_do_not_zero_delivery() {
+        let baseline = random_run(&FaultPlan::none(), 1);
+        let plan = FaultPlan {
+            contact_failure: 0.3,
+            message_loss: 0.2,
+            ..FaultPlan::default()
+        };
+        let faulted = random_run(&plan, 1);
+        assert!(baseline.delivered_count() > 0);
+        assert!(faulted.delivered_count() <= baseline.delivered_count());
+        let c = faulted.counters().unwrap();
+        assert!(c.fault_contacts_dropped > 0);
     }
 }

@@ -1,0 +1,475 @@
+//! Deterministic fault injection for the simulation engine.
+//!
+//! The paper's models assume every custodian survives and every contact
+//! completes; the DTNs it targets (encounter traces, battlefield
+//! scenarios) are exactly the settings where neither holds. This module
+//! supplies a serde-able [`FaultPlan`] describing four fault classes —
+//! per-node crash/recover churn, i.i.d. contact failure, mid-transfer
+//! truncation, and per-copy in-flight loss — and the [`FaultState`]
+//! machinery the engine consults at contact and transfer boundaries.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is drawn from a *dedicated* fault RNG stream
+//! (the experiment harness derives it per trial via
+//! `SeedDomain::Faults`), never from the protocol RNG. A plan whose
+//! rates are all zero draws nothing, so it is bit-identical to a
+//! fault-free run; a faulted trial is a pure function of `(plan, fault
+//! seed, schedule, protocol seed)` and therefore bit-identical across
+//! worker thread counts. Churn timelines are pre-drawn per node in node
+//! order at engine start-up; the remaining draws happen in event order
+//! inside the (serial) per-trial event loop.
+//!
+//! # Fault semantics
+//!
+//! * **Churn** ([`ChurnConfig`]): each node alternates exponentially
+//!   distributed up-times (hazard `crash_rate`) and down-times (mean
+//!   `mean_downtime`). A contact involving a down node never happens. A
+//!   crash wipes every copy buffered at (or before) the crash instant;
+//!   whether the node's summary vector (`seen`) survives is the
+//!   [`ChurnMemory`] knob. Wipes are applied lazily at the node's next
+//!   contact — equivalent to eager application, since buffers are only
+//!   observable at contacts.
+//! * **Contact failure** (`contact_failure`): each scheduled contact
+//!   independently fails entirely with this probability (radio fault,
+//!   missed beacon) — neither direction transfers and utility protocols
+//!   do not observe the encounter.
+//! * **Transfer truncation** (`transfer_truncation`): with this
+//!   probability per contact, the contact window closes early — only a
+//!   uniformly chosen prefix of the planned transfers (both directions
+//!   combined, in apply order) completes.
+//! * **Message loss** (`message_loss`): each committed transfer
+//!   independently loses the copy in flight. The sender pays the
+//!   transmission (and for handoff/split, the tickets), the receiver
+//!   gets nothing.
+
+use contact_graph::{NodeId, Time};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Whether a node's summary vector (`seen` set) survives a crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnMemory {
+    /// The `seen` set survives the crash (flash-backed summary vector):
+    /// the node still refuses copies it carried before crashing.
+    #[default]
+    Persist,
+    /// The `seen` set is wiped with the buffer (RAM-only state): the
+    /// node can re-accept copies it already carried.
+    Forget,
+}
+
+/// Per-node crash/recover churn parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Crash hazard rate per time unit while a node is up. `0` disables
+    /// churn entirely.
+    pub crash_rate: f64,
+    /// Mean outage duration (exponentially distributed) in time units.
+    pub mean_downtime: f64,
+    /// Whether `seen` survives a crash.
+    pub memory: ChurnMemory,
+}
+
+/// A complete, serde-able description of the faults injected into one
+/// simulation run. [`FaultPlan::default`] is the fault-free plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-node crash/recover churn; `None` (or a zero crash rate)
+    /// disables it.
+    pub churn: Option<ChurnConfig>,
+    /// Probability that a scheduled contact fails entirely.
+    pub contact_failure: f64,
+    /// Probability that a contact's transfer window closes mid-way.
+    pub transfer_truncation: f64,
+    /// Probability that a committed transfer loses its copy in flight.
+    pub message_loss: f64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (identical to [`FaultPlan::default`], named
+    /// for call-site readability).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can never inject a fault. A no-op plan draws
+    /// nothing from the fault RNG, so it is bit-identical to running
+    /// without faults at all.
+    pub fn is_noop(&self) -> bool {
+        self.contact_failure == 0.0
+            && self.transfer_truncation == 0.0
+            && self.message_loss == 0.0
+            && self.churn.is_none_or(|c| c.crash_rate == 0.0)
+    }
+
+    /// Checks every probability is in `[0, 1]` and churn parameters are
+    /// finite and non-negative (positive mean downtime when churn is
+    /// active).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("contact_failure", self.contact_failure),
+            ("transfer_truncation", self.transfer_truncation),
+            ("message_loss", self.message_loss),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault {name} probability {p} outside [0, 1]"));
+            }
+        }
+        if let Some(churn) = &self.churn {
+            if !churn.crash_rate.is_finite() || churn.crash_rate < 0.0 {
+                return Err(format!(
+                    "churn crash_rate {} must be finite and >= 0",
+                    churn.crash_rate
+                ));
+            }
+            if !churn.mean_downtime.is_finite() {
+                return Err(format!(
+                    "churn mean_downtime {} must be finite",
+                    churn.mean_downtime
+                ));
+            }
+            let downtime_ok = churn.mean_downtime > 0.0;
+            if churn.crash_rate > 0.0 && !downtime_ok {
+                return Err(format!(
+                    "churn mean_downtime {} must be > 0 when crash_rate > 0",
+                    churn.mean_downtime
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales every fault intensity by `factor` (probabilities clamp to
+    /// `[0, 1]`, the churn crash rate scales linearly, the mean downtime
+    /// is kept) — the knob the fault-sweep experiment turns.
+    pub fn scaled(&self, factor: f64) -> FaultPlan {
+        let clamp = |p: f64| (p * factor).clamp(0.0, 1.0);
+        FaultPlan {
+            churn: self.churn.map(|c| ChurnConfig {
+                crash_rate: (c.crash_rate * factor).max(0.0),
+                ..c
+            }),
+            contact_failure: clamp(self.contact_failure),
+            transfer_truncation: clamp(self.transfer_truncation),
+            message_loss: clamp(self.message_loss),
+        }
+    }
+}
+
+/// One exponential draw with the given rate; `infinity` when the rate
+/// is zero. Uses `1 - U` so the uniform input lies in `(0, 1]`.
+fn exp_draw<R: RngCore + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Per-node outage timeline plus the lazy crash-wipe cursors.
+#[derive(Debug)]
+struct ChurnState {
+    memory: ChurnMemory,
+    /// Per node, the sorted `(crash, recover)` intervals up to the
+    /// horizon.
+    outages: Vec<Vec<(f64, f64)>>,
+    /// Per node, the index of the first outage whose crash wipe has not
+    /// been applied yet.
+    cursor: Vec<usize>,
+}
+
+/// The engine-side fault machinery for one run: the plan's constants
+/// plus pre-drawn churn timelines.
+///
+/// Constructed once per simulation from the plan and the run's fault
+/// RNG; the engine then consults it at contact and transfer boundaries.
+#[derive(Debug)]
+pub struct FaultState {
+    contact_failure: f64,
+    transfer_truncation: f64,
+    message_loss: f64,
+    churn: Option<ChurnState>,
+}
+
+impl FaultState {
+    /// Pre-draws the churn timelines (node 0, 1, … in order, so the
+    /// layout is a pure function of the fault RNG stream) and captures
+    /// the plan's probabilities. The plan must already be validated.
+    pub fn new<R: RngCore + ?Sized>(
+        plan: &FaultPlan,
+        nodes: usize,
+        horizon: Time,
+        rng: &mut R,
+    ) -> FaultState {
+        let churn = plan
+            .churn
+            .filter(|c| c.crash_rate > 0.0)
+            .map(|c| ChurnState {
+                memory: c.memory,
+                outages: (0..nodes)
+                    .map(|_| {
+                        let mut spans = Vec::new();
+                        let mut t = exp_draw(c.crash_rate, rng);
+                        while t <= horizon.as_f64() {
+                            let down = c.mean_downtime * exp_draw(1.0, rng);
+                            spans.push((t, t + down));
+                            t = t + down + exp_draw(c.crash_rate, rng);
+                        }
+                        spans
+                    })
+                    .collect(),
+                cursor: vec![0; nodes],
+            });
+        FaultState {
+            contact_failure: plan.contact_failure,
+            transfer_truncation: plan.transfer_truncation,
+            message_loss: plan.message_loss,
+            churn,
+        }
+    }
+
+    /// Whether churn is active (some node may crash).
+    pub fn has_churn(&self) -> bool {
+        self.churn.is_some()
+    }
+
+    /// The churn memory knob, when churn is active.
+    pub fn churn_memory(&self) -> Option<ChurnMemory> {
+        self.churn.as_ref().map(|c| c.memory)
+    }
+
+    /// Whether `node` is inside an outage at time `t`.
+    pub fn node_down(&self, node: NodeId, t: Time) -> bool {
+        let Some(churn) = &self.churn else {
+            return false;
+        };
+        let t = t.as_f64();
+        churn.outages[node.index()]
+            .iter()
+            .take_while(|&&(crash, _)| crash <= t)
+            .any(|&(_, recover)| t < recover)
+    }
+
+    /// Returns (and consumes) the crash instants of `node` at or before
+    /// `t` whose buffer wipes have not been applied yet, in time order.
+    pub fn take_crashes(&mut self, node: NodeId, t: Time) -> Vec<Time> {
+        let Some(churn) = &mut self.churn else {
+            return Vec::new();
+        };
+        let t = t.as_f64();
+        let spans = &churn.outages[node.index()];
+        let cursor = &mut churn.cursor[node.index()];
+        let mut crashes = Vec::new();
+        while *cursor < spans.len() && spans[*cursor].0 <= t {
+            crashes.push(Time::new(spans[*cursor].0));
+            *cursor += 1;
+        }
+        crashes
+    }
+
+    /// Draws whether a scheduled contact fails entirely. Consumes one
+    /// fault-RNG draw only when the probability is non-zero.
+    pub fn contact_dropped<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        self.contact_failure > 0.0 && rng.gen::<f64>() < self.contact_failure
+    }
+
+    /// Draws whether (and where) the contact's transfer window closes
+    /// early: `Some(keep)` means only the first `keep` of `total`
+    /// planned transfers complete. Draws only when truncation is
+    /// possible (`total > 0` and a non-zero probability).
+    pub fn truncation_point<R: RngCore + ?Sized>(
+        &self,
+        total: usize,
+        rng: &mut R,
+    ) -> Option<usize> {
+        if total == 0 || self.transfer_truncation == 0.0 {
+            return None;
+        }
+        if rng.gen::<f64>() >= self.transfer_truncation {
+            return None;
+        }
+        Some(rng.gen_range(0..total))
+    }
+
+    /// Draws whether one committed transfer loses its copy in flight.
+    pub fn transfer_lost<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        self.message_loss > 0.0 && rng.gen::<f64>() < self.message_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    fn churn_plan(crash_rate: f64) -> FaultPlan {
+        FaultPlan {
+            churn: Some(ChurnConfig {
+                crash_rate,
+                mean_downtime: 5.0,
+                memory: ChurnMemory::Persist,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn default_plan_is_noop_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_noop());
+        plan.validate().unwrap();
+        // Zero-rate churn is still a no-op.
+        assert!(churn_plan(0.0).is_noop());
+        assert!(!churn_plan(0.1).is_noop());
+        assert!(!FaultPlan {
+            message_loss: 0.5,
+            ..FaultPlan::default()
+        }
+        .is_noop());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(FaultPlan {
+                contact_failure: bad,
+                ..FaultPlan::default()
+            }
+            .validate()
+            .is_err());
+        }
+        let mut plan = churn_plan(0.2);
+        plan.churn.as_mut().unwrap().mean_downtime = 0.0;
+        assert!(plan.validate().is_err());
+        plan.churn.as_mut().unwrap().mean_downtime = f64::INFINITY;
+        assert!(plan.validate().is_err());
+        let mut plan = churn_plan(-1.0);
+        assert!(plan.validate().is_err());
+        plan.churn.as_mut().unwrap().crash_rate = 0.3;
+        plan.churn.as_mut().unwrap().mean_downtime = 2.0;
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_clamps_probabilities() {
+        let plan = FaultPlan {
+            contact_failure: 0.4,
+            transfer_truncation: 0.2,
+            message_loss: 0.6,
+            churn: Some(ChurnConfig {
+                crash_rate: 0.01,
+                mean_downtime: 5.0,
+                memory: ChurnMemory::Forget,
+            }),
+        };
+        let heavy = plan.scaled(3.0);
+        assert_eq!(heavy.contact_failure, 1.0);
+        assert_eq!(heavy.transfer_truncation, 0.6000000000000001);
+        assert_eq!(heavy.message_loss, 1.0);
+        assert_eq!(heavy.churn.unwrap().crash_rate, 0.03);
+        assert_eq!(heavy.churn.unwrap().mean_downtime, 5.0);
+        let off = plan.scaled(0.0);
+        assert!(off.is_noop());
+    }
+
+    #[test]
+    fn noop_state_draws_nothing() {
+        let mut r = rng();
+        let before = r.clone().next_u64();
+        let state = FaultState::new(&FaultPlan::none(), 16, Time::new(100.0), &mut r);
+        assert!(!state.has_churn());
+        assert!(!state.contact_dropped(&mut r));
+        assert!(state.truncation_point(5, &mut r).is_none());
+        assert!(!state.transfer_lost(&mut r));
+        // No draw was consumed anywhere above.
+        assert_eq!(r.next_u64(), before);
+    }
+
+    #[test]
+    fn churn_timelines_are_deterministic_and_sorted() {
+        let plan = churn_plan(0.05);
+        let a = FaultState::new(&plan, 8, Time::new(500.0), &mut rng());
+        let b = FaultState::new(&plan, 8, Time::new(500.0), &mut rng());
+        let spans_of =
+            |s: &FaultState, node: usize| s.churn.as_ref().unwrap().outages[node].clone();
+        let mut saw_any = false;
+        for node in 0..8 {
+            let spans = spans_of(&a, node);
+            assert_eq!(spans, spans_of(&b, node), "node {node}");
+            saw_any |= !spans.is_empty();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "outages must not overlap");
+            }
+            for &(crash, recover) in &spans {
+                assert!(crash < recover);
+                assert!(crash <= 500.0);
+            }
+        }
+        assert!(
+            saw_any,
+            "rate 0.05 over 500 time units should crash someone"
+        );
+    }
+
+    #[test]
+    fn node_down_matches_outage_intervals() {
+        let mut state = FaultState::new(&churn_plan(0.05), 4, Time::new(500.0), &mut rng());
+        let spans = state.churn.as_ref().unwrap().outages[1].clone();
+        let Some(&(crash, recover)) = spans.first() else {
+            panic!("node 1 should have an outage at this seed");
+        };
+        let node = NodeId(1);
+        assert!(!state.node_down(node, Time::new(crash - 1e-6)));
+        assert!(state.node_down(node, Time::new(crash)));
+        assert!(state.node_down(node, Time::new((crash + recover) / 2.0)));
+        assert!(!state.node_down(node, Time::new(recover)));
+
+        // take_crashes consumes each crash exactly once, in time order.
+        let taken = state.take_crashes(node, Time::new(1e12));
+        assert_eq!(taken.len(), spans.len());
+        for (t, &(c, _)) in taken.iter().zip(&spans) {
+            assert_eq!(t.as_f64(), c);
+        }
+        assert!(state.take_crashes(node, Time::new(1e12)).is_empty());
+    }
+
+    #[test]
+    fn probability_draws_respect_rates() {
+        let all_on = FaultPlan {
+            contact_failure: 1.0,
+            transfer_truncation: 1.0,
+            message_loss: 1.0,
+            churn: None,
+        };
+        let state = FaultState::new(&all_on, 4, Time::new(10.0), &mut rng());
+        let mut r = rng();
+        assert!(state.contact_dropped(&mut r));
+        let keep = state.truncation_point(7, &mut r).unwrap();
+        assert!(keep < 7);
+        assert!(state.transfer_lost(&mut r));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FaultPlan {
+            contact_failure: 0.25,
+            transfer_truncation: 0.125,
+            message_loss: 0.0625,
+            churn: Some(ChurnConfig {
+                crash_rate: 0.01,
+                mean_downtime: 12.5,
+                memory: ChurnMemory::Forget,
+            }),
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

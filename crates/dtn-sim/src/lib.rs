@@ -44,6 +44,7 @@
 
 pub mod baselines;
 pub mod engine;
+pub mod faults;
 pub mod message;
 pub mod prophet;
 pub mod protocol;
@@ -51,7 +52,8 @@ pub mod report;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{run, DropPolicy, SimConfig, SimError};
+pub use engine::{run, run_with_faults, DropPolicy, SimConfig, SimError};
+pub use faults::{ChurnConfig, ChurnMemory, FaultPlan, FaultState};
 pub use message::{CopyState, Message, MessageId};
 pub use protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
 pub use report::{ForwardRecord, SimCounters, SimReport};

@@ -63,6 +63,22 @@ pub struct SimCounters {
     pub delivered: u64,
     /// Injected messages that were never delivered in time.
     pub expired: u64,
+    /// Injected node crashes whose buffer wipe was applied
+    /// ([`FaultPlan`] churn).
+    ///
+    /// [`FaultPlan`]: crate::faults::FaultPlan
+    pub fault_crashes: u64,
+    /// Scheduled contacts suppressed by fault injection (a down endpoint
+    /// or an i.i.d. contact failure).
+    pub fault_contacts_dropped: u64,
+    /// Planned transfers cancelled because a contact window closed early
+    /// (mid-transfer truncation).
+    pub fault_transfers_truncated: u64,
+    /// Buffered copies destroyed by crash wipes.
+    pub fault_buffer_wipes: u64,
+    /// Committed transfers whose copy was lost in flight (the sender
+    /// paid the transmission, the receiver got nothing).
+    pub fault_messages_lost: u64,
 }
 
 impl SimCounters {
@@ -85,6 +101,11 @@ impl SimCounters {
         self.injected += other.injected;
         self.delivered += other.delivered;
         self.expired += other.expired;
+        self.fault_crashes += other.fault_crashes;
+        self.fault_contacts_dropped += other.fault_contacts_dropped;
+        self.fault_transfers_truncated += other.fault_transfers_truncated;
+        self.fault_buffer_wipes += other.fault_buffer_wipes;
+        self.fault_messages_lost += other.fault_messages_lost;
     }
 
     /// Visits each `(name, value)` pair under the given prefix, in a
@@ -102,6 +123,11 @@ impl SimCounters {
             ("injected", self.injected),
             ("delivered", self.delivered),
             ("expired", self.expired),
+            ("faults.crashes", self.fault_crashes),
+            ("faults.contacts_dropped", self.fault_contacts_dropped),
+            ("faults.transfers_truncated", self.fault_transfers_truncated),
+            ("faults.buffer_wipes", self.fault_buffer_wipes),
+            ("faults.messages_lost", self.fault_messages_lost),
         ];
         for (name, value) in entries {
             f(&format!("{prefix}.{name}"), value);
@@ -486,17 +512,30 @@ mod tests {
             injected: 6,
             delivered: 4,
             expired: 2,
+            fault_crashes: 3,
+            fault_contacts_dropped: 7,
+            fault_transfers_truncated: 1,
+            fault_buffer_wipes: 5,
+            fault_messages_lost: 2,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.contacts, 20);
         assert_eq!(b.total_forwards(), 12);
         assert_eq!(b.expired, 4);
+        assert_eq!(b.fault_crashes, 6);
+        assert_eq!(b.fault_contacts_dropped, 14);
+        assert_eq!(b.fault_transfers_truncated, 2);
+        assert_eq!(b.fault_buffer_wipes, 10);
+        assert_eq!(b.fault_messages_lost, 4);
 
         let mut names = Vec::new();
         a.for_each_named("sim", |name, value| names.push((name.to_string(), value)));
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 16);
         assert_eq!(names[0], ("sim.contacts".to_string(), 10));
         assert!(names.iter().any(|(n, v)| n == "sim.delivered" && *v == 4));
+        assert!(names
+            .iter()
+            .any(|(n, v)| n == "sim.faults.buffer_wipes" && *v == 5));
     }
 }

@@ -16,23 +16,31 @@
 //!
 //! Every entry point fans its realizations across the deterministic
 //! parallel runner ([`crate::runner`]): trial `i` derives all of its
-//! randomness from [`trial_rng`]`(opts.seed, domain, i)` and produces a
-//! mergeable partial, and partials are folded in ascending trial order —
-//! so reports are bit-identical for any [`ExperimentOptions::threads`]
-//! setting.
+//! randomness from [`crate::runner::trial_rng`]`(opts.seed, domain, i)`
+//! and produces a mergeable partial, and partials are folded in ascending
+//! trial order — so reports are bit-identical for any
+//! [`ExperimentOptions::threads`] setting. Realizations run panic-isolated
+//! ([`run_trials_resilient`]): a panicking trial is retried once on a
+//! deterministic disambiguated sub-seed and quarantined if it fails again.
 
 use contact_graph::{ContactSchedule, NodeId, Time, TimeDelta, UniformGraphBuilder};
-use dtn_sim::{run, Message, MessageId, SimConfig, SimCounters, SimReport, StreamingStats};
+use dtn_sim::{
+    run_with_faults, FaultPlan, Message, MessageId, SimConfig, SimCounters, SimReport,
+    StreamingStats,
+};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::adversary::Adversary;
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::ProtocolConfig;
 use crate::groups::OnionGroups;
 use crate::metrics;
 use crate::protocol::{ForwardingMode, OnionRouting};
-use crate::runner::{run_trials, trial_rng, RunnerConfig, SeedDomain};
+use crate::runner::{
+    run_trials_resilient, trial_rng_attempt, RunnerConfig, SeedDomain, TrialFailure,
+};
 
 /// Knobs that are about the experiment, not the protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -43,7 +51,8 @@ pub struct ExperimentOptions {
     /// averaged per point.
     pub realizations: usize,
     /// Base RNG seed; every realization derives its own stream via
-    /// [`trial_rng`] (domain-separated SplitMix64 → ChaCha8).
+    /// [`crate::runner::trial_rng`] (domain-separated SplitMix64 →
+    /// ChaCha8).
     pub seed: u64,
     /// Mean inter-contact range of the random graphs (Table II: 1–36
     /// minutes).
@@ -51,6 +60,14 @@ pub struct ExperimentOptions {
     /// Worker threads for the realization fan-out; `0` auto-detects.
     /// Results never depend on this value, only wall-clock time does.
     pub threads: usize,
+    /// Faults injected into every realization's simulation. The default
+    /// (no-op) plan is bit-identical to running without fault support.
+    pub faults: FaultPlan,
+    /// Whether quarantined trial failures (a trial panicking on both its
+    /// original seed and its deterministic retry) are tolerated: `true`
+    /// records them in the summary and continues, `false` (the default)
+    /// aborts the experiment with a [`TRIAL_FAILURE_ABORT`] panic.
+    pub keep_going: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -61,6 +78,8 @@ impl Default for ExperimentOptions {
             seed: 0x0D10_57E5,
             intercontact_range: (1.0, 36.0),
             threads: 0,
+            faults: FaultPlan::default(),
+            keep_going: false,
         }
     }
 }
@@ -70,6 +89,37 @@ impl ExperimentOptions {
     pub fn runner(&self) -> RunnerConfig {
         RunnerConfig::new(self.threads)
     }
+}
+
+/// Marker prefix of the panic raised when quarantined trial failures
+/// abort an experiment (`keep_going == false`). The CLI maps panics
+/// carrying this prefix to its trial-failure exit code.
+pub const TRIAL_FAILURE_ABORT: &str = "experiment aborted: quarantined trial failure";
+
+/// Logs quarantined failures and either panics (`keep_going == false`)
+/// or returns how many were tolerated.
+fn resolve_failures(label: &str, failures: &[TrialFailure], opts: &ExperimentOptions) -> u64 {
+    if failures.is_empty() {
+        return 0;
+    }
+    for f in failures {
+        obs::error!(
+            "onion_routing::experiment",
+            "{label}: trial {} quarantined after {} attempts: {}",
+            f.trial,
+            f.attempts,
+            f.message,
+        );
+    }
+    assert!(
+        opts.keep_going,
+        "{TRIAL_FAILURE_ABORT}: {label}: {} trial(s) failed \
+         (first: trial {}: {}); pass keep_going to tolerate quarantined trials",
+        failures.len(),
+        failures[0].trial,
+        failures[0].message,
+    );
+    failures.len() as u64
 }
 
 /// Aggregated analysis-vs-simulation values for one parameter point.
@@ -105,6 +155,9 @@ pub struct PointSummary {
     /// settings), so they are safe inside the determinism-compared
     /// summary.
     pub sim_counters: SimCounters,
+    /// Realizations quarantined after panicking on both attempts (only
+    /// non-zero under [`ExperimentOptions::keep_going`]).
+    pub trial_failures: u64,
 }
 
 /// Runs one random-graph data point.
@@ -116,11 +169,14 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
     cfg.validate().expect("experiment config must be valid");
     let span = obs::span("experiment.point_secs");
     let mut acc = Accumulator::default();
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
-            let mut rng = trial_rng(opts.seed, SeedDomain::GraphRealization, realization as u64);
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let graph = UniformGraphBuilder::new(cfg.nodes)
                 .mean_intercontact_range(
                     TimeDelta::new(opts.intercontact_range.0),
@@ -136,6 +192,8 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
                 &schedule,
                 Some(&graph),
                 messages,
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
                 &mut partial,
             );
@@ -144,7 +202,8 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
         &mut acc,
         |acc, _realization, partial| acc.merge(&partial),
     );
-    let summary = acc.finish(cfg);
+    let mut summary = acc.finish(cfg);
+    summary.trial_failures = resolve_failures("random_graph_point", &failures, opts);
     drop(span);
     obs::flush_point("random_graph_point");
     summary
@@ -172,13 +231,16 @@ pub fn run_schedule_point(
     let span = obs::span("experiment.point_secs");
     let estimated = schedule.estimate_rates();
     let mut acc = Accumulator::default();
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
+        |realization, attempt| {
             let trial = realization as u64;
-            let mut rng = trial_rng(opts.seed, SeedDomain::ScheduleRealization, trial);
-            let mut start_rng = trial_rng(opts.seed, SeedDomain::ScheduleStarts, trial);
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
+            let mut start_rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleStarts, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             // Start each message at a random contact event of its source.
             let events = schedule.events();
             let messages = random_messages(
@@ -204,6 +266,8 @@ pub fn run_schedule_point(
                 schedule,
                 Some(&estimated),
                 messages,
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
                 &mut partial,
             );
@@ -212,7 +276,8 @@ pub fn run_schedule_point(
         &mut acc,
         |acc, _realization, partial| acc.merge(&partial),
     );
-    let summary = acc.finish(cfg);
+    let mut summary = acc.finish(cfg);
+    summary.trial_failures = resolve_failures("schedule_point", &failures, opts);
     drop(span);
     obs::flush_point("schedule_point");
     summary
@@ -299,6 +364,7 @@ impl Accumulator {
             delivered: self.delivered,
             delivery_stats: self.realization_delivery,
             sim_counters: self.counters,
+            trial_failures: 0,
         }
     }
 }
@@ -331,11 +397,14 @@ where
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_realization(
     cfg: &ProtocolConfig,
     schedule: &ContactSchedule,
     rate_graph: Option<&contact_graph::ContactGraph>,
     messages: Vec<Message>,
+    faults: &FaultPlan,
+    fault_rng: &mut ChaCha8Rng,
     rng: &mut ChaCha8Rng,
     acc: &mut Accumulator,
 ) {
@@ -347,11 +416,13 @@ fn run_one_realization(
     };
     let mut protocol = OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
 
-    let report: SimReport = run(
+    let report: SimReport = run_with_faults(
         schedule,
         &mut protocol,
         messages.clone(),
         &SimConfig::default(),
+        faults,
+        fault_rng,
         rng,
     )
     .expect("messages validated against schedule");
@@ -414,7 +485,7 @@ fn run_one_realization(
 }
 
 /// One row of a delivery-rate-vs-deadline sweep (Figs. 4, 5, 10, 14, 17).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeliverySweepRow {
     /// Deadline `T`.
     pub deadline: f64,
@@ -426,7 +497,7 @@ pub struct DeliverySweepRow {
 
 /// One row of a security sweep over the compromised-node count
 /// (Figs. 6, 8, 12, 15, 16, 18, 19).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SecuritySweepRow {
     /// Number of compromised nodes `c`.
     pub compromised: usize,
@@ -578,11 +649,14 @@ pub fn delivery_sweep_random_graph(
     let span = obs::span("experiment.sweep_secs");
 
     let mut total = DeliveryPartial::new(deadlines.len());
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
-            let mut rng = trial_rng(opts.seed, SeedDomain::GraphRealization, realization as u64);
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let graph = UniformGraphBuilder::new(run_cfg.nodes)
                 .mean_intercontact_range(
                     TimeDelta::new(opts.intercontact_range.0),
@@ -594,11 +668,13 @@ pub fn delivery_sweep_random_graph(
 
             let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
             let mut protocol = onion_protocol(&run_cfg, groups);
-            let report = run(
+            let report = run_with_faults(
                 &schedule,
                 &mut protocol,
                 messages.clone(),
                 &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
             )
             .expect("validated");
@@ -610,6 +686,7 @@ pub fn delivery_sweep_random_graph(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
+    resolve_failures("delivery_sweep_random_graph", &failures, opts);
     let rows = total.rows(deadlines);
     drop(span);
     obs::flush_point("delivery_sweep_random_graph");
@@ -664,13 +741,16 @@ pub fn delivery_sweep_schedule_with_rates(
     let span = obs::span("experiment.sweep_secs");
 
     let mut total = DeliveryPartial::new(deadlines.len());
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
+        |realization, attempt| {
             let trial = realization as u64;
-            let mut rng = trial_rng(opts.seed, SeedDomain::ScheduleRealization, trial);
-            let mut start_rng = trial_rng(opts.seed, SeedDomain::ScheduleStarts, trial);
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
+            let mut start_rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleStarts, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let events = schedule.events();
             let messages = random_messages(
                 &run_cfg,
@@ -692,11 +772,13 @@ pub fn delivery_sweep_schedule_with_rates(
 
             let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
             let mut protocol = onion_protocol(&run_cfg, groups);
-            let report = run(
+            let report = run_with_faults(
                 schedule,
                 &mut protocol,
                 messages.clone(),
                 &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
             )
             .expect("validated");
@@ -710,6 +792,7 @@ pub fn delivery_sweep_schedule_with_rates(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
+    resolve_failures("delivery_sweep_schedule", &failures, opts);
     let rows = total.rows(deadlines);
     drop(span);
     obs::flush_point("delivery_sweep_schedule");
@@ -834,11 +917,13 @@ pub fn security_sweep_random_graph(
     let span = obs::span("experiment.sweep_secs");
 
     let mut total = SecurityPartial::new(compromised_values.len());
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
-            let mut rng = trial_rng(opts.seed, SeedDomain::SecurityGraph, realization as u64);
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng = trial_rng_attempt(opts.seed, SeedDomain::SecurityGraph, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let graph = UniformGraphBuilder::new(cfg.nodes)
                 .mean_intercontact_range(
                     TimeDelta::new(opts.intercontact_range.0),
@@ -851,11 +936,13 @@ pub fn security_sweep_random_graph(
 
             let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
             let mut protocol = onion_protocol(cfg, groups);
-            let report = run(
+            let report = run_with_faults(
                 &schedule,
                 &mut protocol,
                 messages,
                 &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
             )
             .expect("validated");
@@ -867,6 +954,7 @@ pub fn security_sweep_random_graph(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
+    resolve_failures("security_sweep_random_graph", &failures, opts);
     let rows = total.rows(cfg, compromised_values);
     drop(span);
     obs::flush_point("security_sweep_random_graph");
@@ -895,13 +983,16 @@ pub fn security_sweep_schedule(
     let span = obs::span("experiment.sweep_secs");
 
     let mut total = SecurityPartial::new(compromised_values.len());
-    run_trials(
+    let failures = run_trials_resilient(
         &opts.runner(),
         opts.realizations,
-        |realization| {
+        |realization, attempt| {
             let trial = realization as u64;
-            let mut rng = trial_rng(opts.seed, SeedDomain::SecuritySchedule, trial);
-            let mut start_rng = trial_rng(opts.seed, SeedDomain::SecurityStarts, trial);
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::SecuritySchedule, trial, attempt);
+            let mut start_rng =
+                trial_rng_attempt(opts.seed, SeedDomain::SecurityStarts, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let events = schedule.events();
             let messages = random_messages(
                 cfg,
@@ -923,11 +1014,13 @@ pub fn security_sweep_schedule(
 
             let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
             let mut protocol = onion_protocol(cfg, groups);
-            let report = run(
+            let report = run_with_faults(
                 schedule,
                 &mut protocol,
                 messages,
                 &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
                 &mut rng,
             )
             .expect("validated");
@@ -939,10 +1032,79 @@ pub fn security_sweep_schedule(
         &mut total,
         |total, _realization, partial| total.merge(&partial),
     );
+    resolve_failures("security_sweep_schedule", &failures, opts);
     let rows = total.rows(cfg, compromised_values);
     drop(span);
     obs::flush_point("security_sweep_schedule");
     rows
+}
+
+/// One row of a fault-intensity sweep: the full paired analysis/simulation
+/// point summary observed at a given scaling of the base fault plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// Multiplier applied to the base [`FaultPlan`] (0.0 = fault-free).
+    pub intensity: f64,
+    /// The fault plan actually injected at this intensity.
+    pub plan: FaultPlan,
+    /// Full point summary under that plan.
+    pub summary: PointSummary,
+}
+
+/// Sweeps fault intensity on random graphs: each row runs a full
+/// [`run_random_graph_point`] with `base_plan` scaled by the intensity
+/// (probabilities clamped to `[0, 1]`, churn rate scaled linearly).
+///
+/// Expected shape (the graceful-degradation story, see `DESIGN.md`):
+/// delivery and traceable-rate fall as intensity grows, while realized
+/// path anonymity tends to *rise* — surviving paths are longer-lived and
+/// an adversary observes fewer custody transfers.
+///
+/// With `checkpoint`, each finished intensity is appended to the JSONL
+/// file keyed by `intensity=<value>`; a restarted sweep replays finished
+/// rows byte-identically and only computes the missing ones.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] only when `checkpoint` is `Some` and the
+/// file cannot be read or written.
+///
+/// # Panics
+///
+/// Panics if `cfg` or `base_plan` fails validation, or — with
+/// `keep_going` unset — when a realization is quarantined.
+pub fn fault_sweep_random_graph(
+    cfg: &ProtocolConfig,
+    base_plan: &FaultPlan,
+    intensities: &[f64],
+    opts: &ExperimentOptions,
+    mut checkpoint: Option<&mut Checkpoint>,
+) -> Result<Vec<FaultSweepRow>, CheckpointError> {
+    cfg.validate().expect("experiment config must be valid");
+    base_plan.validate().expect("base fault plan must be valid");
+    let span = obs::span("experiment.sweep_secs");
+    let mut rows = Vec::with_capacity(intensities.len());
+    for &intensity in intensities {
+        let plan = base_plan.scaled(intensity);
+        let point_opts = ExperimentOptions {
+            faults: plan,
+            ..opts.clone()
+        };
+        let key = format!("intensity={intensity}");
+        let compute = || FaultSweepRow {
+            intensity,
+            plan,
+            summary: run_random_graph_point(cfg, &point_opts),
+        };
+        let row = match checkpoint.as_deref_mut() {
+            Some(cp) => cp.run_point(&key, compute)?,
+            None => compute(),
+        };
+        rows.push(row);
+    }
+    drop(span);
+    obs::flush_point("fault_sweep_random_graph");
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -957,6 +1119,8 @@ mod tests {
             seed: 7,
             intercontact_range: (1.0, 36.0),
             threads: 0,
+            faults: FaultPlan::default(),
+            keep_going: false,
         }
     }
 

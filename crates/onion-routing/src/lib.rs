@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod config;
 pub mod crypto;
 pub mod experiment;
@@ -47,14 +48,19 @@ pub mod runner;
 pub mod tps;
 
 pub use adversary::Adversary;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ProtocolConfig, RouteSelection};
 pub use crypto::{OnionCryptoContext, WalkError};
 pub use experiment::{
     delivery_sweep_random_graph, delivery_sweep_schedule, delivery_sweep_schedule_with_rates,
-    run_random_graph_point, run_schedule_point, security_sweep_random_graph,
-    security_sweep_schedule, DeliverySweepRow, ExperimentOptions, PointSummary, SecuritySweepRow,
+    fault_sweep_random_graph, run_random_graph_point, run_schedule_point,
+    security_sweep_random_graph, security_sweep_schedule, DeliverySweepRow, ExperimentOptions,
+    FaultSweepRow, PointSummary, SecuritySweepRow, TRIAL_FAILURE_ABORT,
 };
 pub use groups::{GroupId, OnionGroups};
 pub use protocol::{ForwardingMode, OnionRouting};
-pub use runner::{run_trials, trial_rng, trial_seed, RunnerConfig, SeedDomain};
+pub use runner::{
+    run_trials, run_trials_resilient, trial_rng, trial_rng_attempt, trial_seed, trial_seed_attempt,
+    RunnerConfig, SeedDomain, TrialFailure,
+};
 pub use tps::{destination_exposure, run_tps_message, tps_cost_bound, TpsConfig, TpsOutcome};

@@ -61,6 +61,11 @@ pub enum SeedDomain {
     SecurityStarts,
     /// Direct Monte-Carlo model validation (no simulator involved).
     ModelValidation,
+    /// Fault-injection draws ([`dtn_sim::faults::FaultPlan`]): crashes,
+    /// contact failures, truncation, in-flight loss. A separate stream
+    /// from the trial's protocol RNG so enabling faults never perturbs
+    /// the protocol's own draws.
+    Faults,
 }
 
 impl SeedDomain {
@@ -76,6 +81,7 @@ impl SeedDomain {
             SeedDomain::SecuritySchedule => 0xFEED_F00D_0000_0005,
             SeedDomain::SecurityStarts => 0x0000_1234_0000_0006,
             SeedDomain::ModelValidation => 0x00DE_17E5_0000_0007,
+            SeedDomain::Faults => 0xFA17_0BAD_0000_0008,
         }
     }
 }
@@ -103,6 +109,30 @@ pub const fn trial_seed(base: u64, domain: SeedDomain, trial: u64) -> u64 {
 /// trial)` triple pins the full trial down independent of scheduling.
 pub fn trial_rng(base: u64, domain: SeedDomain, trial: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(trial_seed(base, domain, trial))
+}
+
+/// Tag absorbed when re-seeding a quarantined trial's retry, so attempt
+/// 1 draws a stream unrelated to attempt 0. Arbitrary but fixed forever.
+const RETRY_TAG: u64 = 0x5EED_A6A1_0BAD_9001;
+
+/// [`trial_seed`] disambiguated by retry attempt: attempt `0` is exactly
+/// `trial_seed(base, domain, trial)` (the normal path is unchanged);
+/// attempt `a > 0` mixes in one more finalizer round keyed by `a`, so a
+/// deterministic retry after a quarantined panic replays the trial with
+/// a fresh but reproducible stream.
+pub const fn trial_seed_attempt(base: u64, domain: SeedDomain, trial: u64, attempt: u32) -> u64 {
+    let seed = trial_seed(base, domain, trial);
+    if attempt == 0 {
+        seed
+    } else {
+        splitmix64(seed ^ RETRY_TAG ^ (attempt as u64))
+    }
+}
+
+/// The deterministic RNG for one `(trial, attempt)` pair — see
+/// [`trial_seed_attempt`]. Attempt 0 equals [`trial_rng`].
+pub fn trial_rng_attempt(base: u64, domain: SeedDomain, trial: u64, attempt: u32) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(trial_seed_attempt(base, domain, trial, attempt))
 }
 
 /// Worker-pool configuration for [`run_trials`]. The default
@@ -259,6 +289,99 @@ pub fn run_trials<T, Job, Acc, Fold>(
     }
 }
 
+/// One trial that panicked on both its original attempt and its
+/// deterministic retry, quarantined instead of poisoning the sweep.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialFailure {
+    /// The trial index that failed.
+    pub trial: usize,
+    /// Attempts made (always 2: the original run and one retry).
+    pub attempts: u32,
+    /// The panic payload of the final attempt, when it was a string.
+    pub message: String,
+}
+
+/// Renders a `catch_unwind` payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_trials`] with panic isolation: each trial runs under
+/// `catch_unwind`; a panicking trial is retried once with a
+/// disambiguated sub-seed (`job` receives the attempt number, normally
+/// `0`; derive randomness via [`trial_rng_attempt`]), and a trial whose
+/// retry also panics is recorded as a [`TrialFailure`] instead of
+/// aborting the sweep.
+///
+/// Surviving trials fold exactly as in [`run_trials`] — in ascending
+/// trial order — so when no trial fails the result is bit-identical to
+/// the non-resilient path, and the outcome is deterministic in general
+/// because the retry stream is a pure function of `(trial, attempt)`.
+/// Failures are returned in ascending trial order.
+///
+/// The process-global panic hook still prints each caught panic to
+/// stderr; quarantine only controls propagation, not reporting.
+pub fn run_trials_resilient<T, Job, Acc, Fold>(
+    config: &RunnerConfig,
+    trials: usize,
+    job: Job,
+    acc: &mut Acc,
+    mut fold: Fold,
+) -> Vec<TrialFailure>
+where
+    T: Send,
+    Job: Fn(usize, u32) -> T + Sync,
+    Fold: FnMut(&mut Acc, usize, T),
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let mut failures = Vec::new();
+    let guarded = |i: usize| -> Result<T, TrialFailure> {
+        // AssertUnwindSafe: a panicking attempt leaves no state behind —
+        // every attempt rebuilds its full world from the trial seed.
+        match catch_unwind(AssertUnwindSafe(|| job(i, 0))) {
+            Ok(out) => Ok(out),
+            Err(first) => {
+                obs::warn!(
+                    "onion_routing::runner",
+                    "trial {i} panicked ({}); retrying with sub-seed attempt 1",
+                    panic_message(first.as_ref()),
+                );
+                match catch_unwind(AssertUnwindSafe(|| job(i, 1))) {
+                    Ok(out) => Ok(out),
+                    Err(second) => Err(TrialFailure {
+                        trial: i,
+                        attempts: 2,
+                        message: panic_message(second.as_ref()),
+                    }),
+                }
+            }
+        }
+    };
+    run_trials(config, trials, guarded, acc, |acc, i, out| match out {
+        Ok(out) => fold(acc, i, out),
+        Err(failure) => {
+            obs::error!(
+                "onion_routing::runner",
+                "trial {i} quarantined after {} attempts: {}",
+                failure.attempts,
+                failure.message,
+            );
+            failures.push(failure);
+        }
+    });
+    if !failures.is_empty() {
+        obs::counter_add("runner.trials_quarantined", failures.len() as u64);
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +475,90 @@ mod tests {
             |acc, _, x| *acc += x,
         );
         assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn attempt_zero_matches_trial_seed() {
+        for trial in [0u64, 1, 99] {
+            assert_eq!(
+                trial_seed_attempt(7, SeedDomain::Faults, trial, 0),
+                trial_seed(7, SeedDomain::Faults, trial)
+            );
+            assert_ne!(
+                trial_seed_attempt(7, SeedDomain::Faults, trial, 1),
+                trial_seed(7, SeedDomain::Faults, trial)
+            );
+            assert_ne!(
+                trial_seed_attempt(7, SeedDomain::Faults, trial, 1),
+                trial_seed_attempt(7, SeedDomain::Faults, trial, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_quarantines_persistent_panics() {
+        // Trial 7 panics on every attempt; the sweep must complete and
+        // report exactly that one failure, for any thread count.
+        for threads in [1usize, 2, 8] {
+            let mut total = 0usize;
+            let failures = run_trials_resilient(
+                &RunnerConfig::new(threads),
+                16,
+                |i, _attempt| {
+                    assert!(i != 7, "boom at {i}");
+                    i
+                },
+                &mut total,
+                |acc, _, x| *acc += x,
+            );
+            assert_eq!(failures.len(), 1, "threads = {threads}");
+            assert_eq!(failures[0].trial, 7);
+            assert_eq!(failures[0].attempts, 2);
+            assert!(failures[0].message.contains("boom at 7"));
+            // Every other trial folded: 0+1+...+15 minus 7.
+            assert_eq!(total, (0..16).sum::<usize>() - 7, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn resilient_retry_recovers_flaky_trial() {
+        // Trial 3 panics only on attempt 0: the deterministic retry
+        // recovers it and no failure is recorded.
+        let mut folded = Vec::new();
+        let failures = run_trials_resilient(
+            &RunnerConfig::new(1),
+            6,
+            |i, attempt| {
+                assert!(!(i == 3 && attempt == 0), "flaky");
+                (i, attempt)
+            },
+            &mut folded,
+            |acc, _, x| acc.push(x),
+        );
+        assert!(failures.is_empty());
+        assert_eq!(folded, vec![(0, 0), (1, 0), (2, 0), (3, 1), (4, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn resilient_matches_plain_runner_when_nothing_fails() {
+        let mut plain = 0.0f64;
+        run_trials(
+            &RunnerConfig::new(2),
+            33,
+            |i| (i as f64).sqrt(),
+            &mut plain,
+            |acc, _, x| *acc += x,
+        );
+        let mut resilient = 0.0f64;
+        let failures = run_trials_resilient(
+            &RunnerConfig::new(2),
+            33,
+            |i, _| (i as f64).sqrt(),
+            &mut resilient,
+            |acc, _, x| *acc += x,
+        );
+        assert!(failures.is_empty());
+        assert_eq!(plain.to_bits(), resilient.to_bits());
     }
 
     #[test]

@@ -43,6 +43,18 @@ pub enum TraceError {
     },
     /// The trace contained no usable contacts (after filtering).
     Empty,
+    /// Lenient parsing skipped more than the allowed fraction of data
+    /// lines (see [`HaggleParser::lenient`]).
+    TooManyBadLines {
+        /// Data lines that failed to parse and were skipped.
+        skipped: usize,
+        /// Total data lines seen (parsed + skipped).
+        total: usize,
+        /// The configured maximum skipped fraction.
+        max_ratio: f64,
+        /// The first per-line error encountered.
+        first: Box<TraceError>,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -59,6 +71,16 @@ impl std::fmt::Display for TraceError {
                 write!(f, "line {line}: contact lists the same device twice")
             }
             TraceError::Empty => write!(f, "trace contains no usable contacts"),
+            TraceError::TooManyBadLines {
+                skipped,
+                total,
+                max_ratio,
+                first,
+            } => write!(
+                f,
+                "{skipped} of {total} data lines unparseable \
+                 (over the {max_ratio} lenient threshold); first: {first}"
+            ),
         }
     }
 }
@@ -88,6 +110,9 @@ pub struct ParsedTrace {
     pub schedule: ContactSchedule,
     /// `device_ids[k]` is the original id of node `k`.
     pub device_ids: Vec<u64>,
+    /// Malformed data lines skipped by [`HaggleParser::lenient`] mode
+    /// (always `0` for a strict parse).
+    pub lines_skipped: usize,
 }
 
 impl ParsedTrace {
@@ -124,6 +149,9 @@ impl ParsedTrace {
 pub struct HaggleParser {
     filter: Option<std::sync::Arc<dyn Fn(u64) -> bool + Send + Sync>>,
     shift_origin: bool,
+    /// `Some(max_bad_ratio)` skips malformed data lines instead of
+    /// failing, up to that fraction of all data lines.
+    lenient: Option<f64>,
 }
 
 impl std::fmt::Debug for HaggleParser {
@@ -131,6 +159,7 @@ impl std::fmt::Debug for HaggleParser {
         f.debug_struct("HaggleParser")
             .field("has_filter", &self.filter.is_some())
             .field("shift_origin", &self.shift_origin)
+            .field("lenient", &self.lenient)
             .finish()
     }
 }
@@ -148,7 +177,23 @@ impl HaggleParser {
         HaggleParser {
             filter: None,
             shift_origin: true,
+            lenient: None,
         }
+    }
+
+    /// Skips malformed data lines instead of failing, as long as they
+    /// stay within `max_bad_ratio` of all data lines (`0.0` tolerates
+    /// none, `1.0` tolerates anything). Skipped lines are counted in
+    /// [`ParsedTrace::lines_skipped`] and on the `trace.lines_skipped`
+    /// telemetry counter; exceeding the ratio yields
+    /// [`TraceError::TooManyBadLines`] carrying the first line error.
+    ///
+    /// Real CRAWDAD exports are occasionally dirty — a truncated final
+    /// line, a stray header mid-file — and a multi-day parse should not
+    /// die on one of them.
+    pub fn lenient(mut self, max_bad_ratio: f64) -> Self {
+        self.lenient = Some(max_bad_ratio.clamp(0.0, 1.0));
+        self
     }
 
     /// Keeps only contacts where *both* devices satisfy `keep` (e.g. the
@@ -184,6 +229,9 @@ impl HaggleParser {
     /// See [`TraceError`].
     pub fn parse_reader<R: BufRead>(&self, reader: R) -> Result<ParsedTrace, TraceError> {
         let mut raw: Vec<(u64, u64, f64)> = Vec::new();
+        let mut data_lines = 0usize;
+        let mut skipped = 0usize;
+        let mut first_bad: Option<TraceError> = None;
         for (lineno, line) in reader.lines().enumerate() {
             let line = line?;
             let line = line.trim();
@@ -191,40 +239,35 @@ impl HaggleParser {
             if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
                 continue;
             }
-            let mut fields = line.split_whitespace();
-            let mut next_field = || {
-                fields
-                    .next()
-                    .ok_or(TraceError::MissingFields { line: lineno })
-            };
-            let a_tok = next_field()?;
-            let b_tok = next_field()?;
-            let start_tok = next_field()?;
-            let _end_tok = next_field()?;
-
-            let parse_u64 = |tok: &str| {
-                tok.parse::<u64>().map_err(|_| TraceError::BadNumber {
-                    line: lineno,
-                    token: tok.to_string(),
-                })
-            };
-            let a = parse_u64(a_tok)?;
-            let b = parse_u64(b_tok)?;
-            let start = start_tok
-                .parse::<f64>()
-                .map_err(|_| TraceError::BadNumber {
-                    line: lineno,
-                    token: start_tok.to_string(),
-                })?;
-            if a == b {
-                return Err(TraceError::SelfContact { line: lineno });
-            }
-            if let Some(filter) = &self.filter {
-                if !filter(a) || !filter(b) {
-                    continue;
+            data_lines += 1;
+            match parse_data_line(line, lineno) {
+                Ok((a, b, start)) => {
+                    if let Some(filter) = &self.filter {
+                        if !filter(a) || !filter(b) {
+                            continue;
+                        }
+                    }
+                    raw.push((a, b, start));
                 }
+                Err(e) if self.lenient.is_some() => {
+                    skipped += 1;
+                    obs::counter_add("trace.lines_skipped", 1);
+                    obs::debug!("traces::haggle", "skipping line {lineno}: {e}");
+                    first_bad.get_or_insert(e);
+                }
+                Err(e) => return Err(e),
             }
-            raw.push((a, b, start));
+        }
+
+        if let Some(max_ratio) = self.lenient {
+            if skipped > 0 && skipped as f64 > max_ratio * data_lines as f64 {
+                return Err(TraceError::TooManyBadLines {
+                    skipped,
+                    total: data_lines,
+                    max_ratio,
+                    first: Box::new(first_bad.expect("skipped > 0 implies a first error")),
+                });
+            }
         }
 
         if raw.is_empty() {
@@ -269,8 +312,42 @@ impl HaggleParser {
         Ok(ParsedTrace {
             schedule: ContactSchedule::from_events(events, device_ids.len(), horizon),
             device_ids,
+            lines_skipped: skipped,
         })
     }
+}
+
+/// Parses one non-comment trace line into `(device_a, device_b, start)`.
+fn parse_data_line(line: &str, lineno: usize) -> Result<(u64, u64, f64), TraceError> {
+    let mut fields = line.split_whitespace();
+    let mut next_field = || {
+        fields
+            .next()
+            .ok_or(TraceError::MissingFields { line: lineno })
+    };
+    let a_tok = next_field()?;
+    let b_tok = next_field()?;
+    let start_tok = next_field()?;
+    let _end_tok = next_field()?;
+
+    let parse_u64 = |tok: &str| {
+        tok.parse::<u64>().map_err(|_| TraceError::BadNumber {
+            line: lineno,
+            token: tok.to_string(),
+        })
+    };
+    let a = parse_u64(a_tok)?;
+    let b = parse_u64(b_tok)?;
+    let start = start_tok
+        .parse::<f64>()
+        .map_err(|_| TraceError::BadNumber {
+            line: lineno,
+            token: start_tok.to_string(),
+        })?;
+    if a == b {
+        return Err(TraceError::SelfContact { line: lineno });
+    }
+    Ok((a, b, start))
 }
 
 #[cfg(test)]
@@ -365,5 +442,60 @@ mod tests {
     fn errors_display() {
         let e = HaggleParser::new().parse_str("1 2 x 10\n").unwrap_err();
         assert!(e.to_string().contains("line 1"));
+    }
+
+    const DIRTY: &str = "\
+1 2 100 160
+not a data line
+2 3 150 170
+3 3 180 190
+";
+
+    #[test]
+    fn strict_parse_reports_zero_skipped() {
+        let parsed = HaggleParser::new().parse_str(SAMPLE).unwrap();
+        assert_eq!(parsed.lines_skipped, 0);
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_bad_lines() {
+        // 4 data lines, 2 bad (short line + self-contact): ratio 0.5.
+        let parsed = HaggleParser::new().lenient(0.5).parse_str(DIRTY).unwrap();
+        assert_eq!(parsed.lines_skipped, 2);
+        assert_eq!(parsed.schedule.len(), 2);
+        assert_eq!(parsed.device_ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lenient_over_ratio_fails_with_first_error() {
+        let err = HaggleParser::new()
+            .lenient(0.25)
+            .parse_str(DIRTY)
+            .unwrap_err();
+        match err {
+            TraceError::TooManyBadLines {
+                skipped,
+                total,
+                first,
+                ..
+            } => {
+                assert_eq!((skipped, total), (2, 4));
+                assert!(matches!(*first, TraceError::BadNumber { line: 2, .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_zero_tolerates_no_bad_lines() {
+        assert!(matches!(
+            HaggleParser::new()
+                .lenient(0.0)
+                .parse_str(DIRTY)
+                .unwrap_err(),
+            TraceError::TooManyBadLines { .. }
+        ));
+        // ...but a clean trace parses fine at ratio zero.
+        assert!(HaggleParser::new().lenient(0.0).parse_str(SAMPLE).is_ok());
     }
 }

@@ -5,9 +5,21 @@
 //!                   [--messages 25] [--realizations 5] [--seed 1] [--threads 0]
 //! onion-dtn deadline-sweep [same flags; sweeps T over a log grid]
 //! onion-dtn security-sweep [same flags; sweeps c from 1% to 50%]
+//! onion-dtn fault-sweep    [same flags; sweeps fault intensity 0 -> 1]
 //! onion-dtn trace (cambridge|infocom|PATH) [--t 3600]
 //! onion-dtn plan  --target 0.95 [--g 5] [--k 3] [--l 1]
 //! ```
+//!
+//! Fault-injection flags (any experiment command): `--fault-churn <rate>`
+//! (node crashes per minute, with `--fault-downtime <mean minutes>` and
+//! `--fault-forget` to also wipe duplicate-suppression state),
+//! `--fault-contact-loss <p>`, `--fault-truncation <p>`, and
+//! `--fault-msg-loss <p>`. `--keep-going` tolerates quarantined trial
+//! failures instead of aborting; `--resume <path>` checkpoints finished
+//! points to a JSONL file and skips them on restart, byte-identically.
+//!
+//! Exit codes: `0` success, `2` usage error, `3` I/O error, `4` a trial
+//! failed its retry and the run aborted (rerun with `--keep-going`).
 //!
 //! Telemetry flags (any command): `--metrics-out <path>` appends one
 //! JSON object per experiment point to `<path>`, `--progress` shows a
@@ -23,21 +35,63 @@ use onion_dtn::prelude::*;
 
 fn print_usage() {
     eprintln!(
-        "usage: onion-dtn <point|deadline-sweep|security-sweep|trace|plan> [flags]\n\
+        "usage: onion-dtn <point|deadline-sweep|security-sweep|fault-sweep|trace|plan> [flags]\n\
          \n\
          common flags: --n <nodes> --g <group size> --k <onions> --l <copies>\n\
          \t--t <deadline> --c <compromised> --messages <m> --realizations <r> --seed <s>\n\
          \t--threads <w>  (worker threads for the realization fan-out; 0 = auto;\n\
          \t                results are identical for every value)\n\
+         faults: --fault-churn <crashes/min> --fault-downtime <mean min> --fault-forget\n\
+         \t--fault-contact-loss <p> --fault-truncation <p> --fault-msg-loss <p>\n\
+         resilience: --keep-going (tolerate quarantined trials)\n\
+         \t--resume <path> (JSONL checkpoint; finished points are skipped on restart)\n\
          trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
          plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)\n\
          telemetry: --metrics-out <path> (JSONL per experiment point)\n\
-         \t--progress (live trials/s + ETA on stderr)  --quiet (errors only)"
+         \t--progress (live trials/s + ETA on stderr)  --quiet (errors only)\n\
+         exit codes: 0 ok | 2 usage | 3 I/O | 4 trial failed its retry"
     );
 }
 
 /// Flags that take no value; present means `"true"`.
-const BOOL_FLAGS: &[&str] = &["progress", "quiet"];
+const BOOL_FLAGS: &[&str] = &["progress", "quiet", "keep-going", "fault-forget"];
+
+/// A CLI failure carrying its process exit code: usage errors exit 2,
+/// I/O errors 3, and quarantined trial failures 4.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line or invalid parameter combination (exit 2).
+    Usage(String),
+    /// Filesystem or checkpoint trouble (exit 3).
+    Io(String),
+    /// A realization panicked on its seed *and* its retry seed, and
+    /// `--keep-going` was not set (exit 4).
+    Trial(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Trial(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Trial(m) => m,
+        }
+    }
+}
+
+// Parse and validation helpers report plain strings; those are usage
+// errors by default. I/O and trial failures are constructed explicitly.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
 
 /// Parses `--key value` pairs; returns positional args and the flag map.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
@@ -105,6 +159,28 @@ fn config_from(flags: &HashMap<String, String>) -> Result<ProtocolConfig, String
     Ok(cfg)
 }
 
+/// Builds the fault plan from `--fault-*` flags; all default to off.
+fn faults_from(flags: &HashMap<String, String>) -> Result<FaultPlan, String> {
+    let crash_rate = flag(flags, "fault-churn", 0.0f64)?;
+    let churn = (crash_rate > 0.0).then_some(ChurnConfig {
+        crash_rate,
+        mean_downtime: flag(flags, "fault-downtime", 60.0f64)?,
+        memory: if flags.contains_key("fault-forget") {
+            ChurnMemory::Forget
+        } else {
+            ChurnMemory::Persist
+        },
+    });
+    let plan = FaultPlan {
+        churn,
+        contact_failure: flag(flags, "fault-contact-loss", 0.0f64)?,
+        transfer_truncation: flag(flags, "fault-truncation", 0.0f64)?,
+        message_loss: flag(flags, "fault-msg-loss", 0.0f64)?,
+    };
+    plan.validate()?;
+    Ok(plan)
+}
+
 fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, String> {
     Ok(ExperimentOptions {
         messages: flag(flags, "messages", 25usize)?,
@@ -112,10 +188,57 @@ fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, Strin
         seed: flag(flags, "seed", 0x0D10_57E5u64)?,
         intercontact_range: (1.0, 36.0),
         threads: flag(flags, "threads", 0usize)?,
+        faults: faults_from(flags)?,
+        keep_going: flags.contains_key("keep-going"),
     })
 }
 
-fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Opens the `--resume` checkpoint (if requested) against a fingerprint
+/// of everything that determines the command's results. `threads` is
+/// excluded: results are thread-count-independent, so resuming with a
+/// different `--threads` is legal.
+fn open_checkpoint(
+    flags: &HashMap<String, String>,
+    command: &str,
+    cfg: &ProtocolConfig,
+    opts: &ExperimentOptions,
+) -> Result<Option<Checkpoint>, CliError> {
+    let Some(path) = flags.get("resume") else {
+        return Ok(None);
+    };
+    let fp_opts = ExperimentOptions {
+        threads: 0,
+        ..opts.clone()
+    };
+    let fingerprint = Checkpoint::fingerprint(&(command, cfg, &fp_opts));
+    let cp = Checkpoint::open(std::path::Path::new(path), &fingerprint)
+        .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
+    if cp.resumed_points() > 0 {
+        obs::info!(
+            "onion_dtn",
+            "resuming from {path}: {} finished point(s) on record",
+            cp.resumed_points()
+        );
+    }
+    Ok(Some(cp))
+}
+
+/// Runs `compute` through the checkpoint when one is open, so a finished
+/// point is replayed instead of recomputed.
+fn checkpointed<T, F>(cp: &mut Option<Checkpoint>, key: &str, compute: F) -> Result<T, CliError>
+where
+    T: serde::Serialize + serde::DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    match cp {
+        Some(cp) => cp
+            .run_point(key, compute)
+            .map_err(|e| CliError::Io(format!("checkpoint: {e}"))),
+        None => Ok(compute()),
+    }
+}
+
+fn cmd_point(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = config_from(flags)?;
     let opts = opts_from(flags)?;
     obs::info!(
@@ -130,7 +253,11 @@ fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
         opts.messages,
         opts.realizations
     );
-    let p = run_random_graph_point(&cfg, &opts);
+    let mut cp = open_checkpoint(flags, "point", &cfg, &opts)?;
+    let p: PointSummary = checkpointed(&mut cp, "point", || run_random_graph_point(&cfg, &opts))?;
+    if p.trial_failures > 0 {
+        eprintln!("warning: {} realization(s) quarantined", p.trial_failures);
+    }
     println!(
         "delivery   analysis {:.4} | simulation {:.4}",
         p.analysis_delivery, p.sim_delivery
@@ -154,7 +281,7 @@ fn cmd_point(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = config_from(flags)?;
     let opts = opts_from(flags)?;
     let max_t = cfg.deadline.as_f64();
@@ -162,8 +289,12 @@ fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|i| max_t * (0.06f64).max(2f64.powi(i - 7)))
         .map(|t| (t * 10.0).round() / 10.0)
         .collect();
+    let mut cp = open_checkpoint(flags, "deadline-sweep", &cfg, &opts)?;
+    let rows: Vec<DeliverySweepRow> = checkpointed(&mut cp, "rows", || {
+        onion_routing::delivery_sweep_random_graph(&cfg, &deadlines, &opts)
+    })?;
     println!("{:<12}{:>12}{:>12}", "deadline", "analysis", "simulation");
-    for row in onion_routing::delivery_sweep_random_graph(&cfg, &deadlines, &opts) {
+    for row in rows {
         println!(
             "{:<12}{:>12.4}{:>12.4}",
             row.deadline, row.analysis, row.sim
@@ -172,18 +303,22 @@ fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = config_from(flags)?;
     let opts = opts_from(flags)?;
     let cs: Vec<usize> = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
         .iter()
         .map(|f| ((cfg.nodes as f64 * f).round() as usize).max(1))
         .collect();
+    let mut cp = open_checkpoint(flags, "security-sweep", &cfg, &opts)?;
+    let rows: Vec<SecuritySweepRow> = checkpointed(&mut cp, "rows", || {
+        onion_routing::security_sweep_random_graph(&cfg, &cs, 3, &opts)
+    })?;
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>12}",
         "c", "trace(A)", "trace(S)", "anon(A)", "anon(S)"
     );
-    for row in onion_routing::security_sweep_random_graph(&cfg, &cs, 3, &opts) {
+    for row in rows {
         println!(
             "{:<8}{:>12.4}{:>12}{:>12.4}{:>12}",
             row.compromised,
@@ -198,20 +333,22 @@ fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(), CliError> {
     use rand::SeedableRng;
-    let which = positional
-        .first()
-        .ok_or_else(|| "trace needs an argument: cambridge | infocom | <file>".to_string())?;
+    let which = positional.first().ok_or_else(|| {
+        CliError::Usage("trace needs an argument: cambridge | infocom | <file>".to_string())
+    })?;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(flag(flags, "seed", 1u64)?);
     let schedule = match which.as_str() {
         "cambridge" => SyntheticTraceBuilder::cambridge_like().build(&mut rng),
         "infocom" => SyntheticTraceBuilder::infocom05_like().build(&mut rng),
         path => {
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let file =
+                std::fs::File::open(path).map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
             HaggleParser::new()
+                .lenient(flag(flags, "max-bad-lines", 0.0f64)?)
                 .parse_reader(std::io::BufReader::new(file))
-                .map_err(|e| format!("parse {path}: {e}"))?
+                .map_err(|e| CliError::Io(format!("parse {path}: {e}")))?
                 .schedule
         }
     };
@@ -237,9 +374,14 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         realizations: flag(flags, "realizations", 4usize)?,
         seed: flag(flags, "seed", 1u64)?,
         threads: flag(flags, "threads", 0usize)?,
+        faults: faults_from(flags)?,
+        keep_going: flags.contains_key("keep-going"),
         ..Default::default()
     };
-    let p = run_schedule_point(&schedule, &cfg, &opts);
+    let mut cp = open_checkpoint(flags, &format!("trace:{which}"), &cfg, &opts)?;
+    let p: PointSummary = checkpointed(&mut cp, "point", || {
+        run_schedule_point(&schedule, &cfg, &opts)
+    })?;
     println!(
         "delivery   analysis {:.4} | simulation {:.4}",
         p.analysis_delivery, p.sim_delivery
@@ -253,15 +395,92 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     Ok(())
 }
 
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Default base plan for `fault-sweep` when no `--fault-*` flags are
+/// given: a representative mix of every fault class.
+fn default_sweep_plan() -> FaultPlan {
+    FaultPlan {
+        churn: Some(ChurnConfig {
+            crash_rate: 0.002,
+            mean_downtime: 120.0,
+            memory: ChurnMemory::Persist,
+        }),
+        contact_failure: 0.2,
+        transfer_truncation: 0.1,
+        message_loss: 0.05,
+    }
+}
+
+fn cmd_fault_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let cfg = config_from(flags)?;
+    let opts = opts_from(flags)?;
+    let base = {
+        let explicit = faults_from(flags)?;
+        if explicit.is_noop() {
+            default_sweep_plan()
+        } else {
+            explicit
+        }
+    };
+    let intensities = [0.0, 0.25, 0.5, 0.75, 1.0];
+    // The base plan is swept (opts.faults is overridden per point), so
+    // it joins the fingerprint explicitly.
+    let mut cp = match flags.get("resume") {
+        Some(path) => {
+            let fp_opts = ExperimentOptions {
+                threads: 0,
+                ..opts.clone()
+            };
+            let fp =
+                Checkpoint::fingerprint(&("fault-sweep", &cfg, &fp_opts, &base, &intensities[..]));
+            let cp = Checkpoint::open(std::path::Path::new(path), &fp)
+                .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
+            if cp.resumed_points() > 0 {
+                obs::info!(
+                    "onion_dtn",
+                    "resuming from {path}: {} finished point(s) on record",
+                    cp.resumed_points()
+                );
+            }
+            Some(cp)
+        }
+        None => None,
+    };
+    let rows =
+        onion_routing::fault_sweep_random_graph(&cfg, &base, &intensities, &opts, cp.as_mut())
+            .map_err(|e| CliError::Io(format!("checkpoint: {e}")))?;
+    println!(
+        "{:<11}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}",
+        "intensity", "deliv(A)", "deliv(S)", "trace(S)", "anon(S)", "crashes", "dropped"
+    );
+    for row in rows {
+        let s = &row.summary;
+        println!(
+            "{:<11}{:>12.4}{:>12.4}{:>12}{:>12}{:>10}{:>10}",
+            row.intensity,
+            s.analysis_delivery,
+            s.sim_delivery,
+            s.sim_traceable
+                .map_or("   -  ".into(), |v| format!("{v:.4}")),
+            s.sim_anonymity
+                .map_or("   -  ".into(), |v| format!("{v:.4}")),
+            s.sim_counters.fault_crashes,
+            s.sim_counters.fault_contacts_dropped,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let target: f64 = flag(flags, "target", 0.95f64)?;
     let g: usize = flag(flags, "g", 5usize)?;
     let k: usize = flag(flags, "k", 3usize)?;
     let l: u32 = flag(flags, "l", 1u32)?;
     // Mean pairwise rate of the Table II graph: E[1/X], X ~ U(1, 36).
     let lambda = (36f64.ln() - 1f64.ln()) / 35.0;
-    let rates = analysis::uniform_onion_path_rates(lambda, g, k).map_err(|e| e.to_string())?;
-    let t = analysis::deadline_for_target(&rates, l, target).map_err(|e| e.to_string())?;
+    let rates = analysis::uniform_onion_path_rates(lambda, g, k)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let t = analysis::deadline_for_target(&rates, l, target)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
     println!(
         "deadline for {:.0}% delivery with g={g}, K={k}, L={l}: {t:.1} minutes",
         target * 100.0
@@ -276,30 +495,70 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn dispatch(
+    command: &str,
+    positional: &[String],
+    flags: &HashMap<String, String>,
+) -> Result<(), CliError> {
+    match command {
+        "point" => cmd_point(flags),
+        "deadline-sweep" => cmd_deadline_sweep(flags),
+        "security-sweep" => cmd_security_sweep(flags),
+        "fault-sweep" => cmd_fault_sweep(flags),
+        "trace" => cmd_trace(positional, flags),
+        "plan" => cmd_plan(flags),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         print_usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &args[1..];
-    let result = parse_flags(rest).and_then(|(positional, flags)| {
-        apply_telemetry(&flags);
-        match command.as_str() {
-            "point" => cmd_point(&flags),
-            "deadline-sweep" => cmd_deadline_sweep(&flags),
-            "security-sweep" => cmd_security_sweep(&flags),
-            "trace" => cmd_trace(&positional, &flags),
-            "plan" => cmd_plan(&flags),
-            other => Err(format!("unknown command {other:?}")),
+    let result = match parse_flags(rest) {
+        Err(e) => Err(CliError::Usage(e)),
+        Ok((positional, flags)) => {
+            apply_telemetry(&flags);
+            // Quarantined trial failures abort experiments by panicking
+            // with a marker prefix; translate that to exit code 4 instead
+            // of a raw abort. Any other panic is re-raised untouched.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dispatch(&command, &positional, &flags)
+            })) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let text = panic_text(payload.as_ref());
+                    if text.contains(TRIAL_FAILURE_ABORT) {
+                        Err(CliError::Trial(text))
+                    } else {
+                        std::panic::resume_unwind(payload)
+                    }
+                }
+            }
         }
-    });
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            obs::error!("onion_dtn", "error: {e}");
-            print_usage();
-            ExitCode::FAILURE
+            obs::error!("onion_dtn", "error: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                print_usage();
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

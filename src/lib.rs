@@ -61,16 +61,20 @@ pub mod prelude {
         UniformGraphBuilder,
     };
     pub use dtn_sim::{
-        run, DropPolicy, Message, MessageId, ReportAggregate, RoutingProtocol, SimConfig,
-        SimReport, StartPolicy, StreamingStats, WorkloadBuilder,
+        run, run_with_faults, ChurnConfig, ChurnMemory, DropPolicy, FaultPlan, FaultState, Message,
+        MessageId, ReportAggregate, RoutingProtocol, SimConfig, SimReport, StartPolicy,
+        StreamingStats, WorkloadBuilder,
     };
     pub use onion_crypto::{
         EpochKeychain, FixedSizeOnion, GroupKeyring, OnionBuilder, OnionPacket, Peeled,
     };
     pub use onion_routing::{
-        run_random_graph_point, run_schedule_point, run_trials, trial_rng, trial_seed, Adversary,
-        ExperimentOptions, ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting,
-        PointSummary, ProtocolConfig, RouteSelection, RunnerConfig, SeedDomain,
+        fault_sweep_random_graph, run_random_graph_point, run_schedule_point, run_trials,
+        run_trials_resilient, trial_rng, trial_rng_attempt, trial_seed, trial_seed_attempt,
+        Adversary, Checkpoint, CheckpointError, DeliverySweepRow, ExperimentOptions, FaultSweepRow,
+        ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting, PointSummary,
+        ProtocolConfig, RouteSelection, RunnerConfig, SecuritySweepRow, SeedDomain, TrialFailure,
+        TRIAL_FAILURE_ABORT,
     };
     pub use traces::{ActivityPattern, HaggleParser, SyntheticTraceBuilder};
 }

@@ -19,6 +19,7 @@ fn opts() -> ExperimentOptions {
         seed: 0x0A11_DA7A,
         intercontact_range: (1.0, 36.0),
         threads: 0,
+        ..Default::default()
     }
 }
 

@@ -89,6 +89,11 @@ fn sim_counters_roundtrip() {
         injected: 25,
         delivered: 21,
         expired: 4,
+        fault_crashes: 6,
+        fault_contacts_dropped: 9,
+        fault_transfers_truncated: 2,
+        fault_buffer_wipes: 8,
+        fault_messages_lost: 3,
     };
     assert_eq!(json_roundtrip(&counters), counters);
     assert_eq!(
@@ -202,6 +207,7 @@ fn runner_and_experiment_config_roundtrip() {
         seed: 0xDEAD_BEEF,
         intercontact_range: (1.0, 36.0),
         threads: 3,
+        ..Default::default()
     };
     assert_eq!(json_roundtrip(&opts), opts);
 }

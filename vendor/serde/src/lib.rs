@@ -306,6 +306,8 @@ impl_serde_tuple! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
 /// Serializes a map key: strings pass through, integers become their
