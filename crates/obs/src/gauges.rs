@@ -1,0 +1,111 @@
+//! Named level gauges.
+//!
+//! A gauge is a signed instantaneous level — queue depth, in-flight
+//! requests, open connections — as opposed to a monotonic
+//! [`CounterMap`](crate::CounterMap) total. Gauges survive a
+//! [`flush_point`](crate::flush_point): the snapshot records the level
+//! at flush time, and the level keeps evolving afterwards.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted map from gauge name to its current level.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeMap(BTreeMap<String, i64>);
+
+impl GaugeMap {
+    /// An empty gauge map; `const` so it can seed a static.
+    pub const fn new() -> Self {
+        GaugeMap(BTreeMap::new())
+    }
+
+    /// Sets `name` to the absolute level `v`.
+    pub fn set(&mut self, name: &str, v: i64) {
+        match self.0.get_mut(name) {
+            Some(slot) => *slot = v,
+            None => {
+                self.0.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Adds `delta` (possibly negative) to `name`, creating it at zero
+    /// if absent. Saturates instead of wrapping.
+    pub fn add(&mut self, name: &str, delta: i64) {
+        match self.0.get_mut(name) {
+            Some(slot) => *slot = slot.saturating_add(delta),
+            None => {
+                self.0.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// The current level of `name`, or zero if never touched.
+    pub fn get(&self, name: &str) -> i64 {
+        self.0.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates gauges in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct gauge names.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no gauge has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites_add_accumulates() {
+        let mut g = GaugeMap::new();
+        assert_eq!(g.get("q"), 0);
+        g.set("q", 5);
+        g.set("q", 2);
+        assert_eq!(g.get("q"), 2);
+        g.add("q", -3);
+        assert_eq!(g.get("q"), -1);
+        g.add("fresh", 4);
+        assert_eq!(g.get("fresh"), 4);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut g = GaugeMap::new();
+        g.set("x", i64::MAX);
+        g.add("x", 1);
+        assert_eq!(g.get("x"), i64::MAX);
+        g.set("x", i64::MIN);
+        g.add("x", -1);
+        assert_eq!(g.get("x"), i64::MIN);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut g = GaugeMap::new();
+        g.set("zeta", 1);
+        g.set("alpha", 1);
+        let names: Vec<&str> = g.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut g = GaugeMap::new();
+        g.set("inflight", 3);
+        g.set("depth", -2);
+        let text = serde_json::to_string(&g).unwrap();
+        assert_eq!(serde_json::from_str::<GaugeMap>(&text).unwrap(), g);
+    }
+}

@@ -6,6 +6,9 @@
 //!   [`error!`]/[`warn!`]/[`info!`]/[`debug!`]/[`trace!`] macros,
 //!   filtered by the `ONION_DTN_LOG` env var (see [`EnvFilter`]).
 //! - **Counters** — named monotonic totals ([`counter_add`]).
+//! - **Gauges** — named instantaneous levels such as queue depth or
+//!   in-flight requests ([`gauge_set`], [`gauge_add`]); unlike
+//!   counters they are *not* reset by a flush.
 //! - **Histograms** — log-bucketed value distributions with
 //!   p50/p90/p99 summaries ([`record`], [`Histogram`]).
 //! - **Spans** — RAII wall-time measurement into a histogram
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod counters;
+mod gauges;
 mod hist;
 mod level;
 mod progress;
@@ -35,15 +39,16 @@ mod recorder;
 mod span;
 
 pub use counters::CounterMap;
+pub use gauges::GaugeMap;
 pub use hist::{
     bucket_bounds, HistSummary, Histogram, BUCKET_COUNT, MAX_EXP, MIN_EXP, SUB_BUCKETS,
 };
 pub use level::{EnvFilter, Level};
 pub use progress::Progress;
 pub use recorder::{
-    counter_add, emit, flush_point, init, log_enabled, metrics_enabled, progress_enabled, record,
-    set_filter, set_metrics_enabled, set_metrics_path, set_progress, take_last_snapshot,
-    MetricsSnapshot,
+    counter_add, emit, flush_point, gauge_add, gauge_set, init, log_enabled, metrics_enabled,
+    progress_enabled, record, set_filter, set_metrics_enabled, set_metrics_path, set_progress,
+    take_last_snapshot, MetricsSnapshot,
 };
 pub use span::{span, Span};
 
@@ -128,6 +133,23 @@ mod tests {
         assert_eq!(snap.counters.get("test.gated"), 2);
         assert_eq!(snap.histograms["test.gated_hist"].count, 1);
         assert_eq!(snap.label, "gate_test");
+    }
+
+    #[test]
+    fn gauges_survive_flushes_and_track_levels() {
+        let _guard = serial();
+        set_metrics_enabled(true);
+        gauge_set("test.depth", 4);
+        gauge_add("test.depth", -1);
+        gauge_add("test.inflight", 2);
+        let first = flush_point("gauge_first").unwrap();
+        assert_eq!(first.gauges.get("test.depth"), 3);
+        assert_eq!(first.gauges.get("test.inflight"), 2);
+        // Unlike counters, the levels persist across the flush.
+        let second = flush_point("gauge_second").unwrap();
+        set_metrics_enabled(false);
+        assert_eq!(second.gauges.get("test.depth"), 3);
+        assert_eq!(second.counters.get("test.depth"), 0);
     }
 
     #[test]

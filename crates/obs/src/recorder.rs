@@ -16,6 +16,7 @@ use std::sync::{Mutex, Once};
 use serde::{Deserialize, Serialize};
 
 use crate::counters::CounterMap;
+use crate::gauges::GaugeMap;
 use crate::hist::{HistSummary, Histogram};
 use crate::level::{EnvFilter, Level};
 
@@ -46,10 +47,12 @@ fn last_snapshot() -> &'static Mutex<Option<MetricsSnapshot>> {
     &LAST
 }
 
-/// Counters and histograms accumulated since the last flush.
+/// Counters and histograms accumulated since the last flush, plus the
+/// current gauge levels (which outlive flushes).
 struct Registry {
     counters: CounterMap,
     hists: BTreeMap<String, Histogram>,
+    gauges: GaugeMap,
 }
 
 impl Registry {
@@ -57,6 +60,7 @@ impl Registry {
         Registry {
             counters: CounterMap::new(),
             hists: BTreeMap::new(),
+            gauges: GaugeMap::new(),
         }
     }
 }
@@ -72,6 +76,10 @@ pub struct MetricsSnapshot {
     pub seq: u64,
     /// Counter totals for the interval.
     pub counters: CounterMap,
+    /// Gauge levels at flush time. Unlike counters and histograms,
+    /// gauges are *not* reset by the flush — they are instantaneous
+    /// levels (queue depth, in-flight requests) that keep evolving.
+    pub gauges: GaugeMap,
     /// Histogram summaries for the interval, keyed by metric name.
     pub histograms: BTreeMap<String, HistSummary>,
 }
@@ -191,6 +199,24 @@ pub fn counter_add(name: &str, n: u64) {
     registry().lock().unwrap().counters.add(name, n);
 }
 
+/// Sets the global gauge `name` to the absolute level `v`. No-op
+/// unless metrics are enabled.
+pub fn gauge_set(name: &str, v: i64) {
+    if !metrics_enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauges.set(name, v);
+}
+
+/// Adds `delta` (possibly negative) to the global gauge `name`. No-op
+/// unless metrics are enabled.
+pub fn gauge_add(name: &str, delta: i64) {
+    if !metrics_enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauges.add(name, delta);
+}
+
 /// Records `value` into the global histogram `name`. No-op unless
 /// metrics are enabled.
 pub fn record(name: &str, value: f64) {
@@ -214,17 +240,19 @@ pub fn flush_point(label: &str) -> Option<MetricsSnapshot> {
     if !metrics_enabled() {
         return None;
     }
-    let (counters, hists) = {
+    let (counters, hists, gauges) = {
         let mut reg = registry().lock().unwrap();
         (
             std::mem::take(&mut reg.counters),
             std::mem::take(&mut reg.hists),
+            reg.gauges.clone(),
         )
     };
     let snapshot = MetricsSnapshot {
         label: label.to_string(),
         seq: SEQ.fetch_add(1, Ordering::Relaxed),
         counters,
+        gauges,
         histograms: hists
             .iter()
             .map(|(k, h)| (k.clone(), h.summary()))

@@ -1,0 +1,648 @@
+//! Request routing and endpoint implementations.
+//!
+//! Two endpoint families:
+//!
+//! * `/v1/model/*` — closed-form analytical models (`analysis` crate).
+//!   Microsecond-scale, never cached: evaluating the formula is cheaper
+//!   than hashing the request.
+//! * `/v1/sweep/*` — Monte-Carlo experiments (`onion_routing`
+//!   experiment harness). Expensive, so responses flow through a
+//!   sharded LRU cache keyed by `Checkpoint::fingerprint` of the
+//!   *canonical* request (endpoint + config + options with `threads`
+//!   zeroed — the exact identity the CLI's `--resume` checkpoints use),
+//!   with single-flight coalescing for identical concurrent misses.
+//!
+//! Request bodies are JSON objects where every field is optional:
+//! missing fields take the paper's Table II defaults. `config` and
+//! `opts` accept the full [`ProtocolConfig`] / [`ExperimentOptions`]
+//! shapes as serialized by this workspace (clients round-trip the real
+//! types), while scalar knobs are extracted field-by-field.
+
+use std::sync::Arc;
+
+use dtn_sim::{ChurnConfig, ChurnMemory, FaultPlan};
+use onion_routing::{
+    delivery_sweep_random_graph, fault_sweep_random_graph, run_random_graph_point,
+    security_sweep_random_graph, Checkpoint, ExperimentOptions, ProtocolConfig,
+};
+use serde::{Serialize, Value};
+
+use crate::cache::ShardedLru;
+use crate::flight::{Role, SingleFlight};
+use crate::http::{Request, Response};
+use crate::stats::ServeStats;
+
+/// Mean pairwise contact rate of the Table II random graph:
+/// `E[1/X]` for `X ~ U(1, 36)` minutes.
+pub const TABLE2_MEAN_RATE: f64 = 0.102_388_208_690_712_36;
+
+/// Server-side execution limits and knobs shared by every endpoint.
+pub struct ApiLimits {
+    /// Threads used for sweep fan-out (results are thread-invariant).
+    pub sweep_threads: usize,
+    /// Largest accepted `opts.realizations`.
+    pub max_realizations: usize,
+    /// Largest accepted `opts.messages`.
+    pub max_messages: usize,
+}
+
+impl Default for ApiLimits {
+    fn default() -> Self {
+        ApiLimits {
+            sweep_threads: 1,
+            max_realizations: 64,
+            max_messages: 200,
+        }
+    }
+}
+
+/// The routing table plus the state every handler shares.
+pub struct Api {
+    cache: ShardedLru,
+    flight: SingleFlight,
+    stats: Arc<ServeStats>,
+    limits: ApiLimits,
+}
+
+impl Api {
+    /// Builds the router around a result cache of `cache_capacity`
+    /// entries over `cache_shards` locks.
+    pub fn new(
+        cache_capacity: usize,
+        cache_shards: usize,
+        stats: Arc<ServeStats>,
+        limits: ApiLimits,
+    ) -> Api {
+        Api {
+            cache: ShardedLru::new(cache_capacity, cache_shards),
+            flight: SingleFlight::new(),
+            stats,
+            limits,
+        }
+    }
+
+    /// The latency/metrics class a path belongs to.
+    pub fn class_of(path: &str) -> &'static str {
+        if path.starts_with("/v1/model/") {
+            "model"
+        } else if path.starts_with("/v1/sweep/") {
+            "sweep"
+        } else if path == "/healthz" {
+            "health"
+        } else if path == "/metricsz" {
+            "metrics"
+        } else if path.starts_with("/v1/admin/") {
+            "admin"
+        } else {
+            "other"
+        }
+    }
+
+    /// Routes one parsed request to its handler.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+            ("GET", "/metricsz") => match serde_json::to_string(&self.stats.snapshot()) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::error(500, &format!("snapshot: {e}")),
+            },
+            ("POST", "/v1/admin/shutdown") => {
+                let mut resp = Response::json(200, "{\"status\":\"draining\"}".to_string());
+                resp.shutdown = true;
+                resp
+            }
+            ("POST", path) if path.starts_with("/v1/model/") => self.model(req),
+            ("POST", path) if path.starts_with("/v1/sweep/") => self.sweep(req),
+            (_, path)
+                if path == "/healthz"
+                    || path == "/metricsz"
+                    || path.starts_with("/v1/model/")
+                    || path.starts_with("/v1/sweep/")
+                    || path.starts_with("/v1/admin/") =>
+            {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such endpoint"),
+        }
+    }
+
+    fn model(&self, req: &Request) -> Response {
+        let body = match parse_body(&req.body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e),
+        };
+        let result = match req.path.as_str() {
+            "/v1/model/delivery" => model_delivery(&body),
+            "/v1/model/cost" => model_cost(&body),
+            "/v1/model/traceable" => model_traceable(&body),
+            "/v1/model/anonymity" => model_anonymity(&body),
+            _ => return Response::error(404, "no such model endpoint"),
+        };
+        match result {
+            Ok(json) => Response::json(200, json),
+            Err(e) => Response::error(400, &e),
+        }
+    }
+
+    fn sweep(&self, req: &Request) -> Response {
+        let body = match parse_body(&req.body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e),
+        };
+        let (cfg, opts) = match self.sweep_base(&body) {
+            Ok(pair) => pair,
+            Err(e) => return Response::error(400, &e),
+        };
+        // `threads` is an execution knob the *server* owns; the canonical
+        // form in the cache key already zeroes it, and determinism makes
+        // the substitution invisible in the response bytes.
+        let run_opts = ExperimentOptions {
+            threads: self.limits.sweep_threads,
+            ..opts.clone()
+        };
+        let canon = opts.canonical();
+        match req.path.as_str() {
+            "/v1/sweep/point" => {
+                let key = Checkpoint::fingerprint(&("/v1/sweep/point", &cfg, &canon));
+                self.cached_sweep(&key, || to_json(&run_random_graph_point(&cfg, &run_opts)))
+            }
+            "/v1/sweep/deadline" => {
+                let deadlines = match opt_field::<Vec<f64>>(&body, "deadlines") {
+                    Ok(v) => v.unwrap_or_else(|| vec![60.0, 180.0, 360.0, 720.0, 1080.0]),
+                    Err(e) => return Response::error(400, &e),
+                };
+                if deadlines.is_empty() || deadlines.iter().any(|&t| !t.is_finite() || t <= 0.0) {
+                    return Response::error(400, "deadlines must be positive");
+                }
+                let key =
+                    Checkpoint::fingerprint(&("/v1/sweep/deadline", &cfg, &canon, &deadlines));
+                self.cached_sweep(&key, || {
+                    to_json(&delivery_sweep_random_graph(&cfg, &deadlines, &run_opts))
+                })
+            }
+            "/v1/sweep/security" => {
+                let compromised = match opt_field::<Vec<usize>>(&body, "compromised") {
+                    Ok(v) => v.unwrap_or_else(|| {
+                        [0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+                            .iter()
+                            .map(|f| ((cfg.nodes as f64 * f).round() as usize).max(1))
+                            .collect()
+                    }),
+                    Err(e) => return Response::error(400, &e),
+                };
+                let draws = match opt_field::<usize>(&body, "adversary_draws") {
+                    Ok(v) => v.unwrap_or(3),
+                    Err(e) => return Response::error(400, &e),
+                };
+                if compromised.is_empty() || compromised.iter().any(|&c| c > cfg.nodes) {
+                    return Response::error(400, "compromised values must be within 0..=n");
+                }
+                let key = Checkpoint::fingerprint(&(
+                    "/v1/sweep/security",
+                    &cfg,
+                    &canon,
+                    &compromised,
+                    draws,
+                ));
+                self.cached_sweep(&key, || {
+                    to_json(&security_sweep_random_graph(
+                        &cfg,
+                        &compromised,
+                        draws,
+                        &run_opts,
+                    ))
+                })
+            }
+            "/v1/sweep/fault" => {
+                let plan = match opt_field::<FaultPlan>(&body, "plan") {
+                    Ok(v) => v.unwrap_or_else(default_fault_plan),
+                    Err(e) => return Response::error(400, &e),
+                };
+                if let Err(e) = plan.validate() {
+                    return Response::error(400, &format!("fault plan: {e}"));
+                }
+                let intensities = match opt_field::<Vec<f64>>(&body, "intensities") {
+                    Ok(v) => v.unwrap_or_else(|| vec![0.0, 0.25, 0.5, 0.75, 1.0]),
+                    Err(e) => return Response::error(400, &e),
+                };
+                if intensities.is_empty() || intensities.iter().any(|&i| !(0.0..=10.0).contains(&i))
+                {
+                    return Response::error(400, "intensities must be within 0..=10");
+                }
+                let key = Checkpoint::fingerprint(&(
+                    "/v1/sweep/fault",
+                    &cfg,
+                    &canon,
+                    &plan,
+                    &intensities,
+                ));
+                self.cached_sweep(&key, || {
+                    fault_sweep_random_graph(&cfg, &plan, &intensities, &run_opts, None)
+                        .map_err(|e| format!("fault sweep: {e}"))
+                        .and_then(|rows| to_json(&rows))
+                })
+            }
+            _ => Response::error(404, "no such sweep endpoint"),
+        }
+    }
+
+    /// Shared `config`/`opts` extraction plus validation and caps.
+    fn sweep_base(&self, body: &Value) -> Result<(ProtocolConfig, ExperimentOptions), String> {
+        let cfg = match body.get("config") {
+            Some(v) => deserialize::<ProtocolConfig>(v, "config")?,
+            None => ProtocolConfig::table2_defaults(),
+        };
+        cfg.validate().map_err(|e| format!("config: {e}"))?;
+        let opts = match body.get("opts") {
+            Some(v) => deserialize::<ExperimentOptions>(v, "opts")?,
+            None => ExperimentOptions::default(),
+        };
+        opts.faults
+            .validate()
+            .map_err(|e| format!("opts.faults: {e}"))?;
+        if opts.realizations == 0 || opts.realizations > self.limits.max_realizations {
+            return Err(format!(
+                "opts.realizations must be within 1..={}",
+                self.limits.max_realizations
+            ));
+        }
+        if opts.messages == 0 || opts.messages > self.limits.max_messages {
+            return Err(format!(
+                "opts.messages must be within 1..={}",
+                self.limits.max_messages
+            ));
+        }
+        let (lo, hi) = opts.intercontact_range;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+            return Err("opts.intercontact_range must be finite with 0 < lo <= hi".to_string());
+        }
+        Ok((cfg, opts))
+    }
+
+    /// The cache → single-flight → compute funnel for sweep endpoints.
+    fn cached_sweep<F>(&self, key: &str, compute: F) -> Response
+    where
+        F: FnOnce() -> Result<String, String>,
+    {
+        if let Some(hit) = self.cache.get(key) {
+            self.stats.bump(&self.stats.cache_hits, "serve.cache_hits");
+            return Response::json(200, (*hit).clone());
+        }
+        self.stats
+            .bump(&self.stats.cache_misses, "serve.cache_misses");
+        let (result, role) = self.flight.run(key, || {
+            self.stats
+                .bump(&self.stats.sweep_computes, "serve.sweep_computes");
+            compute().map(Arc::new)
+        });
+        if role == Role::Coalesced {
+            self.stats
+                .bump(&self.stats.sweep_coalesced, "serve.sweep_coalesced");
+        }
+        match result {
+            Ok(body) => {
+                if role == Role::Led {
+                    self.cache.insert(key, Arc::clone(&body));
+                }
+                Response::json(200, (*body).clone())
+            }
+            Err(e) => Response::error(500, &e),
+        }
+    }
+}
+
+/// The representative every-fault-class base plan used when a fault
+/// sweep request names no `plan` (mirrors the CLI's default).
+fn default_fault_plan() -> FaultPlan {
+    FaultPlan {
+        churn: Some(ChurnConfig {
+            crash_rate: 0.002,
+            mean_downtime: 120.0,
+            memory: ChurnMemory::Persist,
+        }),
+        contact_failure: 0.2,
+        transfer_truncation: 0.1,
+        message_loss: 0.05,
+    }
+}
+
+/// An empty body parses as an empty object; anything else must be JSON.
+fn parse_body(body: &str) -> Result<Value, String> {
+    if body.is_empty() {
+        return Ok(Value::Object(Vec::new()));
+    }
+    serde_json::parse_value(body).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn deserialize<T: serde::DeserializeOwned>(value: &Value, what: &str) -> Result<T, String> {
+    T::from_value(value).map_err(|e| format!("{what}: {e}"))
+}
+
+/// Extracts an optional typed field from the request object.
+fn opt_field<T: serde::DeserializeOwned>(body: &Value, key: &str) -> Result<Option<T>, String> {
+    match body.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => deserialize::<T>(v, key).map(Some),
+    }
+}
+
+fn to_json<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string(value).map_err(|e| format!("serialize response: {e}"))
+}
+
+/// `/v1/model/delivery` response.
+#[derive(Debug, Serialize)]
+pub struct DeliveryModel {
+    /// Per-pair contact rate used for every hop.
+    pub lambda: f64,
+    /// Onion group size `g`.
+    pub group_size: usize,
+    /// Onion hops `K`.
+    pub onions: usize,
+    /// Message copies `L`.
+    pub copies: u32,
+    /// Deadline `T` (minutes).
+    pub deadline: f64,
+    /// Per-hop aggregate rates (Eq. 4).
+    pub rates: Vec<f64>,
+    /// Delivery probability within the deadline (Eq. 6/7).
+    pub delivery_rate: f64,
+    /// Mean end-to-end delay of a single copy.
+    pub mean_delay: f64,
+    /// Median end-to-end delay of a single copy.
+    pub median_delay: f64,
+}
+
+fn model_delivery(body: &Value) -> Result<String, String> {
+    let lambda = opt_field::<f64>(body, "lambda")?.unwrap_or(TABLE2_MEAN_RATE);
+    let group_size = opt_field::<usize>(body, "group_size")?.unwrap_or(5);
+    let onions = opt_field::<usize>(body, "onions")?.unwrap_or(3);
+    let copies = opt_field::<u32>(body, "copies")?.unwrap_or(1);
+    let deadline = opt_field::<f64>(body, "deadline")?.unwrap_or(1080.0);
+    let rates = analysis::uniform_onion_path_rates(lambda, group_size, onions)
+        .map_err(|e| e.to_string())?;
+    let delivery_rate =
+        analysis::delivery_rate_multicopy(&rates, copies, deadline).map_err(|e| e.to_string())?;
+    let mean_delay = analysis::expected_delay(&rates).map_err(|e| e.to_string())?;
+    let median_delay = analysis::median_delay(&rates).map_err(|e| e.to_string())?;
+    to_json(&DeliveryModel {
+        lambda,
+        group_size,
+        onions,
+        copies,
+        deadline,
+        rates,
+        delivery_rate,
+        mean_delay,
+        median_delay,
+    })
+}
+
+/// `/v1/model/cost` response.
+#[derive(Debug, Serialize)]
+pub struct CostModel {
+    /// Onion hops `K`.
+    pub onions: usize,
+    /// Message copies `L`.
+    pub copies: u32,
+    /// Transmission bound for these parameters (§IV-C).
+    pub bound: u64,
+    /// Non-anonymous (direct spray) bound at the same `L`.
+    pub non_anonymous: u64,
+    /// Multiplicative overhead of anonymity at `L = 1`.
+    pub anonymity_cost_factor: f64,
+}
+
+fn model_cost(body: &Value) -> Result<String, String> {
+    let onions = opt_field::<usize>(body, "onions")?.unwrap_or(3);
+    let copies = opt_field::<u32>(body, "copies")?.unwrap_or(1);
+    let bound = if copies == 1 {
+        analysis::single_copy_cost(onions)
+    } else {
+        analysis::multi_copy_bound(onions, copies).map_err(|e| e.to_string())?
+    };
+    to_json(&CostModel {
+        onions,
+        copies,
+        bound,
+        non_anonymous: analysis::non_anonymous_bound(copies),
+        anonymity_cost_factor: analysis::anonymity_cost_factor(onions),
+    })
+}
+
+/// `/v1/model/traceable` response.
+#[derive(Debug, Serialize)]
+pub struct TraceableModel {
+    /// Node count `n`.
+    pub nodes: usize,
+    /// Compromised nodes `c`.
+    pub compromised: usize,
+    /// Onion hops `K`.
+    pub onions: usize,
+    /// Hops between endpoints `η = K + 1`.
+    pub eta: usize,
+    /// Compromise probability `p = c/n`.
+    pub compromise_probability: f64,
+    /// Expected traceable rate (run-length model, Eqs. 8–12).
+    pub traceable_rate: f64,
+}
+
+fn model_traceable(body: &Value) -> Result<String, String> {
+    let nodes = opt_field::<usize>(body, "nodes")?.unwrap_or(100);
+    let compromised = opt_field::<usize>(body, "compromised")?.unwrap_or(10);
+    let onions = opt_field::<usize>(body, "onions")?.unwrap_or(3);
+    if nodes == 0 || compromised > nodes {
+        return Err("need 0 < nodes and compromised <= nodes".to_string());
+    }
+    let eta = onions + 1;
+    let p = compromised as f64 / nodes as f64;
+    let traceable_rate = analysis::expected_traceable_rate(eta, p).map_err(|e| e.to_string())?;
+    to_json(&TraceableModel {
+        nodes,
+        compromised,
+        onions,
+        eta,
+        compromise_probability: p,
+        traceable_rate,
+    })
+}
+
+/// `/v1/model/anonymity` response.
+#[derive(Debug, Serialize)]
+pub struct AnonymityModel {
+    /// Node count `n`.
+    pub nodes: usize,
+    /// Onion group size `g`.
+    pub group_size: usize,
+    /// Onion hops `K`.
+    pub onions: usize,
+    /// Compromised nodes `c`.
+    pub compromised: usize,
+    /// Message copies `L`.
+    pub copies: u32,
+    /// Entropy-based path anonymity degree (Eq. 19).
+    pub anonymity: f64,
+}
+
+fn model_anonymity(body: &Value) -> Result<String, String> {
+    let nodes = opt_field::<usize>(body, "nodes")?.unwrap_or(100);
+    let group_size = opt_field::<usize>(body, "group_size")?.unwrap_or(5);
+    let onions = opt_field::<usize>(body, "onions")?.unwrap_or(3);
+    let compromised = opt_field::<usize>(body, "compromised")?.unwrap_or(10);
+    let copies = opt_field::<u32>(body, "copies")?.unwrap_or(1);
+    let anonymity = analysis::path_anonymity(nodes, group_size, onions, compromised, copies)
+        .map_err(|e| e.to_string())?;
+    to_json(&AnonymityModel {
+        nodes,
+        group_size,
+        onions,
+        compromised,
+        copies,
+        anonymity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn api() -> Api {
+        Api::new(
+            16,
+            2,
+            Arc::new(ServeStats::new()),
+            ApiLimits {
+                sweep_threads: 1,
+                max_realizations: 4,
+                max_messages: 20,
+            },
+        )
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn health_and_metrics_respond() {
+        let api = api();
+        let r = api.handle(&get("/healthz"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("ok"));
+        let r = api.handle(&get("/metricsz"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("uptime_secs"));
+    }
+
+    #[test]
+    fn routing_rejects_unknown_and_wrong_method() {
+        let api = api();
+        assert_eq!(api.handle(&get("/nope")).status, 404);
+        assert_eq!(api.handle(&get("/v1/model/delivery")).status, 405);
+        assert_eq!(api.handle(&post("/healthz", "")).status, 405);
+        assert_eq!(api.handle(&post("/v1/model/unknown", "{}")).status, 404);
+    }
+
+    #[test]
+    fn model_delivery_defaults_match_direct_evaluation() {
+        let api = api();
+        let r = api.handle(&post("/v1/model/delivery", "{}"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let rates = analysis::uniform_onion_path_rates(TABLE2_MEAN_RATE, 5, 3).unwrap();
+        let expected = analysis::delivery_rate_multicopy(&rates, 1, 1080.0).unwrap();
+        let value = serde_json::parse_value(&r.body).unwrap();
+        match value.get("delivery_rate").unwrap() {
+            Value::Float(f) => assert_eq!(*f, expected),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_endpoints_validate_inputs() {
+        let api = api();
+        // g = 0 is rejected by the analysis layer.
+        let r = api.handle(&post("/v1/model/delivery", "{\"group_size\":0}"));
+        assert_eq!(r.status, 400);
+        let r = api.handle(&post("/v1/model/traceable", "{\"compromised\":200}"));
+        assert_eq!(r.status, 400);
+        let r = api.handle(&post("/v1/model/anonymity", "not json"));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn sweep_caps_are_enforced() {
+        let api = api();
+        let opts = ExperimentOptions {
+            realizations: 100,
+            ..ExperimentOptions::default()
+        };
+        let body = format!("{{\"opts\":{}}}", serde_json::to_string(&opts).unwrap());
+        let r = api.handle(&post("/v1/sweep/point", &body));
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("realizations"), "{}", r.body);
+    }
+
+    #[test]
+    fn sweep_point_computes_then_hits_cache() {
+        let api = api();
+        let opts = ExperimentOptions {
+            messages: 4,
+            realizations: 2,
+            ..ExperimentOptions::default()
+        };
+        let body = format!("{{\"opts\":{}}}", serde_json::to_string(&opts).unwrap());
+        let first = api.handle(&post("/v1/sweep/point", &body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let second = api.handle(&post("/v1/sweep/point", &body));
+        assert_eq!(second.body, first.body);
+        let snap = api.stats.snapshot();
+        assert_eq!(snap.counters["sweep_computes"], 1);
+        assert_eq!(snap.counters["cache_hits"], 1);
+        assert_eq!(snap.counters["cache_misses"], 1);
+        // Bit-identical to the offline run of the same config.
+        let offline = run_random_graph_point(&ProtocolConfig::table2_defaults(), &opts);
+        assert_eq!(first.body, serde_json::to_string(&offline).unwrap());
+    }
+
+    #[test]
+    fn thread_count_does_not_split_the_cache() {
+        let api = api();
+        let a = ExperimentOptions {
+            messages: 4,
+            realizations: 2,
+            threads: 1,
+            ..ExperimentOptions::default()
+        };
+        let b = ExperimentOptions {
+            threads: 8,
+            ..a.clone()
+        };
+        let body_a = format!("{{\"opts\":{}}}", serde_json::to_string(&a).unwrap());
+        let body_b = format!("{{\"opts\":{}}}", serde_json::to_string(&b).unwrap());
+        let ra = api.handle(&post("/v1/sweep/point", &body_a));
+        let rb = api.handle(&post("/v1/sweep/point", &body_b));
+        assert_eq!(ra.body, rb.body);
+        assert_eq!(api.stats.snapshot().counters["sweep_computes"], 1);
+    }
+
+    #[test]
+    fn sweep_deadline_rejects_bad_axis() {
+        let api = api();
+        let r = api.handle(&post("/v1/sweep/deadline", "{\"deadlines\":[-5.0]}"));
+        assert_eq!(r.status, 400);
+        let r = api.handle(&post("/v1/sweep/deadline", "{\"deadlines\":[]}"));
+        assert_eq!(r.status, 400);
+    }
+}

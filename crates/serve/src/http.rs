@@ -1,0 +1,405 @@
+//! Minimal hand-rolled HTTP/1.1 framing: just enough protocol for a
+//! JSON-over-loopback serving daemon and its load generator, with zero
+//! external dependencies.
+//!
+//! Scope (deliberately small, documented in the README):
+//!
+//! - One request per connection: every response carries
+//!   `Connection: close` and the server closes the socket after
+//!   writing. Clients reconnect per request.
+//! - Bodies are delimited by `Content-Length` only (no chunked
+//!   transfer encoding) and must be UTF-8.
+//! - Header blocks are capped at [`MAX_HEAD_BYTES`], bodies at
+//!   [`MAX_BODY_BYTES`]; larger inputs are rejected before buffering.
+//!
+//! The reader/writer pairs are generic over [`Read`]/[`Write`] so the
+//! server, the load generator, and unit tests all share one framing
+//! implementation.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request/status line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request or response body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parse failure while reading a request; maps onto a 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (timeout, reset, EOF mid-frame).
+    Io(std::io::Error),
+    /// The bytes on the wire are not valid HTTP/1.x.
+    Malformed(String),
+    /// Head or body exceeded its size cap.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "I/O: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed inbound request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// UTF-8 body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// An outbound response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Optional `Retry-After` header value in seconds (backpressure).
+    pub retry_after: Option<u32>,
+    /// Whether serving this response should trigger a graceful
+    /// drain-and-exit (set by the shutdown endpoint handler).
+    pub shutdown: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            retry_after: None,
+            shutdown: false,
+        }
+    }
+
+    /// A JSON error response `{"error": "..."}` with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = serde_json::to_string(&ErrorBody {
+            error: message.to_string(),
+        })
+        .expect("error body serializes");
+        Response::json(status, body)
+    }
+}
+
+/// Wire shape of error responses.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ErrorBody {
+    error: String,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads until the `\r\n\r\n` head terminator, returning the head bytes
+/// and any body bytes already pulled off the socket.
+fn read_head<R: Read>(reader: &mut R) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            let rest = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the header terminator".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Case-insensitive header lookup over raw head lines.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().skip(1).find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim().eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+fn read_body<R: Read>(
+    reader: &mut R,
+    mut pending: Vec<u8>,
+    length: usize,
+) -> Result<String, HttpError> {
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "Content-Length {length} exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    pending.truncate(pending.len().min(length));
+    while pending.len() < length {
+        let mut chunk = vec![0u8; (length - pending.len()).min(64 * 1024)];
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        pending.extend_from_slice(&chunk[..n]);
+    }
+    String::from_utf8(pending).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+}
+
+/// Reads and parses one request.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, malformed framing, or an oversized
+/// head/body.
+pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, HttpError> {
+    let (head_bytes, rest) = read_head(reader)?;
+    let head = std::str::from_utf8(&head_bytes)
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let request_line = head
+        .lines()
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let length = match header_value(head, "content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    let body = read_body(reader, rest, length)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Writes one response with `Connection: close` framing.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one request with `Connection: close` framing (client side).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: onion-dtn\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads and parses one response (client side). The `Retry-After`
+/// header is surfaced; the `shutdown` flag is always `false`.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure or malformed framing.
+pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
+    let (head_bytes, rest) = read_head(reader)?;
+    let head = std::str::from_utf8(&head_bytes)
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let status_line = head
+        .lines()
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::Malformed("bad status code".into()))?;
+    let retry_after = header_value(head, "retry-after").and_then(|v| v.parse::<u32>().ok());
+    let length = match header_value(head, "content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    let body = read_body(reader, rest, length)?;
+    Ok(Response {
+        status,
+        body,
+        retry_after,
+        shutdown: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/model/delivery", "{\"t\":360.0}").unwrap();
+        let req = read_request(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/model/delivery");
+        assert_eq!(req.body, "{\"t\":360.0}");
+    }
+
+    #[test]
+    fn response_roundtrips_with_retry_after() {
+        let mut wire = Vec::new();
+        let resp = Response {
+            retry_after: Some(2),
+            ..Response::error(503, "queue full")
+        };
+        write_response(&mut wire, &resp).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let back = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(back.status, 503);
+        assert_eq!(back.retry_after, Some(2));
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn empty_body_needs_no_content_length() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        let req = read_request(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn headers_are_case_insensitive_and_method_is_upcased() {
+        let wire = b"post /x HTTP/1.0\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi".to_vec();
+        let req = read_request(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "hi");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for wire in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+        ] {
+            assert!(read_request(&mut Cursor::new(wire.to_vec())).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_capped() {
+        let mut wire = b"GET /x HTTP/1.1\r\n".to_vec();
+        wire.extend(vec![b'a'; MAX_HEAD_BYTES + 8]);
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire)),
+            Err(HttpError::TooLarge(_) | HttpError::Malformed(_))
+        ));
+
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .into_bytes();
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire)),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // A reader that returns one byte at a time exercises the
+        // buffering paths in read_head/read_body.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(1);
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/p", "{\"k\":123}").unwrap();
+        let req = read_request(&mut OneByte(Cursor::new(wire))).unwrap();
+        assert_eq!(req.body, "{\"k\":123}");
+    }
+}

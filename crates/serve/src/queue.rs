@@ -1,0 +1,204 @@
+//! A bounded MPMC queue with explicit backpressure and drain-on-close.
+//!
+//! The acceptor pushes connections with the non-blocking
+//! [`BoundedQueue::try_push`]; when the queue is full the push fails
+//! *immediately* and the caller turns that into a `503 Service
+//! Unavailable` + `Retry-After` — load the daemon cannot absorb is
+//! shed at the door instead of growing an unbounded backlog.
+//!
+//! Workers block in [`BoundedQueue::pop`]. Closing the queue wakes
+//! them all, but `pop` keeps returning queued items until the queue is
+//! *empty* — that drain semantic is what makes shutdown graceful:
+//! every request accepted before the close is still served.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::try_push`] was refused; carries the item back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure: respond 503).
+    Full(T),
+    /// The queue was closed (shutdown in progress).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A mutex+condvar bounded FIFO.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (`capacity` is clamped
+    /// to at least 1 — a zero-length queue could never hand work to a
+    /// worker).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; on success returns the new depth.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever" — the worker exits.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and workers drain the
+    /// remaining items before seeing `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_load() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot re-admits pushes.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Queued work survives the close...
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // ...and only then do workers see the terminator.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = std::sync::Arc::new(BoundedQueue::<u32>::new(4));
+        let worker = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = std::sync::Arc::new(BoundedQueue::new(1024));
+        let consumed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let q = std::sync::Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        while matches!(q.try_push(i), Err(PushError::Full(_))) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let q = std::sync::Arc::clone(&q);
+                let consumed = std::sync::Arc::clone(&consumed);
+                scope.spawn(move || {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+            // Producers finish, then close to release consumers.
+            scope.spawn({
+                let q = std::sync::Arc::clone(&q);
+                let consumed = std::sync::Arc::clone(&consumed);
+                move || {
+                    while consumed.load(std::sync::atomic::Ordering::SeqCst) < 300 {
+                        std::thread::yield_now();
+                    }
+                    q.close();
+                }
+            });
+        });
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), 300);
+    }
+}

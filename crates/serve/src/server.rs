@@ -1,0 +1,386 @@
+//! The TCP accept loop, worker pool, and graceful shutdown plumbing.
+//!
+//! Architecture: one acceptor thread (the caller of [`Server::run`])
+//! pushes accepted connections into a [`BoundedQueue`]; a fixed pool of
+//! worker threads pops, parses, routes, and responds. When the queue is
+//! full the acceptor writes a `503` + `Retry-After` *inline* and closes
+//! — explicit backpressure instead of unbounded buffering.
+//!
+//! Shutdown is drain-and-exit: [`ServerHandle::shutdown`] (or the
+//! `/v1/admin/shutdown` endpoint) flips an atomic flag and nudges the
+//! acceptor with a loopback connection; the acceptor stops accepting,
+//! closes the queue, and joins the workers — which finish every already
+//! accepted request before exiting.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::api::{Api, ApiLimits};
+use crate::http::{read_request, write_response, HttpError, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::ServeStats;
+
+/// Per-connection socket read timeout: a client that stalls mid-request
+/// cannot pin a worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything the daemon needs to come up.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads; `0` = available parallelism.
+    pub workers: usize,
+    /// Bounded connection-queue depth (backpressure threshold).
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Threads each sweep computation may use.
+    pub sweep_threads: usize,
+    /// Largest accepted `opts.realizations` on sweep requests.
+    pub max_realizations: usize,
+    /// Largest accepted `opts.messages` on sweep requests.
+    pub max_messages: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 128,
+            cache_capacity: 512,
+            cache_shards: 8,
+            sweep_threads: 1,
+            max_realizations: 64,
+            max_messages: 200,
+        }
+    }
+}
+
+/// A failure bringing the daemon up or running it.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind (address in use, bad address, ...).
+    Bind(String),
+    /// An I/O failure on the listening socket itself.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(m) => write!(f, "bind: {m}"),
+            ServeError::Io(e) => write!(f, "listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Shared state between the acceptor, the workers, and handles.
+struct Shared {
+    api: Api,
+    stats: Arc<ServeStats>,
+    queue: BoundedQueue<TcpStream>,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// A cheap clone-able handle that can stop a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain-and-exit: stop accepting, finish every
+    /// queued and in-flight request, then return from [`Server::run`].
+    /// Idempotent; safe from any thread.
+    pub fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the acceptor out of its blocking accept() with a
+        // throwaway loopback connection; best-effort by design.
+        let _ = TcpStream::connect_timeout(&self.shared.local_addr, Duration::from_secs(1));
+    }
+
+    /// The address the server is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The server's own statistics (what `/metricsz` reports).
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ServeError::Bind(format!("{}: {e}", cfg.addr)))?;
+        let local_addr = listener.local_addr().map_err(ServeError::Io)?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let stats = Arc::new(ServeStats::new());
+        let api = Api::new(
+            cfg.cache_capacity,
+            cfg.cache_shards,
+            Arc::clone(&stats),
+            ApiLimits {
+                sweep_threads: cfg.sweep_threads.max(1),
+                max_realizations: cfg.max_realizations,
+                max_messages: cfg.max_messages,
+            },
+        );
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                api,
+                stats,
+                queue: BoundedQueue::new(cfg.queue_depth),
+                stop: AtomicBool::new(false),
+                local_addr,
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`] fires, then
+    /// drains and joins the workers. Consumes the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] only for listener-level failures; per-connection
+    /// errors are answered on the wire and never abort the loop.
+    pub fn run(self) -> Result<(), ServeError> {
+        obs::info!(
+            "serve",
+            "listening on {} with {} worker(s)",
+            self.shared.local_addr,
+            self.workers
+        );
+        let handle = self.handle();
+        let worker_threads: Vec<_> = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &handle_of(&shared)))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        drop(handle);
+
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                // The nudge connection (or any racing client) lands here;
+                // drop it and stop accepting.
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    obs::warn!("serve", "accept failed: {e}");
+                    continue;
+                }
+            };
+            match self.shared.queue.try_push(stream) {
+                Ok(_depth) => {
+                    self.shared
+                        .stats
+                        .gauge(&self.shared.stats.queue_depth, "serve.queue_depth", 1);
+                }
+                Err(PushError::Full(stream) | PushError::Closed(stream)) => {
+                    reject(&self.shared, stream);
+                }
+            }
+        }
+
+        self.shared.queue.close();
+        for t in worker_threads {
+            let _ = t.join();
+        }
+        obs::info!("serve", "drained and stopped");
+        Ok(())
+    }
+}
+
+fn handle_of(shared: &Arc<Shared>) -> ServerHandle {
+    ServerHandle {
+        shared: Arc::clone(shared),
+    }
+}
+
+/// Sheds one connection with `503` + `Retry-After: 1`; best-effort.
+fn reject(shared: &Shared, mut stream: TcpStream) {
+    shared.stats.bump(&shared.stats.rejected, "serve.rejected");
+    let resp = Response {
+        retry_after: Some(1),
+        ..Response::error(503, "queue full, retry shortly")
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = write_response(&mut stream, &resp);
+    let _ = stream.flush();
+}
+
+fn worker_loop(shared: &Shared, handle: &ServerHandle) {
+    while let Some(stream) = shared.queue.pop() {
+        shared
+            .stats
+            .gauge(&shared.stats.queue_depth, "serve.queue_depth", -1);
+        shared
+            .stats
+            .gauge(&shared.stats.inflight, "serve.inflight", 1);
+        let shutdown_after = handle_connection(shared, stream);
+        shared
+            .stats
+            .gauge(&shared.stats.inflight, "serve.inflight", -1);
+        if shutdown_after {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Serves one connection end to end; returns whether the response asked
+/// for a server shutdown.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let started = Instant::now();
+    let (response, class) = match read_request(&mut stream) {
+        Ok(req) => {
+            let class = Api::class_of(&req.path);
+            (shared.api.handle(&req), class)
+        }
+        Err(HttpError::TooLarge(m)) => (Response::error(413, &m), "other"),
+        Err(HttpError::Malformed(m)) => (Response::error(400, &m), "other"),
+        Err(HttpError::Io(e)) => {
+            // Nothing parseable arrived; log and drop without a response.
+            obs::debug!("serve", "read failed: {e}");
+            return false;
+        }
+    };
+    shared
+        .stats
+        .observe(class, response.status, started.elapsed().as_secs_f64());
+    if let Err(e) = write_response(&mut stream, &response) {
+        obs::debug!("serve", "write failed: {e}");
+    }
+    response.shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, write_request};
+
+    fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_request(&mut stream, method, path, body).unwrap();
+        read_response(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn serves_health_and_shuts_down_gracefully() {
+        let server = Server::bind(&ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let resp = roundtrip(addr, "GET", "/healthz", "");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"status\":\"ok\"}");
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        // After shutdown the port no longer accepts.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn admin_shutdown_endpoint_stops_the_server() {
+        let server = Server::bind(&ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run());
+        let resp = roundtrip(addr, "POST", "/v1/admin/shutdown", "");
+        assert_eq!(resp.status, 200);
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bind_failure_is_reported() {
+        let taken = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = taken.local_addr().unwrap();
+        let err = Server::bind(&ServeConfig {
+            addr: addr.to_string(),
+            ..ServeConfig::default()
+        });
+        assert!(matches!(err, Err(ServeError::Bind(_))));
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_server_survives() {
+        let server = Server::bind(&ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 400);
+
+        // The server still serves after the bad client.
+        let resp = roundtrip(addr, "GET", "/healthz", "");
+        assert_eq!(resp.status, 200);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-instance serving statistics.
+//!
+//! The daemon keeps its own authoritative counters/gauges/latency
+//! histograms (so `/metricsz` reflects exactly this server instance,
+//! independent of whether the process-global [`obs`] registry is
+//! enabled), and *mirrors* every event into the global registry under
+//! `serve.*` names when metrics are on — that way `--metrics-out`
+//! JSONL snapshots interleave serving telemetry with experiment
+//! telemetry for free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Lock-free event tallies plus per-endpoint-class latency histograms.
+pub struct ServeStats {
+    started: Instant,
+    /// Total requests that reached the router (rejects excluded).
+    pub requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub client_errors: AtomicU64,
+    /// Responses with a 5xx status.
+    pub server_errors: AtomicU64,
+    /// Connections shed with 503 at the acceptor (queue full).
+    pub rejected: AtomicU64,
+    /// Sweep responses served from the LRU cache.
+    pub cache_hits: AtomicU64,
+    /// Sweep requests not present in the cache.
+    pub cache_misses: AtomicU64,
+    /// Sweep computations actually executed (single-flight leaders).
+    pub sweep_computes: AtomicU64,
+    /// Sweep requests that coalesced onto an in-flight computation.
+    pub sweep_coalesced: AtomicU64,
+    /// Connections currently being handled by a worker.
+    pub inflight: AtomicI64,
+    /// Connections currently waiting in the bounded queue.
+    pub queue_depth: AtomicI64,
+    latency: Mutex<BTreeMap<String, obs::Histogram>>,
+}
+
+impl ServeStats {
+    /// Fresh stats anchored at "now" for uptime reporting.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            sweep_computes: AtomicU64::new(0),
+            sweep_coalesced: AtomicU64::new(0),
+            inflight: AtomicI64::new(0),
+            queue_depth: AtomicI64::new(0),
+            latency: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Bumps a counter here and mirrors it to the global registry.
+    pub fn bump(&self, which: &AtomicU64, obs_name: &str) {
+        which.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add(obs_name, 1);
+    }
+
+    /// Adjusts a gauge here and mirrors the new level globally.
+    pub fn gauge(&self, which: &AtomicI64, obs_name: &str, delta: i64) {
+        let new = which.fetch_add(delta, Ordering::Relaxed) + delta;
+        obs::gauge_set(obs_name, new);
+    }
+
+    /// Records one request's latency under its endpoint class and tallies
+    /// the status family.
+    pub fn observe(&self, class: &str, status: u16, seconds: f64) {
+        self.bump(&self.requests, "serve.requests");
+        match status {
+            200..=299 => self.bump(&self.ok, "serve.ok"),
+            400..=499 => self.bump(&self.client_errors, "serve.client_errors"),
+            _ => self.bump(&self.server_errors, "serve.server_errors"),
+        }
+        self.latency
+            .lock()
+            .unwrap()
+            .entry(class.to_string())
+            .or_default()
+            .record(seconds);
+        obs::record(&format!("serve.latency_secs.{class}"), seconds);
+    }
+
+    /// Point-in-time snapshot for `/metricsz`.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (name, v) in [
+            ("requests", &self.requests),
+            ("ok", &self.ok),
+            ("client_errors", &self.client_errors),
+            ("server_errors", &self.server_errors),
+            ("rejected", &self.rejected),
+            ("cache_hits", &self.cache_hits),
+            ("cache_misses", &self.cache_misses),
+            ("sweep_computes", &self.sweep_computes),
+            ("sweep_coalesced", &self.sweep_coalesced),
+        ] {
+            counters.insert(name.to_string(), v.load(Ordering::Relaxed));
+        }
+        let mut gauges = BTreeMap::new();
+        gauges.insert(
+            "inflight".to_string(),
+            self.inflight.load(Ordering::Relaxed),
+        );
+        gauges.insert(
+            "queue_depth".to_string(),
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        let endpoints = self
+            .latency
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(class, hist)| (class.clone(), hist.summary()))
+            .collect();
+        StatsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            counters,
+            gauges,
+            endpoints,
+        }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
+    }
+}
+
+/// The `/metricsz` response body.
+#[derive(Debug, Serialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Monotonic event totals since start.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous levels.
+    pub gauges: BTreeMap<String, i64>,
+    /// Latency summaries (seconds) keyed by endpoint class.
+    pub endpoints: BTreeMap<String, obs::HistSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_classifies_statuses_and_records_latency() {
+        let stats = ServeStats::new();
+        stats.observe("model", 200, 0.001);
+        stats.observe("model", 200, 0.002);
+        stats.observe("model", 404, 0.001);
+        stats.observe("sweep", 500, 0.5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.counters["requests"], 4);
+        assert_eq!(snap.counters["ok"], 2);
+        assert_eq!(snap.counters["client_errors"], 1);
+        assert_eq!(snap.counters["server_errors"], 1);
+        assert_eq!(snap.endpoints["model"].count, 3);
+        assert_eq!(snap.endpoints["sweep"].count, 1);
+        assert!(snap.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn gauges_track_levels_not_totals() {
+        let stats = ServeStats::new();
+        stats.gauge(&stats.inflight, "serve.test_inflight", 1);
+        stats.gauge(&stats.inflight, "serve.test_inflight", 1);
+        stats.gauge(&stats.inflight, "serve.test_inflight", -1);
+        assert_eq!(stats.snapshot().gauges["inflight"], 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let stats = ServeStats::new();
+        stats.observe("health", 200, 0.0001);
+        let text = serde_json::to_string(&stats.snapshot()).unwrap();
+        assert!(text.contains("\"uptime_secs\""));
+        assert!(text.contains("\"health\""));
+    }
+}

@@ -8,6 +8,10 @@
 //! onion-dtn fault-sweep    [same flags; sweeps fault intensity 0 -> 1]
 //! onion-dtn trace (cambridge|infocom|PATH) [--t 3600]
 //! onion-dtn plan  --target 0.95 [--g 5] [--k 3] [--l 1]
+//! onion-dtn serve [--port 7070] [--host 127.0.0.1] [--workers 0]
+//!                 [--queue 128] [--cache 512] [--shards 8]
+//! onion-dtn loadgen [--addr 127.0.0.1:7070] [--workers 2] [--duration 10]
+//!                   [--sweep-share 0.1] [--seed 1] [--report out.json] [--shutdown]
 //! ```
 //!
 //! Fault-injection flags (any experiment command): `--fault-churn <rate>`
@@ -35,7 +39,7 @@ use onion_dtn::prelude::*;
 
 fn print_usage() {
     eprintln!(
-        "usage: onion-dtn <point|deadline-sweep|security-sweep|fault-sweep|trace|plan> [flags]\n\
+        "usage: onion-dtn <point|deadline-sweep|security-sweep|fault-sweep|trace|plan|serve|loadgen> [flags]\n\
          \n\
          common flags: --n <nodes> --g <group size> --k <onions> --l <copies>\n\
          \t--t <deadline> --c <compromised> --messages <m> --realizations <r> --seed <s>\n\
@@ -47,6 +51,11 @@ fn print_usage() {
          \t--resume <path> (JSONL checkpoint; finished points are skipped on restart)\n\
          trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
          plan:  onion-dtn plan --target 0.95 [--g --k --l]  (deadline for target delivery)\n\
+         serve: onion-dtn serve [--port 7070 --host 127.0.0.1 --workers 0 --queue 128\n\
+         \t--cache 512 --shards 8 --sweep-threads 1] (HTTP daemon; /healthz /metricsz\n\
+         \t/v1/model/* /v1/sweep/* — POST /v1/admin/shutdown drains and exits)\n\
+         loadgen: onion-dtn loadgen [--addr 127.0.0.1:7070 --workers 2 --duration 10\n\
+         \t--sweep-share 0.1 --seed 1 --report out.json --shutdown]\n\
          telemetry: --metrics-out <path> (JSONL per experiment point)\n\
          \t--progress (live trials/s + ETA on stderr)  --quiet (errors only)\n\
          exit codes: 0 ok | 2 usage | 3 I/O | 4 trial failed its retry"
@@ -54,7 +63,13 @@ fn print_usage() {
 }
 
 /// Flags that take no value; present means `"true"`.
-const BOOL_FLAGS: &[&str] = &["progress", "quiet", "keep-going", "fault-forget"];
+const BOOL_FLAGS: &[&str] = &[
+    "progress",
+    "quiet",
+    "keep-going",
+    "fault-forget",
+    "shutdown",
+];
 
 /// A CLI failure carrying its process exit code: usage errors exit 2,
 /// I/O errors 3, and quarantined trial failures 4.
@@ -206,11 +221,7 @@ fn open_checkpoint(
     let Some(path) = flags.get("resume") else {
         return Ok(None);
     };
-    let fp_opts = ExperimentOptions {
-        threads: 0,
-        ..opts.clone()
-    };
-    let fingerprint = Checkpoint::fingerprint(&(command, cfg, &fp_opts));
+    let fingerprint = Checkpoint::fingerprint(&(command, cfg, &opts.canonical()));
     let cp = Checkpoint::open(std::path::Path::new(path), &fingerprint)
         .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
     if cp.resumed_points() > 0 {
@@ -426,12 +437,13 @@ fn cmd_fault_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     // it joins the fingerprint explicitly.
     let mut cp = match flags.get("resume") {
         Some(path) => {
-            let fp_opts = ExperimentOptions {
-                threads: 0,
-                ..opts.clone()
-            };
-            let fp =
-                Checkpoint::fingerprint(&("fault-sweep", &cfg, &fp_opts, &base, &intensities[..]));
+            let fp = Checkpoint::fingerprint(&(
+                "fault-sweep",
+                &cfg,
+                &opts.canonical(),
+                &base,
+                &intensities[..],
+            ));
             let cp = Checkpoint::open(std::path::Path::new(path), &fp)
                 .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
             if cp.resumed_points() > 0 {
@@ -495,6 +507,73 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let host: String = flag(flags, "host", "127.0.0.1".to_string())?;
+    let port: u16 = flag(flags, "port", 7070u16)?;
+    let cfg = ServeConfig {
+        addr: format!("{host}:{port}"),
+        workers: flag(flags, "workers", 0usize)?,
+        queue_depth: flag(flags, "queue", 128usize)?,
+        cache_capacity: flag(flags, "cache", 512usize)?,
+        cache_shards: flag(flags, "shards", 8usize)?,
+        sweep_threads: flag(flags, "sweep-threads", 1usize)?,
+        max_realizations: flag(flags, "max-realizations", 64usize)?,
+        max_messages: flag(flags, "max-messages", 200usize)?,
+    };
+    let server = Server::bind(&cfg).map_err(|e| CliError::Io(serve_error_text(e)))?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr} (POST /v1/admin/shutdown to drain and exit)");
+    server.run().map_err(|e| CliError::Io(serve_error_text(e)))
+}
+
+fn serve_error_text(e: ServeError) -> String {
+    match e {
+        ServeError::Bind(msg) => msg,
+        ServeError::Io(err) => err.to_string(),
+    }
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let cfg = LoadgenConfig {
+        addr: flag(flags, "addr", "127.0.0.1:7070".to_string())?,
+        workers: flag(flags, "workers", 2usize)?,
+        duration_secs: flag(flags, "duration", 10.0f64)?,
+        sweep_share: flag(flags, "sweep-share", 0.1f64)?,
+        seed: flag(flags, "seed", 1u64)?,
+        shutdown_after: flags.contains_key("shutdown"),
+    };
+    let report = run_loadgen(&cfg).map_err(CliError::Usage)?;
+    println!(
+        "loadgen: {} requests in {:.1}s ({:.1} req/s) — ok {}, rejected {}, failed {}",
+        report.total,
+        report.elapsed_secs,
+        report.throughput_rps,
+        report.ok,
+        report.rejected,
+        report.failed,
+    );
+    for (class, s) in &report.classes {
+        println!(
+            "  {class:<8} n={:<6} p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            s.count, s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms
+        );
+    }
+    if let Some(path) = flags.get("report") {
+        let json = serde_json::to_string(&report)
+            .map_err(|e| CliError::Io(format!("cannot serialize report: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        println!("report written to {path}");
+    }
+    if report.failed > 0 {
+        return Err(CliError::Io(format!(
+            "{} requests failed (non-2xx/503 or transport error)",
+            report.failed
+        )));
+    }
+    Ok(())
+}
+
 fn dispatch(
     command: &str,
     positional: &[String],
@@ -507,6 +586,8 @@ fn dispatch(
         "fault-sweep" => cmd_fault_sweep(flags),
         "trace" => cmd_trace(positional, flags),
         "plan" => cmd_plan(flags),
+        "serve" => cmd_serve(flags),
+        "loadgen" => cmd_loadgen(flags),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }

@@ -18,7 +18,10 @@
 //! * [`onion_routing`] — the paper's protocol, adversary model, realized
 //!   metrics, and the experiment harness;
 //! * [`analysis`] — delivery (hypoexponential opportunistic onion path),
-//!   cost, traceable-rate, and path-anonymity models.
+//!   cost, traceable-rate, and path-anonymity models;
+//! * [`serve`] — the dependency-free HTTP serving daemon (cached,
+//!   single-flight Monte-Carlo sweeps + analytical models) and its
+//!   closed-loop load generator.
 //!
 //! # Quick start
 //!
@@ -47,12 +50,14 @@ pub use contact_graph;
 pub use dtn_sim;
 pub use onion_crypto;
 pub use onion_routing;
+pub use serve;
 pub use traces;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use analysis::{
-        delivery_rate, delivery_rate_multicopy, expected_traceable_rate, path_anonymity,
+        deadline_for_target, delay_quantile, delivery_rate, delivery_rate_multicopy,
+        expected_traceable_rate, hypoexp_cdf, hypoexp_pdf, median_delay, path_anonymity,
         uniform_onion_path_rates, HypoExp,
     };
     pub use contact_graph::{waypoint_schedule, WaypointConfig};
@@ -75,6 +80,9 @@ pub mod prelude {
         ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting, PointSummary,
         ProtocolConfig, RouteSelection, RunnerConfig, SecuritySweepRow, SeedDomain, TrialFailure,
         TRIAL_FAILURE_ABORT,
+    };
+    pub use serve::{
+        run_loadgen, LoadReport, LoadgenConfig, ServeConfig, ServeError, Server, ServerHandle,
     };
     pub use traces::{ActivityPattern, HaggleParser, SyntheticTraceBuilder};
 }

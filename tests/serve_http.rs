@@ -1,0 +1,237 @@
+//! End-to-end tests of the serving daemon over real TCP sockets.
+//!
+//! Each test binds port 0 (OS-assigned), runs the server on a
+//! background thread, and talks to it with the crate's own minimal
+//! HTTP client helpers. Covered here, per DESIGN.md §5:
+//!
+//! * model responses are byte-identical to offline evaluation;
+//! * N identical concurrent sweep requests compute exactly once
+//!   (single-flight), proven via the serve counters;
+//! * a saturated request queue sheds load with `503` + `Retry-After`;
+//! * shutdown drains the in-flight request before the listener dies.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+
+use onion_dtn::prelude::*;
+use onion_dtn::serve::http::{read_response, write_request, Response};
+use onion_dtn::serve::{ServeConfig, Server, ServerHandle};
+
+/// Binds port 0 and runs the server on a background thread.
+fn start(cfg: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..cfg
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+/// One full request/response exchange on a fresh connection.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, method, path, body).expect("write request");
+    read_response(&mut stream).expect("read response")
+}
+
+/// The canonical sweep request body used by the concurrency tests:
+/// full structs serialized with the same serde the server parses with.
+fn sweep_body(cfg: &ProtocolConfig, opts: &ExperimentOptions) -> String {
+    format!(
+        "{{\"config\":{},\"opts\":{}}}",
+        serde_json::to_string(cfg).unwrap(),
+        serde_json::to_string(opts).unwrap(),
+    )
+}
+
+/// A sweep heavy enough (full Table II graph) to reliably hold a
+/// worker for several seconds in debug builds — the saturation and
+/// drain tests need the daemon to be genuinely busy while the test
+/// opens more connections.
+fn slow_point() -> (ProtocolConfig, ExperimentOptions) {
+    let cfg = ProtocolConfig {
+        deadline: TimeDelta::new(720.0),
+        ..ProtocolConfig::table2_defaults()
+    };
+    let opts = ExperimentOptions {
+        messages: 8,
+        realizations: 4,
+        seed: 0x5EED,
+        ..Default::default()
+    };
+    (cfg, opts)
+}
+
+fn small_point() -> (ProtocolConfig, ExperimentOptions) {
+    let cfg = ProtocolConfig {
+        nodes: 40,
+        group_size: 3,
+        onions: 2,
+        deadline: TimeDelta::new(360.0),
+        compromised: 4,
+        ..ProtocolConfig::table2_defaults()
+    };
+    let opts = ExperimentOptions {
+        messages: 6,
+        realizations: 3,
+        seed: 0xA5A5,
+        ..Default::default()
+    };
+    (cfg, opts)
+}
+
+#[test]
+fn model_response_is_byte_identical_to_offline_evaluation() {
+    let (handle, join) = start(ServeConfig::default());
+    let addr = handle.local_addr();
+
+    let body = "{\"lambda\":0.1,\"group_size\":4,\"onions\":2,\"copies\":2,\"deadline\":360.0}";
+    let served = exchange(addr, "POST", "/v1/model/delivery", body);
+    assert_eq!(served.status, 200, "{}", served.body);
+
+    // The exact same evaluation, performed offline.
+    let rates = analysis::uniform_onion_path_rates(0.1, 4, 2).unwrap();
+    let expected = onion_dtn::serve::api::DeliveryModel {
+        lambda: 0.1,
+        group_size: 4,
+        onions: 2,
+        copies: 2,
+        deadline: 360.0,
+        delivery_rate: analysis::delivery_rate_multicopy(&rates, 2, 360.0).unwrap(),
+        mean_delay: analysis::expected_delay(&rates).unwrap(),
+        median_delay: analysis::median_delay(&rates).unwrap(),
+        rates,
+    };
+    assert_eq!(served.body, serde_json::to_string(&expected).unwrap());
+
+    // And the request is a pure function of its body: repeating it
+    // yields the identical bytes again.
+    let again = exchange(addr, "POST", "/v1/model/delivery", body);
+    assert_eq!(again.body, served.body);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_identical_sweeps_compute_exactly_once() {
+    const CLIENTS: usize = 6;
+    let (handle, join) = start(ServeConfig {
+        workers: CLIENTS + 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+    let (cfg, opts) = small_point();
+    let body = sweep_body(&cfg, &opts);
+
+    // Fire all clients through a barrier so they overlap the (multi-
+    // second) Monte-Carlo run; one leads, the rest coalesce.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let barrier = Arc::clone(&barrier);
+            let body = body.clone();
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let r = exchange(addr, "POST", "/v1/sweep/point", &body);
+                assert_eq!(r.status, 200, "{}", r.body);
+                r.body
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = handle.stats();
+    assert_eq!(stats.sweep_computes.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        stats.sweep_coalesced.load(Ordering::SeqCst),
+        (CLIENTS - 1) as u64
+    );
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0]);
+    }
+
+    // Every coalesced (and cached) response is bit-identical to a
+    // fresh offline run of the same configuration.
+    let offline = serde_json::to_string(&run_random_graph_point(&cfg, &opts)).unwrap();
+    assert_eq!(bodies[0], offline);
+
+    // A later identical request is a cache hit — still one compute.
+    let cached = exchange(addr, "POST", "/v1/sweep/point", &body);
+    assert_eq!(cached.body, offline);
+    assert_eq!(stats.sweep_computes.load(Ordering::SeqCst), 1);
+    assert!(stats.cache_hits.load(Ordering::SeqCst) >= 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_503() {
+    // One worker, a one-slot queue: the third concurrent connection
+    // has nowhere to go and must be refused at the door.
+    let (handle, join) = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+    let (cfg, opts) = slow_point();
+    let body = sweep_body(&cfg, &opts);
+
+    // Occupy the worker with a slow sweep...
+    let mut busy = TcpStream::connect(addr).expect("connect busy");
+    write_request(&mut busy, "POST", "/v1/sweep/point", &body).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    // ...fill the single queue slot...
+    let mut queued = TcpStream::connect(addr).expect("connect queued");
+    write_request(&mut queued, "GET", "/healthz", "").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // ...and watch the next connection get shed immediately.
+    let mut shed = TcpStream::connect(addr).expect("connect shed");
+    let refusal = read_response(&mut shed).expect("read 503");
+    assert_eq!(refusal.status, 503);
+    assert_eq!(refusal.retry_after, Some(1));
+    assert!(handle.stats().rejected.load(Ordering::SeqCst) >= 1);
+
+    // The accepted requests were unaffected by the shedding.
+    assert_eq!(read_response(&mut busy).unwrap().status, 200);
+    assert_eq!(read_response(&mut queued).unwrap().status, 200);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_request() {
+    let (handle, join) = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+    let (cfg, opts) = slow_point();
+    let body = sweep_body(&cfg, &opts);
+
+    // Get a slow sweep in flight, then pull the plug mid-compute.
+    let mut inflight = TcpStream::connect(addr).expect("connect");
+    write_request(&mut inflight, "POST", "/v1/sweep/point", &body).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    handle.shutdown();
+
+    // The in-flight request is still served to completion, with the
+    // full (offline-identical) payload.
+    let served = read_response(&mut inflight).expect("drained response");
+    assert_eq!(served.status, 200);
+    let offline = serde_json::to_string(&run_random_graph_point(&cfg, &opts)).unwrap();
+    assert_eq!(served.body, offline);
+
+    // Only then does the server exit; the port is closed afterwards.
+    join.join().unwrap();
+    assert!(TcpStream::connect(addr).is_err());
+}
