@@ -5,7 +5,7 @@
 //! groups deliver more (more forwarding opportunities per hop).
 
 use bench::{check_trend, deadline_sweep_minutes, default_opts, FigureTable};
-use onion_routing::{delivery_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let deadlines = deadline_sweep_minutes();
@@ -18,7 +18,11 @@ fn main() {
                 group_size: g,
                 ..ProtocolConfig::table2_defaults()
             };
-            delivery_sweep_random_graph(&cfg, &deadlines, &default_opts())
+            SweepSpec::random_graph(cfg.clone())
+                .over_deadlines(&deadlines)
+                .run(&default_opts())
+                .into_delivery()
+                .expect("delivery rows")
         })
         .collect();
 

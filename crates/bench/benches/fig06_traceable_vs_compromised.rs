@@ -5,7 +5,7 @@
 //! percentage; more onion routers lower the traceable rate.
 
 use bench::{check_trend, compromised_sweep, default_opts, FigureTable};
-use onion_routing::{security_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let cs = compromised_sweep(100);
@@ -18,7 +18,11 @@ fn main() {
                 onions: k,
                 ..ProtocolConfig::table2_defaults()
             };
-            security_sweep_random_graph(&cfg, &cs, 3, &default_opts())
+            SweepSpec::random_graph(cfg.clone())
+                .over_security(&cs, 3)
+                .run(&default_opts())
+                .into_security()
+                .expect("security rows")
         })
         .collect();
 

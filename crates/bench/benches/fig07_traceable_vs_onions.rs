@@ -5,7 +5,7 @@
 //! compromised segments shrink relative to the path length).
 
 use bench::{check_trend, sweep_opts, FigureTable};
-use onion_routing::{security_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let ks: Vec<usize> = (1..=10).collect();
@@ -19,7 +19,11 @@ fn main() {
                 onions: k,
                 ..ProtocolConfig::table2_defaults()
             };
-            security_sweep_random_graph(&cfg, &cs, 3, &sweep_opts())
+            SweepSpec::random_graph(cfg.clone())
+                .over_security(&cs, 3)
+                .run(&sweep_opts())
+                .into_security()
+                .expect("security rows")
         })
         .collect();
 

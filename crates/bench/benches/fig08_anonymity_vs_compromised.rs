@@ -6,7 +6,7 @@
 //! next router to g candidates).
 
 use bench::{check_trend, compromised_sweep, default_opts, FigureTable};
-use onion_routing::{security_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let cs = compromised_sweep(100);
@@ -19,7 +19,11 @@ fn main() {
                 group_size: g,
                 ..ProtocolConfig::table2_defaults()
             };
-            security_sweep_random_graph(&cfg, &cs, 3, &default_opts())
+            SweepSpec::random_graph(cfg.clone())
+                .over_security(&cs, 3)
+                .run(&default_opts())
+                .into_security()
+                .expect("security rows")
         })
         .collect();
 

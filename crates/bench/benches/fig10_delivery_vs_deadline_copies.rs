@@ -5,7 +5,7 @@
 //! (each per-hop rate is multiplied by L, Eq. 7).
 
 use bench::{check_trend, deadline_sweep_minutes, default_opts, FigureTable};
-use onion_routing::{delivery_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let deadlines = deadline_sweep_minutes();
@@ -18,7 +18,11 @@ fn main() {
                 copies: l,
                 ..ProtocolConfig::table2_defaults()
             };
-            delivery_sweep_random_graph(&cfg, &deadlines, &default_opts())
+            SweepSpec::random_graph(cfg.clone())
+                .over_deadlines(&deadlines)
+                .run(&default_opts())
+                .into_delivery()
+                .expect("delivery rows")
         })
         .collect();
 

@@ -5,7 +5,7 @@
 //! single-copy dominates multi-copy throughout.
 
 use bench::{check_trend, sweep_opts, FigureTable};
-use onion_routing::{security_sweep_random_graph, ProtocolConfig};
+use onion_routing::{ProtocolConfig, SweepSpec};
 
 fn main() {
     let gs: Vec<usize> = (1..=10).collect();
@@ -23,7 +23,11 @@ fn main() {
                         copies: l,
                         ..ProtocolConfig::table2_defaults()
                     };
-                    security_sweep_random_graph(&cfg, &[c], 3, &sweep_opts())
+                    SweepSpec::random_graph(cfg.clone())
+                        .over_security(&[c], 3)
+                        .run(&sweep_opts())
+                        .into_security()
+                        .expect("security rows")
                         .pop()
                         .expect("one row")
                 })

@@ -6,7 +6,7 @@
 
 use bench::{check_trend, threads_from_env, FigureTable};
 use contact_graph::TimeDelta;
-use onion_routing::{delivery_sweep_schedule_with_rates, ExperimentOptions, ProtocolConfig};
+use onion_routing::{ExperimentOptions, ProtocolConfig, SweepSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use traces::{estimate_active_rates, ActivityPattern, SyntheticTraceBuilder};
@@ -44,7 +44,11 @@ fn main() {
     let deadlines = [
         60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 2700.0, 3600.0,
     ];
-    let rows = delivery_sweep_schedule_with_rates(&trace, &trained, &cfg, &deadlines, &opts);
+    let rows = SweepSpec::trace(cfg.clone(), trace.clone(), trained.clone())
+        .over_deadlines(&deadlines)
+        .run(&opts)
+        .into_delivery()
+        .expect("delivery rows");
 
     let mut table = FigureTable::new(
         "Figure 14: Delivery rate w.r.t. deadline, Cambridge trace (K = 3, g = 1, L = 1)",

@@ -7,7 +7,7 @@
 
 use bench::{check_trend, FigureTable};
 use contact_graph::TimeDelta;
-use onion_routing::{security_sweep_schedule, ExperimentOptions, ProtocolConfig};
+use onion_routing::{ExperimentOptions, ProtocolConfig, SweepSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use traces::SyntheticTraceBuilder;
@@ -33,7 +33,11 @@ fn main() {
     };
 
     let cs = [1usize, 2, 3, 4, 5, 6];
-    let rows = security_sweep_schedule(&trace, &cfg, &cs, 4, &opts);
+    let rows = SweepSpec::schedule(cfg.clone(), trace.clone())
+        .over_security(&cs, 4)
+        .run(&opts)
+        .into_security()
+        .expect("security rows");
 
     let mut table = FigureTable::new(
         "Figure 16: Path anonymity w.r.t. compromised %, Cambridge trace (L = 1)",

@@ -8,7 +8,7 @@
 
 use bench::{check_trend, threads_from_env, FigureTable};
 use contact_graph::TimeDelta;
-use onion_routing::{delivery_sweep_schedule, ExperimentOptions, ProtocolConfig};
+use onion_routing::{ExperimentOptions, ProtocolConfig, SweepSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use traces::SyntheticTraceBuilder;
@@ -49,7 +49,11 @@ fn main() {
                 deadline: TimeDelta::new(259_200.0),
                 ..ProtocolConfig::table2_defaults()
             };
-            delivery_sweep_schedule(&trace, &cfg, &deadlines, &opts)
+            SweepSpec::schedule(cfg.clone(), trace.clone())
+                .over_deadlines(&deadlines)
+                .run(&opts)
+                .into_delivery()
+                .expect("delivery rows")
         })
         .collect();
 

@@ -7,7 +7,7 @@
 
 use bench::{check_trend, FigureTable};
 use contact_graph::TimeDelta;
-use onion_routing::{security_sweep_schedule, ExperimentOptions, ProtocolConfig};
+use onion_routing::{ExperimentOptions, ProtocolConfig, SweepSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use traces::SyntheticTraceBuilder;
@@ -38,7 +38,11 @@ fn main() {
                 deadline: TimeDelta::new(259_200.0),
                 ..ProtocolConfig::table2_defaults()
             };
-            security_sweep_schedule(&trace, &cfg, &cs, 4, &opts)
+            SweepSpec::schedule(cfg.clone(), trace.clone())
+                .over_security(&cs, 4)
+                .run(&opts)
+                .into_security()
+                .expect("security rows")
         })
         .collect();
 

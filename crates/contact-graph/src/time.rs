@@ -37,12 +37,14 @@ impl Time {
     /// # Panics
     ///
     /// Panics if `t` is NaN.
+    #[inline]
     pub fn new(t: f64) -> Time {
         assert!(!t.is_nan(), "Time must not be NaN");
         Time(t)
     }
 
     /// Raw value in time units.
+    #[inline]
     pub fn as_f64(self) -> f64 {
         self.0
     }
@@ -62,12 +64,14 @@ impl TimeDelta {
     /// # Panics
     ///
     /// Panics if `d` is NaN.
+    #[inline]
     pub fn new(d: f64) -> TimeDelta {
         assert!(!d.is_nan(), "TimeDelta must not be NaN");
         TimeDelta(d)
     }
 
     /// Raw value in time units.
+    #[inline]
     pub fn as_f64(self) -> f64 {
         self.0
     }
@@ -109,6 +113,7 @@ impl Rate {
     }
 
     /// Raw value (events per time unit).
+    #[inline]
     pub fn as_f64(self) -> f64 {
         self.0
     }
@@ -123,6 +128,7 @@ impl Rate {
     }
 
     /// Whether the rate is exactly zero.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0.0
     }
@@ -141,6 +147,7 @@ macro_rules! impl_eq_ord {
     ($ty:ident) => {
         impl Eq for $ty {}
         impl Ord for $ty {
+            #[inline]
             fn cmp(&self, other: &Self) -> Ordering {
                 // Constructors reject NaN, so partial_cmp cannot fail.
                 self.0
@@ -149,6 +156,7 @@ macro_rules! impl_eq_ord {
             }
         }
         impl PartialOrd for $ty {
+            #[inline]
             fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
                 Some(self.cmp(other))
             }
@@ -162,12 +170,14 @@ impl_eq_ord!(Rate);
 
 impl Add<TimeDelta> for Time {
     type Output = Time;
+    #[inline]
     fn add(self, rhs: TimeDelta) -> Time {
         Time::new(self.0 + rhs.0)
     }
 }
 
 impl AddAssign<TimeDelta> for Time {
+    #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
         *self = *self + rhs;
     }
@@ -189,6 +199,7 @@ impl Sub for Time {
 
 impl Add for TimeDelta {
     type Output = TimeDelta;
+    #[inline]
     fn add(self, rhs: TimeDelta) -> TimeDelta {
         TimeDelta::new(self.0 + rhs.0)
     }

@@ -25,7 +25,8 @@ impl RoutingProtocol for DirectDelivery {
 
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|(id, _)| {
                 !view.is_delivered(*id) && view.message(*id).destination == view.peer()
             })
@@ -50,7 +51,8 @@ impl RoutingProtocol for Epidemic {
 
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|(id, _)| !view.is_delivered(*id) && !view.peer_has(*id))
             .map(|(id, _)| Forward {
                 message: id,
@@ -114,7 +116,7 @@ impl RoutingProtocol for SprayAndWait {
 
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         let mut out = Vec::new();
-        for (id, copy) in view.carried() {
+        for &(id, copy) in view.carried() {
             if view.is_delivered(id) {
                 continue;
             }
@@ -168,7 +170,8 @@ impl RoutingProtocol for FirstContact {
 
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|(id, _)| !view.is_delivered(*id) && !view.peer_has(*id))
             .map(|(id, _)| Forward {
                 message: id,

@@ -5,7 +5,27 @@
 //! statistics the experiments need (delivery times, transmission counts,
 //! and the full forwarding log from which realized routing paths are
 //! reconstructed for the security analyses).
+//!
+//! # Hot-path layout
+//!
+//! Monte-Carlo sweeps run this engine hundreds of thousands of times, so
+//! per-trial state lives in a dense, reusable [`SimState`] arena rather
+//! than per-run maps:
+//!
+//! * every message id is assigned a *rank* (its position in the sorted id
+//!   list) and all per-message state — metadata, precomputed expiry,
+//!   delivery time, transmission count — is a `Vec` indexed by rank;
+//! * per-node buffers are id-sorted `Vec`s, which iterate in exactly the
+//!   ascending-id order the previous `BTreeMap` representation did;
+//! * the per-node "seen" summary vectors are one flat bitset.
+//!
+//! A thread-local arena keeps these allocations alive between trials on
+//! the same worker thread. None of this changes observable behaviour: the
+//! engine draws the same RNG sequence, applies forwards in the same order,
+//! and reports are assembled in the same ascending-id order, so results
+//! are bit-identical to the map-based implementation.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
@@ -91,20 +111,132 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Dense per-trial simulation state.
+///
+/// Per-message state is keyed by the message id's rank in the sorted id
+/// list; per-node buffers are id-sorted vectors. `reset` clears everything
+/// while keeping allocations, so a thread-local instance serves as a trial
+/// arena across an entire sweep.
+#[derive(Default)]
 struct SimState {
-    messages: BTreeMap<MessageId, Message>,
-    /// Per-node buffer: message id → copy state.
-    buffers: Vec<BTreeMap<MessageId, CopyState>>,
-    /// Per-node set of message ids ever carried.
-    seen: Vec<HashSet<MessageId>>,
-    /// Per-node arrival time of each buffered copy — maintained only
-    /// when churn faults are active (crash wipes destroy copies that
-    /// arrived at or before the crash instant). Empty otherwise.
-    arrivals: Vec<BTreeMap<MessageId, Time>>,
-    delivered: BTreeMap<MessageId, Time>,
-    transmissions: BTreeMap<MessageId, u64>,
+    /// All validated message ids, ascending; the index into this list is
+    /// the rank used by every per-message vector below.
+    ids: Vec<MessageId>,
+    /// Message metadata, sorted by id (parallel to `ids`).
+    msgs: Vec<Message>,
+    /// Precomputed `created + deadline` per message.
+    expires: Vec<Time>,
+    /// Whether the message has been injected (messages created after the
+    /// horizon never are, and stay out of the report's message list).
+    materialized: Vec<bool>,
+    delivered: Vec<Option<Time>>,
+    transmissions: Vec<u64>,
+    /// Per-node buffer: id-sorted `(message, copy state)` pairs.
+    buffers: Vec<Vec<(MessageId, CopyState)>>,
+    /// Flat per-node seen bitsets, `seen_words` words per node.
+    seen: Vec<u64>,
+    seen_words: usize,
+    /// Per-node arrival time of each buffered copy (id-sorted) — only
+    /// maintained when churn faults are active (crash wipes destroy
+    /// copies that arrived at or before the crash instant).
+    arrivals: Vec<Vec<(MessageId, Time)>>,
     forward_log: Vec<ForwardRecord>,
     counters: SimCounters,
+}
+
+thread_local! {
+    /// Per-thread trial arena: buffers, bitsets, and logs keep their
+    /// allocations across the thousands of trials a sweep runs on each
+    /// worker thread.
+    static ARENA: RefCell<SimState> = RefCell::new(SimState::default());
+}
+
+impl SimState {
+    /// Clears and resizes for a fresh run, keeping prior allocations.
+    fn reset(&mut self, n: usize, messages: &[Message], track_arrivals: bool) {
+        self.msgs.clear();
+        self.msgs.extend_from_slice(messages);
+        // Ids are unique (validated by the caller), so unstable is fine.
+        self.msgs.sort_unstable_by_key(|m| m.id);
+        self.ids.clear();
+        self.ids.extend(self.msgs.iter().map(|m| m.id));
+        self.expires.clear();
+        self.expires
+            .extend(self.msgs.iter().map(Message::expires_at));
+        let m = self.msgs.len();
+        self.materialized.clear();
+        self.materialized.resize(m, false);
+        self.delivered.clear();
+        self.delivered.resize(m, None);
+        self.transmissions.clear();
+        self.transmissions.resize(m, 0);
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+        self.buffers.resize_with(n, Vec::new);
+        self.seen_words = m.div_ceil(64);
+        self.seen.clear();
+        self.seen.resize(n * self.seen_words, 0);
+        for a in &mut self.arrivals {
+            a.clear();
+        }
+        self.arrivals
+            .resize_with(if track_arrivals { n } else { 0 }, Vec::new);
+        self.forward_log.clear();
+        self.counters = SimCounters::default();
+    }
+
+    /// Rank of `id` in the sorted id list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id that was never part of this run (mirroring the map
+    /// indexing of the previous representation).
+    #[inline]
+    fn rank(&self, id: MessageId) -> usize {
+        self.ids.binary_search(&id).expect("unknown message id")
+    }
+
+    #[inline]
+    fn seen_contains(&self, node: NodeId, rank: usize) -> bool {
+        (self.seen[node.index() * self.seen_words + rank / 64] >> (rank % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn seen_insert(&mut self, node: NodeId, rank: usize) {
+        self.seen[node.index() * self.seen_words + rank / 64] |= 1 << (rank % 64);
+    }
+}
+
+/// Position of `id` in an id-sorted buffer.
+#[inline]
+fn buf_find(buf: &[(MessageId, CopyState)], id: MessageId) -> Result<usize, usize> {
+    buf.binary_search_by_key(&id, |&(bid, _)| bid)
+}
+
+/// Inserts or replaces `id`'s copy state, keeping the buffer id-sorted.
+#[inline]
+fn buf_insert(buf: &mut Vec<(MessageId, CopyState)>, id: MessageId, cs: CopyState) {
+    match buf_find(buf, id) {
+        Ok(pos) => buf[pos].1 = cs,
+        Err(pos) => buf.insert(pos, (id, cs)),
+    }
+}
+
+#[inline]
+fn buf_remove(buf: &mut Vec<(MessageId, CopyState)>, id: MessageId) {
+    if let Ok(pos) = buf_find(buf, id) {
+        buf.remove(pos);
+    }
+}
+
+/// Inserts or updates an id-sorted `(message, arrival time)` list.
+#[inline]
+fn arrival_insert(arrivals: &mut Vec<(MessageId, Time)>, id: MessageId, t: Time) {
+    match arrivals.binary_search_by_key(&id, |&(aid, _)| aid) {
+        Ok(pos) => arrivals[pos].1 = t,
+        Err(pos) => arrivals.insert(pos, (id, t)),
+    }
 }
 
 /// Makes room at `node` for one more copy, per the drop policy. Returns
@@ -122,12 +254,17 @@ fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
             false
         }
         DropPolicy::DropOldest => {
-            let oldest = state.buffers[node.index()]
-                .keys()
-                .min_by_key(|id| state.messages[id].created)
-                .copied();
-            if let Some(victim) = oldest {
-                state.buffers[node.index()].remove(&victim);
+            // First strict minimum by creation time in ascending-id order —
+            // the same victim `BTreeMap::keys().min_by_key()` selected.
+            let mut oldest: Option<(MessageId, Time)> = None;
+            for &(id, _) in &state.buffers[node.index()] {
+                let created = state.msgs[state.rank(id)].created;
+                if oldest.is_none() || created < oldest.expect("checked").1 {
+                    oldest = Some((id, created));
+                }
+            }
+            if let Some((victim, _)) = oldest {
+                buf_remove(&mut state.buffers[node.index()], victim);
                 state.counters.buffer_drops += 1;
                 state.counters.buffer_evictions += 1;
                 true
@@ -157,20 +294,23 @@ impl ContactView for View<'_> {
     fn peer(&self) -> NodeId {
         self.peer
     }
-    fn carried(&self) -> Vec<(MessageId, CopyState)> {
-        self.state.buffers[self.carrier.index()]
-            .iter()
-            .map(|(&id, &cs)| (id, cs))
-            .collect()
+    fn carried(&self) -> &[(MessageId, CopyState)] {
+        &self.state.buffers[self.carrier.index()]
     }
     fn peer_has(&self, message: MessageId) -> bool {
-        self.state.seen[self.peer.index()].contains(&message)
+        self.state
+            .ids
+            .binary_search(&message)
+            .is_ok_and(|r| self.state.seen_contains(self.peer, r))
     }
     fn is_delivered(&self, message: MessageId) -> bool {
-        self.state.delivered.contains_key(&message)
+        self.state
+            .ids
+            .binary_search(&message)
+            .is_ok_and(|r| self.state.delivered[r].is_some())
     }
     fn message(&self, id: MessageId) -> &Message {
-        &self.state.messages[&id]
+        &self.state.msgs[self.state.rank(id)]
     }
 }
 
@@ -252,9 +392,43 @@ where
         }
     }
 
-    let mut pending: Vec<Message> = messages.clone();
-    // Inject latest-first so we can pop from the back as time advances.
-    pending.sort_by_key(|m| std::cmp::Reverse(m.created));
+    ARENA.with(|arena| match arena.try_borrow_mut() {
+        Ok(mut state) => run_inner(
+            schedule, protocol, messages, config, plan, fault_rng, rng, &mut state,
+        ),
+        // Reentrant call (a protocol running a nested simulation): fall
+        // back to fresh state rather than aliasing the arena.
+        Err(_) => run_inner(
+            schedule,
+            protocol,
+            messages,
+            config,
+            plan,
+            fault_rng,
+            rng,
+            &mut SimState::default(),
+        ),
+    })
+}
+
+/// The simulation proper, over pre-validated messages and a reset arena.
+#[allow(clippy::too_many_arguments)]
+fn run_inner<P, R, F>(
+    schedule: &ContactSchedule,
+    protocol: &mut P,
+    messages: Vec<Message>,
+    config: &SimConfig,
+    plan: &FaultPlan,
+    fault_rng: &mut F,
+    rng: &mut R,
+    state: &mut SimState,
+) -> Result<SimReport, SimError>
+where
+    P: RoutingProtocol + ?Sized,
+    R: RngCore,
+    F: RngCore,
+{
+    let n = schedule.node_count();
 
     // Timing is gated so disabled telemetry skips even the clock reads.
     let started = obs::metrics_enabled().then(Instant::now);
@@ -265,18 +439,13 @@ where
         (!plan.is_noop()).then(|| FaultState::new(plan, n, schedule.horizon(), fault_rng));
     let track_arrivals = faults.as_ref().is_some_and(FaultState::has_churn);
 
-    let mut state = SimState {
-        messages: BTreeMap::new(),
-        buffers: vec![BTreeMap::new(); n],
-        seen: vec![HashSet::new(); n],
-        arrivals: vec![BTreeMap::new(); if track_arrivals { n } else { 0 }],
-        delivered: BTreeMap::new(),
-        transmissions: BTreeMap::new(),
-        forward_log: Vec::new(),
-        counters: SimCounters::default(),
-    };
+    state.reset(n, &messages, track_arrivals);
 
     let injected: Vec<MessageId> = messages.iter().map(|m| m.id).collect();
+
+    let mut pending: Vec<Message> = messages;
+    // Inject latest-first so we can pop from the back as time advances.
+    pending.sort_by_key(|m| std::cmp::Reverse(m.created));
 
     let inject_due = |state: &mut SimState,
                       pending: &mut Vec<Message>,
@@ -287,12 +456,12 @@ where
         while pending.last().is_some_and(|m| m.created <= now) {
             let m = pending.pop().expect("checked non-empty");
             let cs = protocol.on_inject(&m, rng);
-            state.seen[m.source.index()].insert(m.id);
-            state.transmissions.insert(m.id, 0);
+            let rank = state.rank(m.id);
+            state.seen_insert(m.source, rank);
+            state.materialized[rank] = true;
             let source = m.source;
             let id = m.id;
             let created = m.created;
-            state.messages.insert(m.id, m);
             // A source that is crashed at the creation instant loses the
             // copy outright (the message still counts as injected).
             if faults
@@ -305,9 +474,9 @@ where
             // A full source buffer refuses (or evicts for) the new
             // message, per the drop policy.
             if make_room(state, config, source) {
-                state.buffers[source.index()].insert(id, cs);
+                buf_insert(&mut state.buffers[source.index()], id, cs);
                 if track_arrivals {
-                    state.arrivals[source.index()].insert(id, created);
+                    arrival_insert(&mut state.arrivals[source.index()], id, created);
                 }
             }
         }
@@ -315,13 +484,13 @@ where
 
     for event in schedule.iter() {
         state.counters.contacts += 1;
-        inject_due(&mut state, &mut pending, protocol, rng, &faults, event.time);
+        inject_due(state, &mut pending, protocol, rng, &faults, event.time);
 
         if let Some(f) = faults.as_mut() {
             // Apply pending crash wipes at the endpoints before anything
             // can observe their buffers.
-            apply_crashes(&mut state, f, event.a, event.time);
-            apply_crashes(&mut state, f, event.b, event.time);
+            apply_crashes(state, f, event.a, event.time);
+            apply_crashes(state, f, event.b, event.time);
             // A contact with a crashed endpoint never happens; a live
             // contact can still fail i.i.d. (radio fault, missed
             // beacon). Neither is observed by the protocol.
@@ -340,10 +509,17 @@ where
 
         // Enforce deadlines lazily at the two endpoints.
         for node in [event.a, event.b] {
+            let ids = &state.ids;
+            let expires = &state.expires;
             let buf = &mut state.buffers[node.index()];
-            let msgs = &state.messages;
+            if buf.is_empty() {
+                continue;
+            }
             let before = buf.len();
-            buf.retain(|id, _| !msgs[id].is_expired(event.time));
+            buf.retain(|&(id, _)| {
+                let r = ids.binary_search(&id).expect("buffered id is known");
+                event.time <= expires[r]
+            });
             state.counters.deadline_expiries += (before - buf.len()) as u64;
         }
 
@@ -353,32 +529,28 @@ where
 
         // Decisions for both directions are computed on the pre-transfer
         // state, then applied, so a message cannot hop twice in one
-        // contact.
-        let decisions_ab = {
+        // contact. The protocol is only consulted for a non-empty carrier.
+        let decisions_ab = if state.buffers[event.a.index()].is_empty() {
+            Vec::new()
+        } else {
             let view = View {
                 now: event.time,
                 carrier: event.a,
                 peer: event.b,
-                state: &state,
+                state,
             };
-            if view.carried().is_empty() {
-                Vec::new()
-            } else {
-                protocol.on_contact(&view, rng)
-            }
+            protocol.on_contact(&view, rng)
         };
-        let decisions_ba = {
+        let decisions_ba = if state.buffers[event.b.index()].is_empty() {
+            Vec::new()
+        } else {
             let view = View {
                 now: event.time,
                 carrier: event.b,
                 peer: event.a,
-                state: &state,
+                state,
             };
-            if view.carried().is_empty() {
-                Vec::new()
-            } else {
-                protocol.on_contact(&view, rng)
-            }
+            protocol.on_contact(&view, rng)
         };
 
         // Mid-transfer truncation: the contact window may close early,
@@ -398,7 +570,7 @@ where
         };
 
         apply(
-            &mut state,
+            state,
             config,
             event.time,
             event.a,
@@ -408,7 +580,7 @@ where
             fault_rng,
         );
         apply(
-            &mut state,
+            state,
             config,
             event.time,
             event.b,
@@ -422,7 +594,7 @@ where
     // Inject anything scheduled after the last contact so the report's
     // injected set is complete (they can never be delivered).
     inject_due(
-        &mut state,
+        state,
         &mut pending,
         protocol,
         rng,
@@ -435,12 +607,12 @@ where
     // pattern.
     if let Some(f) = faults.as_mut() {
         for node in 0..n {
-            apply_crashes(&mut state, f, NodeId(node as u32), schedule.horizon());
+            apply_crashes(state, f, NodeId(node as u32), schedule.horizon());
         }
     }
 
     state.counters.injected = injected.len() as u64;
-    state.counters.delivered = state.delivered.len() as u64;
+    state.counters.delivered = state.delivered.iter().flatten().count() as u64;
     state.counters.expired = state.counters.injected - state.counters.delivered;
 
     if let Some(started) = started {
@@ -458,13 +630,29 @@ where
         );
     }
 
+    // Assemble the report from the dense state in ascending-id order —
+    // exactly the iteration order of the previous map representation.
+    let mut messages_out = Vec::with_capacity(state.msgs.len());
+    let mut delivered_out = BTreeMap::new();
+    let mut transmissions_out = BTreeMap::new();
+    for r in 0..state.msgs.len() {
+        if !state.materialized[r] {
+            continue;
+        }
+        messages_out.push(state.msgs[r].clone());
+        transmissions_out.insert(state.ids[r], state.transmissions[r]);
+        if let Some(t) = state.delivered[r] {
+            delivered_out.insert(state.ids[r], t);
+        }
+    }
+
     Ok(SimReport::new(
         protocol.name().to_string(),
-        state.messages.into_values().collect(),
+        messages_out,
         injected,
-        state.delivered,
-        state.transmissions,
-        state.forward_log,
+        delivered_out,
+        transmissions_out,
+        std::mem::take(&mut state.forward_log),
         state.counters.rejected_forwards,
         state.counters.buffer_drops,
         Some(state.counters),
@@ -481,15 +669,23 @@ fn apply_crashes(state: &mut SimState, faults: &mut FaultState, node: NodeId, no
         let arrivals = &state.arrivals[node.index()];
         let buf = &mut state.buffers[node.index()];
         let before = buf.len();
-        buf.retain(|id, _| arrivals.get(id).is_some_and(|&t| t > crash));
+        buf.retain(|&(id, _)| {
+            arrivals
+                .binary_search_by_key(&id, |&(aid, _)| aid)
+                .is_ok_and(|p| arrivals[p].1 > crash)
+        });
         state.counters.fault_buffer_wipes += (before - buf.len()) as u64;
         if faults.churn_memory() == Some(ChurnMemory::Forget) {
             // RAM-only summary vector: only copies that arrived after
             // the crash are still known.
-            let survivors: Vec<MessageId> = buf.keys().copied().collect();
-            let seen = &mut state.seen[node.index()];
-            seen.clear();
-            seen.extend(survivors);
+            let words = state.seen_words;
+            let base = node.index() * words;
+            state.seen[base..base + words].fill(0);
+            let (seen, buffers, ids) = (&mut state.seen, &state.buffers, &state.ids);
+            for &(id, _) in &buffers[node.index()] {
+                let r = ids.binary_search(&id).expect("buffered id is known");
+                seen[base + r / 64] |= 1 << (r % 64);
+            }
         }
     }
 }
@@ -497,10 +693,11 @@ fn apply_crashes(state: &mut SimState, faults: &mut FaultState, node: NodeId, no
 /// Removes the transferred tickets from the carrier's copy per the
 /// forward kind and returns the ticket count travelling to the
 /// receiver. The split ticket range must already be validated.
+#[inline]
 fn take_from_carrier(state: &mut SimState, carrier: NodeId, fwd: &Forward, copy: CopyState) -> u32 {
     match fwd.kind {
         ForwardKind::Handoff => {
-            state.buffers[carrier.index()].remove(&fwd.message);
+            buf_remove(&mut state.buffers[carrier.index()], fwd.message);
             copy.tickets
         }
         ForwardKind::Split {
@@ -508,9 +705,10 @@ fn take_from_carrier(state: &mut SimState, carrier: NodeId, fwd: &Forward, copy:
         } => {
             let remaining = copy.tickets - tickets_to_receiver;
             if remaining == 0 {
-                state.buffers[carrier.index()].remove(&fwd.message);
+                buf_remove(&mut state.buffers[carrier.index()], fwd.message);
             } else {
-                state.buffers[carrier.index()].insert(
+                buf_insert(
+                    &mut state.buffers[carrier.index()],
                     fwd.message,
                     CopyState {
                         tickets: remaining,
@@ -537,24 +735,27 @@ fn apply(
 ) {
     let track_arrivals = faults.is_some_and(FaultState::has_churn);
     for fwd in decisions {
-        let Some(&copy) = state.buffers[carrier.index()].get(&fwd.message) else {
+        let Ok(pos) = buf_find(&state.buffers[carrier.index()], fwd.message) else {
             // The protocol referenced a message the carrier no longer
             // holds; ignore but count.
             state.counters.rejected_forwards += 1;
             continue;
         };
-        let destination = state.messages[&fwd.message].destination;
+        let copy = state.buffers[carrier.index()][pos].1;
+        // Buffered ids are always known, so the rank lookup cannot fail.
+        let rank = state.rank(fwd.message);
+        let destination = state.msgs[rank].destination;
 
         // Never forward to a node already holding or having held the copy.
-        let peer_holds = state.buffers[peer.index()].contains_key(&fwd.message);
-        let peer_seen = state.seen[peer.index()].contains(&fwd.message);
+        let peer_holds = buf_find(&state.buffers[peer.index()], fwd.message).is_ok();
+        let peer_seen = state.seen_contains(peer, rank);
         if peer_holds || (config.reject_seen && peer_seen && peer != destination) {
             state.counters.rejected_forwards += 1;
             continue;
         }
         // Suppress transfers of already-delivered messages to the
         // destination (it has the message).
-        if peer == destination && state.delivered.contains_key(&fwd.message) {
+        if peer == destination && state.delivered[rank].is_some() {
             state.counters.rejected_forwards += 1;
             continue;
         }
@@ -574,7 +775,7 @@ fn apply(
         // no admission is attempted and no forward is logged.
         if faults.is_some_and(|f| f.transfer_lost(fault_rng)) {
             take_from_carrier(state, carrier, fwd, copy);
-            *state.transmissions.entry(fwd.message).or_insert(0) += 1;
+            state.transmissions[rank] += 1;
             state.counters.fault_messages_lost += 1;
             continue;
         }
@@ -593,7 +794,7 @@ fn apply(
             ForwardKind::Split { .. } => state.counters.forwards_split += 1,
             ForwardKind::Replicate => state.counters.forwards_replicate += 1,
         }
-        *state.transmissions.entry(fwd.message).or_insert(0) += 1;
+        state.transmissions[rank] += 1;
         if config.record_forwarding {
             state.forward_log.push(ForwardRecord {
                 time: now,
@@ -603,13 +804,16 @@ fn apply(
                 receiver_tag: fwd.receiver_tag,
             });
         }
-        state.seen[peer.index()].insert(fwd.message);
+        state.seen_insert(peer, rank);
 
         if peer == destination {
             // Delivery: the destination consumes the copy.
-            state.delivered.entry(fwd.message).or_insert(now);
+            if state.delivered[rank].is_none() {
+                state.delivered[rank] = Some(now);
+            }
         } else {
-            state.buffers[peer.index()].insert(
+            buf_insert(
+                &mut state.buffers[peer.index()],
                 fwd.message,
                 CopyState {
                     tickets: receiver_tickets,
@@ -617,7 +821,7 @@ fn apply(
                 },
             );
             if track_arrivals {
-                state.arrivals[peer.index()].insert(fwd.message, now);
+                arrival_insert(&mut state.arrivals[peer.index()], fwd.message, now);
             }
         }
     }
@@ -637,7 +841,8 @@ mod tests {
         }
         fn on_contact(&mut self, view: &dyn ContactView, _: &mut dyn RngCore) -> Vec<Forward> {
             view.carried()
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|(id, _)| !view.peer_has(*id) && !view.is_delivered(*id))
                 .map(|(id, _)| Forward {
                     message: id,
@@ -821,7 +1026,8 @@ mod tests {
         }
         fn on_contact(&mut self, view: &dyn ContactView, _: &mut dyn RngCore) -> Vec<Forward> {
             view.carried()
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|(id, _)| !view.peer_has(*id))
                 .map(|(id, _)| Forward {
                     message: id,

@@ -142,7 +142,8 @@ impl RoutingProtocol for Prophet {
         let carrier = view.carrier();
         let peer = view.peer();
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&(id, _)| {
                 if view.is_delivered(id) || view.peer_has(id) {
                     return false;

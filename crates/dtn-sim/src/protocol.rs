@@ -50,8 +50,9 @@ pub trait ContactView {
     fn carrier(&self) -> NodeId;
     /// The node it met.
     fn peer(&self) -> NodeId;
-    /// Messages (with copy state) buffered at the carrier.
-    fn carried(&self) -> Vec<(MessageId, CopyState)>;
+    /// Messages (with copy state) buffered at the carrier, in ascending
+    /// message-id order.
+    fn carried(&self) -> &[(MessageId, CopyState)];
     /// Whether the peer already buffers (or has already seen) `message`.
     fn peer_has(&self, message: MessageId) -> bool;
     /// Whether `message` has already been delivered to its destination.

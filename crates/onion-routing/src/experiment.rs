@@ -41,6 +41,7 @@ use crate::protocol::{ForwardingMode, OnionRouting};
 use crate::runner::{
     run_trials_resilient, trial_rng_attempt, RunnerConfig, SeedDomain, TrialFailure,
 };
+use crate::sweep::SweepSpec;
 
 /// Knobs that are about the experiment, not the protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -113,7 +114,11 @@ pub const TRIAL_FAILURE_ABORT: &str = "experiment aborted: quarantined trial fai
 
 /// Logs quarantined failures and either panics (`keep_going == false`)
 /// or returns how many were tolerated.
-fn resolve_failures(label: &str, failures: &[TrialFailure], opts: &ExperimentOptions) -> u64 {
+pub(crate) fn resolve_failures(
+    label: &str,
+    failures: &[TrialFailure],
+    opts: &ExperimentOptions,
+) -> u64 {
     if failures.is_empty() {
         return 0;
     }
@@ -384,7 +389,75 @@ impl Accumulator {
     }
 }
 
-fn random_messages<F>(
+/// One memoized path: the group sequence and endpoints it was keyed on,
+/// plus the aggregate per-hop rates (`None` for a degenerate path).
+type RateEntry = (
+    Vec<crate::groups::GroupId>,
+    NodeId,
+    NodeId,
+    Option<Vec<f64>>,
+);
+
+/// Per-realization memo of the Eq. 4 rate vectors, keyed by
+/// `(route, source, destination)`.
+///
+/// The onion route is drawn independently per message, so two messages
+/// that happen to share a route between the same endpoints would repeat
+/// the identical group-aggregation sums inside
+/// [`analysis::onion_path_rates`]. Caching the finished vector is
+/// bit-transparent: a hit reuses the exact `f64` values the miss
+/// computed (same summation order, no RNG involved).
+///
+/// `None` records a degenerate path — an endpoint-filtered group with no
+/// members left, a rate-computation error, or a non-positive hop rate —
+/// for which both consumers score a flat zero.
+#[derive(Default)]
+pub(crate) struct RateCache {
+    entries: Vec<RateEntry>,
+}
+
+impl RateCache {
+    /// The Eq. 4 rates for `route` between `source` and `destination`
+    /// on `graph`, computed on first use and replayed thereafter.
+    pub(crate) fn rates_for(
+        &mut self,
+        graph: &contact_graph::ContactGraph,
+        groups: &OnionGroups,
+        route: &[crate::groups::GroupId],
+        source: NodeId,
+        destination: NodeId,
+    ) -> Option<&[f64]> {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(r, s, d, _)| r.as_slice() == route && *s == source && *d == destination)
+        {
+            return self.entries[pos].3.as_deref();
+        }
+        let members: Vec<Vec<NodeId>> = groups
+            .route_members(route)
+            .into_iter()
+            .map(|g| {
+                g.into_iter()
+                    .filter(|&v| v != source && v != destination)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let rates = if members.iter().any(|g| g.is_empty()) {
+            None
+        } else {
+            match analysis::onion_path_rates(graph, source, &members, destination) {
+                Ok(rates) if rates.iter().all(|&r| r > 0.0) => Some(rates),
+                _ => None,
+            }
+        };
+        self.entries
+            .push((route.to_vec(), source, destination, rates));
+        self.entries.last().expect("entry just pushed").3.as_deref()
+    }
+}
+
+pub(crate) fn random_messages<F>(
     cfg: &ProtocolConfig,
     count: usize,
     mut start_time: F,
@@ -442,35 +515,23 @@ fn run_one_realization(
     )
     .expect("messages validated against schedule");
 
-    // Analysis series on the same realization: per-message Eq. 4 rates.
+    // Analysis series on the same realization: per-message Eq. 4 rates,
+    // memoized per (route, source, destination) within the trial.
     if let Some(graph) = rate_graph {
+        let mut cache = RateCache::default();
         for m in &messages {
             if let Some(route) = protocol.route_of(m.id) {
-                let members: Vec<Vec<NodeId>> = protocol
-                    .groups()
-                    .route_members(route)
-                    .into_iter()
-                    .map(|g| {
-                        g.into_iter()
-                            .filter(|&v| v != m.source && v != m.destination)
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                let p = if members.iter().any(|g| g.is_empty()) {
-                    0.0
-                } else {
-                    match analysis::onion_path_rates(graph, m.source, &members, m.destination) {
-                        Ok(rates) if rates.iter().all(|&r| r > 0.0) => {
-                            analysis::delivery_rate_multicopy(
-                                &rates,
-                                cfg.copies,
-                                cfg.deadline.as_f64(),
-                            )
-                            .unwrap_or(0.0)
-                        }
-                        _ => 0.0,
-                    }
-                };
+                let p =
+                    match cache.rates_for(graph, protocol.groups(), route, m.source, m.destination)
+                    {
+                        Some(rates) => analysis::delivery_rate_multicopy(
+                            rates,
+                            cfg.copies,
+                            cfg.deadline.as_f64(),
+                        )
+                        .unwrap_or(0.0),
+                        None => 0.0,
+                    };
                 acc.analysis_delivery.push(p);
             }
         }
@@ -528,7 +589,7 @@ pub struct SecuritySweepRow {
 
 /// Per-realization partial of a delivery sweep; merged index-wise in
 /// trial order.
-struct DeliveryPartial {
+pub(crate) struct DeliveryPartial {
     sim_hits: Vec<usize>,
     analysis_sum: Vec<f64>,
     injected: usize,
@@ -536,7 +597,7 @@ struct DeliveryPartial {
 }
 
 impl DeliveryPartial {
-    fn new(points: usize) -> Self {
+    pub(crate) fn new(points: usize) -> Self {
         DeliveryPartial {
             sim_hits: vec![0; points],
             analysis_sum: vec![0.0; points],
@@ -545,7 +606,7 @@ impl DeliveryPartial {
         }
     }
 
-    fn merge(&mut self, other: &DeliveryPartial) {
+    pub(crate) fn merge(&mut self, other: &DeliveryPartial) {
         for (a, b) in self.sim_hits.iter_mut().zip(&other.sim_hits) {
             *a += b;
         }
@@ -556,7 +617,7 @@ impl DeliveryPartial {
         self.analysis_count += other.analysis_count;
     }
 
-    fn rows(&self, deadlines: &[f64]) -> Vec<DeliverySweepRow> {
+    pub(crate) fn rows(&self, deadlines: &[f64]) -> Vec<DeliverySweepRow> {
         deadlines
             .iter()
             .enumerate()
@@ -577,8 +638,9 @@ impl DeliveryPartial {
     }
 
     /// Scores one realization's simulation + analysis series against
-    /// every deadline of the sweep.
-    fn score_realization(
+    /// every deadline of the sweep. Eq. 4 rate vectors are memoized per
+    /// (route, source, destination) within the realization.
+    pub(crate) fn score_realization(
         &mut self,
         run_cfg: &ProtocolConfig,
         rate_graph: &contact_graph::ContactGraph,
@@ -588,6 +650,7 @@ impl DeliveryPartial {
         report: &SimReport,
     ) {
         self.injected += messages.len();
+        let mut cache = RateCache::default();
         for m in messages {
             // Simulation: delivery within each deadline.
             if let Some(delay) = report.delivery_delay(m.id) {
@@ -599,30 +662,19 @@ impl DeliveryPartial {
             }
             // Analysis: Eq. 4 rates → hypoexponential CDF at each T.
             if let Some(route) = protocol.route_of(m.id) {
-                let members: Vec<Vec<NodeId>> = protocol
-                    .groups()
-                    .route_members(route)
-                    .into_iter()
-                    .map(|g| {
-                        g.into_iter()
-                            .filter(|&v| v != m.source && v != m.destination)
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
                 self.analysis_count += 1;
-                if members.iter().any(|g| g.is_empty()) {
-                    continue;
-                }
-                if let Ok(rates) =
-                    analysis::onion_path_rates(rate_graph, m.source, &members, m.destination)
-                {
-                    if rates.iter().all(|&r| r > 0.0) {
-                        let boosted: Vec<f64> =
-                            rates.iter().map(|&r| r * run_cfg.copies as f64).collect();
-                        if let Ok(h) = analysis::HypoExp::new(boosted) {
-                            for (i, &t) in deadlines.iter().enumerate() {
-                                self.analysis_sum[i] += h.cdf(t);
-                            }
+                if let Some(rates) = cache.rates_for(
+                    rate_graph,
+                    protocol.groups(),
+                    route,
+                    m.source,
+                    m.destination,
+                ) {
+                    let boosted: Vec<f64> =
+                        rates.iter().map(|&r| r * run_cfg.copies as f64).collect();
+                    if let Ok(h) = analysis::HypoExp::new(boosted) {
+                        for (i, &t) in deadlines.iter().enumerate() {
+                            self.analysis_sum[i] += h.cdf(t);
                         }
                     }
                 }
@@ -631,7 +683,7 @@ impl DeliveryPartial {
     }
 }
 
-fn onion_protocol(cfg: &ProtocolConfig, groups: OnionGroups) -> OnionRouting {
+pub(crate) fn onion_protocol(cfg: &ProtocolConfig, groups: OnionGroups) -> OnionRouting {
     let mode = if cfg.copies == 1 {
         ForwardingMode::SingleCopy
     } else {
@@ -640,90 +692,48 @@ fn onion_protocol(cfg: &ProtocolConfig, groups: OnionGroups) -> OnionRouting {
     OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection)
 }
 
-/// Delivery rate vs deadline on random graphs, reusing one simulation per
-/// realization for every deadline: delivering within `T` is equivalent to
-/// a delivery delay `≤ T`, so a single maximum-deadline run yields the
-/// whole curve. The analysis series evaluates each message's Eq. 4
-/// hypoexponential at every deadline.
+/// Delivery rate vs deadline on random graphs.
+///
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
 ///
 /// # Panics
 ///
 /// Panics if `deadlines` is empty/non-positive or `cfg` is invalid.
+#[deprecated(note = "use `sweep::SweepSpec::random_graph(cfg).over_deadlines(deadlines)`")]
 pub fn delivery_sweep_random_graph(
     cfg: &ProtocolConfig,
     deadlines: &[f64],
     opts: &ExperimentOptions,
 ) -> Vec<DeliverySweepRow> {
-    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max_t > 0.0, "need at least one positive deadline");
-    let run_cfg = ProtocolConfig {
-        deadline: TimeDelta::new(max_t),
-        ..cfg.clone()
-    };
-    run_cfg.validate().expect("experiment config must be valid");
-    let span = obs::span("experiment.sweep_secs");
-
-    let mut total = DeliveryPartial::new(deadlines.len());
-    let failures = run_trials_resilient(
-        &opts.runner(),
-        opts.realizations,
-        |realization, attempt| {
-            let trial = realization as u64;
-            let mut rng =
-                trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
-            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
-            let graph = UniformGraphBuilder::new(run_cfg.nodes)
-                .mean_intercontact_range(
-                    TimeDelta::new(opts.intercontact_range.0),
-                    TimeDelta::new(opts.intercontact_range.1),
-                )
-                .build(&mut rng);
-            let schedule = ContactSchedule::sample(&graph, Time::new(max_t), &mut rng);
-            let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
-
-            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(&run_cfg, groups);
-            let report = run_with_faults(
-                &schedule,
-                &mut protocol,
-                messages.clone(),
-                &SimConfig::default(),
-                &opts.faults,
-                &mut fault_rng,
-                &mut rng,
-            )
-            .expect("validated");
-
-            let mut partial = DeliveryPartial::new(deadlines.len());
-            partial.score_realization(&run_cfg, &graph, deadlines, &messages, &protocol, &report);
-            partial
-        },
-        &mut total,
-        |total, _realization, partial| total.merge(&partial),
-    );
-    resolve_failures("delivery_sweep_random_graph", &failures, opts);
-    let rows = total.rows(deadlines);
-    drop(span);
-    obs::flush_point("delivery_sweep_random_graph");
-    rows
+    SweepSpec::random_graph(cfg.clone())
+        .over_deadlines(deadlines)
+        .run(opts)
+        .into_delivery()
+        .expect("deadline axis yields delivery rows")
 }
 
 /// Delivery rate vs deadline on a fixed contact schedule (trace-driven;
-/// Figs. 14 and 17). Message starts follow the paper's business-hours
-/// policy (a random contact of the source); analysis rates are estimated
-/// from the trace.
+/// Figs. 14 and 17). Analysis rates are estimated from the trace.
+///
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
 ///
 /// # Panics
 ///
 /// Panics if the config is invalid or does not match the schedule.
+#[deprecated(note = "use `sweep::SweepSpec::schedule(cfg, schedule).over_deadlines(deadlines)`")]
 pub fn delivery_sweep_schedule(
     schedule: &ContactSchedule,
     cfg: &ProtocolConfig,
     deadlines: &[f64],
     opts: &ExperimentOptions,
 ) -> Vec<DeliverySweepRow> {
-    let estimated = schedule.estimate_rates();
-    delivery_sweep_schedule_with_rates(schedule, &estimated, cfg, deadlines, opts)
+    SweepSpec::schedule(cfg.clone(), schedule.clone())
+        .over_deadlines(deadlines)
+        .run(opts)
+        .into_delivery()
+        .expect("deadline axis yields delivery rows")
 }
 
 /// Like [`delivery_sweep_schedule`] but with caller-provided "trained"
@@ -731,9 +741,15 @@ pub fn delivery_sweep_schedule(
 /// `traces::estimate_active_rates` when deadlines fit inside a business
 /// window — the paper's Fig. 14 training step).
 ///
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
+///
 /// # Panics
 ///
 /// Panics if the config is invalid or does not match the schedule.
+#[deprecated(
+    note = "use `sweep::SweepSpec::trace(cfg, schedule, rates).over_deadlines(deadlines)`"
+)]
 pub fn delivery_sweep_schedule_with_rates(
     schedule: &ContactSchedule,
     estimated: &contact_graph::ContactGraph,
@@ -741,81 +757,15 @@ pub fn delivery_sweep_schedule_with_rates(
     deadlines: &[f64],
     opts: &ExperimentOptions,
 ) -> Vec<DeliverySweepRow> {
-    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max_t > 0.0, "need at least one positive deadline");
-    let run_cfg = ProtocolConfig {
-        deadline: TimeDelta::new(max_t),
-        ..cfg.clone()
-    };
-    run_cfg.validate().expect("experiment config must be valid");
-    assert_eq!(
-        run_cfg.nodes,
-        schedule.node_count(),
-        "config nodes must match the trace"
-    );
-    let span = obs::span("experiment.sweep_secs");
-
-    let mut total = DeliveryPartial::new(deadlines.len());
-    let failures = run_trials_resilient(
-        &opts.runner(),
-        opts.realizations,
-        |realization, attempt| {
-            let trial = realization as u64;
-            let mut rng =
-                trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
-            let mut start_rng =
-                trial_rng_attempt(opts.seed, SeedDomain::ScheduleStarts, trial, attempt);
-            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
-            let events = schedule.events();
-            let messages = random_messages(
-                &run_cfg,
-                opts.messages,
-                |source| {
-                    let candidates: Vec<Time> = events
-                        .iter()
-                        .filter(|e| e.involves(source))
-                        .map(|e| e.time)
-                        .collect();
-                    if candidates.is_empty() {
-                        Time::ZERO
-                    } else {
-                        candidates[start_rng.gen_range(0..candidates.len())]
-                    }
-                },
-                &mut rng,
-            );
-
-            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(&run_cfg, groups);
-            let report = run_with_faults(
-                schedule,
-                &mut protocol,
-                messages.clone(),
-                &SimConfig::default(),
-                &opts.faults,
-                &mut fault_rng,
-                &mut rng,
-            )
-            .expect("validated");
-
-            let mut partial = DeliveryPartial::new(deadlines.len());
-            partial.score_realization(
-                &run_cfg, estimated, deadlines, &messages, &protocol, &report,
-            );
-            partial
-        },
-        &mut total,
-        |total, _realization, partial| total.merge(&partial),
-    );
-    resolve_failures("delivery_sweep_schedule", &failures, opts);
-    let rows = total.rows(deadlines);
-    drop(span);
-    obs::flush_point("delivery_sweep_schedule");
-    rows
+    SweepSpec::trace(cfg.clone(), schedule.clone(), estimated.clone())
+        .over_deadlines(deadlines)
+        .run(opts)
+        .into_delivery()
+        .expect("deadline axis yields delivery rows")
 }
 
 /// Per-realization partial of a security sweep: per-`c` weighted sums.
-struct SecurityPartial {
+pub(crate) struct SecurityPartial {
     trace_sum: Vec<f64>,
     trace_count: Vec<usize>,
     anon_sum: Vec<f64>,
@@ -823,7 +773,7 @@ struct SecurityPartial {
 }
 
 impl SecurityPartial {
-    fn new(points: usize) -> Self {
+    pub(crate) fn new(points: usize) -> Self {
         SecurityPartial {
             trace_sum: vec![0.0; points],
             trace_count: vec![0; points],
@@ -832,7 +782,7 @@ impl SecurityPartial {
         }
     }
 
-    fn merge(&mut self, other: &SecurityPartial) {
+    pub(crate) fn merge(&mut self, other: &SecurityPartial) {
         for (a, b) in self.trace_sum.iter_mut().zip(&other.trace_sum) {
             *a += b;
         }
@@ -849,7 +799,7 @@ impl SecurityPartial {
 
     /// Draws `adversary_draws` compromise sets per `c` against one
     /// realization's report.
-    fn score_realization(
+    pub(crate) fn score_realization(
         &mut self,
         cfg: &ProtocolConfig,
         compromised_values: &[usize],
@@ -878,7 +828,11 @@ impl SecurityPartial {
         }
     }
 
-    fn rows(&self, cfg: &ProtocolConfig, compromised_values: &[usize]) -> Vec<SecuritySweepRow> {
+    pub(crate) fn rows(
+        &self,
+        cfg: &ProtocolConfig,
+        compromised_values: &[usize],
+    ) -> Vec<SecuritySweepRow> {
         compromised_values
             .iter()
             .enumerate()
@@ -912,76 +866,40 @@ impl SecurityPartial {
     }
 }
 
-/// Security metrics vs compromised-node count, reusing one simulation per
-/// realization across the whole `c` sweep (the adversary draw does not
-/// influence forwarding).
+/// Security metrics vs compromised-node count on random graphs.
 ///
-/// `adversary_draws` independent compromise sets are averaged per `c` per
-/// realization.
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
 ///
 /// # Panics
 ///
 /// Panics if the config is invalid for any swept `c`.
+#[deprecated(note = "use `sweep::SweepSpec::random_graph(cfg).over_security(compromised, draws)`")]
 pub fn security_sweep_random_graph(
     cfg: &ProtocolConfig,
     compromised_values: &[usize],
     adversary_draws: usize,
     opts: &ExperimentOptions,
 ) -> Vec<SecuritySweepRow> {
-    cfg.validate().expect("experiment config must be valid");
-    let span = obs::span("experiment.sweep_secs");
-
-    let mut total = SecurityPartial::new(compromised_values.len());
-    let failures = run_trials_resilient(
-        &opts.runner(),
-        opts.realizations,
-        |realization, attempt| {
-            let trial = realization as u64;
-            let mut rng = trial_rng_attempt(opts.seed, SeedDomain::SecurityGraph, trial, attempt);
-            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
-            let graph = UniformGraphBuilder::new(cfg.nodes)
-                .mean_intercontact_range(
-                    TimeDelta::new(opts.intercontact_range.0),
-                    TimeDelta::new(opts.intercontact_range.1),
-                )
-                .build(&mut rng);
-            let horizon = Time::ZERO + cfg.deadline;
-            let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
-            let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
-
-            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(cfg, groups);
-            let report = run_with_faults(
-                &schedule,
-                &mut protocol,
-                messages,
-                &SimConfig::default(),
-                &opts.faults,
-                &mut fault_rng,
-                &mut rng,
-            )
-            .expect("validated");
-
-            let mut partial = SecurityPartial::new(compromised_values.len());
-            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
-            partial
-        },
-        &mut total,
-        |total, _realization, partial| total.merge(&partial),
-    );
-    resolve_failures("security_sweep_random_graph", &failures, opts);
-    let rows = total.rows(cfg, compromised_values);
-    drop(span);
-    obs::flush_point("security_sweep_random_graph");
-    rows
+    SweepSpec::random_graph(cfg.clone())
+        .over_security(compromised_values, adversary_draws)
+        .run(opts)
+        .into_security()
+        .expect("security axis yields security rows")
 }
 
 /// Security metrics vs compromised count on a fixed schedule (trace-driven;
 /// Figs. 15, 16, 18, 19).
 ///
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
+///
 /// # Panics
 ///
 /// Panics if the config is invalid or does not match the schedule.
+#[deprecated(
+    note = "use `sweep::SweepSpec::schedule(cfg, schedule).over_security(compromised, draws)`"
+)]
 pub fn security_sweep_schedule(
     schedule: &ContactSchedule,
     cfg: &ProtocolConfig,
@@ -989,69 +907,11 @@ pub fn security_sweep_schedule(
     adversary_draws: usize,
     opts: &ExperimentOptions,
 ) -> Vec<SecuritySweepRow> {
-    cfg.validate().expect("experiment config must be valid");
-    assert_eq!(
-        cfg.nodes,
-        schedule.node_count(),
-        "config nodes must match the trace"
-    );
-    let span = obs::span("experiment.sweep_secs");
-
-    let mut total = SecurityPartial::new(compromised_values.len());
-    let failures = run_trials_resilient(
-        &opts.runner(),
-        opts.realizations,
-        |realization, attempt| {
-            let trial = realization as u64;
-            let mut rng =
-                trial_rng_attempt(opts.seed, SeedDomain::SecuritySchedule, trial, attempt);
-            let mut start_rng =
-                trial_rng_attempt(opts.seed, SeedDomain::SecurityStarts, trial, attempt);
-            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
-            let events = schedule.events();
-            let messages = random_messages(
-                cfg,
-                opts.messages,
-                |source| {
-                    let candidates: Vec<Time> = events
-                        .iter()
-                        .filter(|e| e.involves(source))
-                        .map(|e| e.time)
-                        .collect();
-                    if candidates.is_empty() {
-                        Time::ZERO
-                    } else {
-                        candidates[start_rng.gen_range(0..candidates.len())]
-                    }
-                },
-                &mut rng,
-            );
-
-            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(cfg, groups);
-            let report = run_with_faults(
-                schedule,
-                &mut protocol,
-                messages,
-                &SimConfig::default(),
-                &opts.faults,
-                &mut fault_rng,
-                &mut rng,
-            )
-            .expect("validated");
-
-            let mut partial = SecurityPartial::new(compromised_values.len());
-            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
-            partial
-        },
-        &mut total,
-        |total, _realization, partial| total.merge(&partial),
-    );
-    resolve_failures("security_sweep_schedule", &failures, opts);
-    let rows = total.rows(cfg, compromised_values);
-    drop(span);
-    obs::flush_point("security_sweep_schedule");
-    rows
+    SweepSpec::schedule(cfg.clone(), schedule.clone())
+        .over_security(compromised_values, adversary_draws)
+        .run(opts)
+        .into_security()
+        .expect("security axis yields security rows")
 }
 
 /// One row of a fault-intensity sweep: the full paired analysis/simulation
@@ -1079,6 +939,9 @@ pub struct FaultSweepRow {
 /// file keyed by `intensity=<value>`; a restarted sweep replays finished
 /// rows byte-identically and only computes the missing ones.
 ///
+/// Thin shim over the unified sweep builder; prefer
+/// [`SweepSpec`](crate::sweep::SweepSpec). Results are bit-identical.
+///
 /// # Errors
 ///
 /// Returns a [`CheckpointError`] only when `checkpoint` is `Some` and the
@@ -1088,42 +951,28 @@ pub struct FaultSweepRow {
 ///
 /// Panics if `cfg` or `base_plan` fails validation, or — with
 /// `keep_going` unset — when a realization is quarantined.
+#[deprecated(
+    note = "use `sweep::SweepSpec::random_graph(cfg).over_faults(base_plan, intensities)`"
+)]
 pub fn fault_sweep_random_graph(
     cfg: &ProtocolConfig,
     base_plan: &FaultPlan,
     intensities: &[f64],
     opts: &ExperimentOptions,
-    mut checkpoint: Option<&mut Checkpoint>,
+    checkpoint: Option<&mut Checkpoint>,
 ) -> Result<Vec<FaultSweepRow>, CheckpointError> {
-    cfg.validate().expect("experiment config must be valid");
-    base_plan.validate().expect("base fault plan must be valid");
-    let span = obs::span("experiment.sweep_secs");
-    let mut rows = Vec::with_capacity(intensities.len());
-    for &intensity in intensities {
-        let plan = base_plan.scaled(intensity);
-        let point_opts = ExperimentOptions {
-            faults: plan,
-            ..opts.clone()
-        };
-        let key = format!("intensity={intensity}");
-        let compute = || FaultSweepRow {
-            intensity,
-            plan,
-            summary: run_random_graph_point(cfg, &point_opts),
-        };
-        let row = match checkpoint.as_deref_mut() {
-            Some(cp) => cp.run_point(&key, compute)?,
-            None => compute(),
-        };
-        rows.push(row);
-    }
-    drop(span);
-    obs::flush_point("fault_sweep_random_graph");
-    Ok(rows)
+    SweepSpec::random_graph(cfg.clone())
+        .over_faults(*base_plan, intensities)
+        .run_with_checkpoint(opts, checkpoint)
+        .map(|report| report.into_fault().expect("fault axis yields fault rows"))
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy sweep entry points stay under test on purpose: they are
+    // the compatibility surface the deprecated shims must preserve.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::SeedableRng;
 

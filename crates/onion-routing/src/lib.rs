@@ -43,14 +43,17 @@ pub mod crypto;
 pub mod experiment;
 pub mod groups;
 pub mod metrics;
+pub mod prelude;
 pub mod protocol;
 pub mod runner;
+pub mod sweep;
 pub mod tps;
 
 pub use adversary::Adversary;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ProtocolConfig, RouteSelection};
 pub use crypto::{OnionCryptoContext, WalkError};
+#[allow(deprecated)] // the legacy sweep functions stay re-exported for compatibility
 pub use experiment::{
     delivery_sweep_random_graph, delivery_sweep_schedule, delivery_sweep_schedule_with_rates,
     fault_sweep_random_graph, run_random_graph_point, run_schedule_point,
@@ -62,5 +65,8 @@ pub use protocol::{ForwardingMode, OnionRouting};
 pub use runner::{
     run_trials, run_trials_resilient, trial_rng, trial_rng_attempt, trial_seed, trial_seed_attempt,
     RunnerConfig, SeedDomain, TrialFailure,
+};
+pub use sweep::{
+    FaultAxis, Scenario, SecurityAxis, SweepAxis, SweepReport, SweepSpec, TraceScenario,
 };
 pub use tps::{destination_exposure, run_tps_message, tps_cost_bound, TpsConfig, TpsOutcome};

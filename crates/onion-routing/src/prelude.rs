@@ -1,0 +1,20 @@
+//! One-stop imports for sweep-driving code.
+//!
+//! `use onion_routing::prelude::*;` pulls in the configuration types, the
+//! [`SweepSpec`](crate::sweep::SweepSpec) builder family, and the result
+//! rows — everything a CLI subcommand, serve endpoint, bench, or example
+//! needs to describe and run an experiment. The deprecated free functions
+//! in [`experiment`](crate::experiment) are intentionally *not* re-exported
+//! here; new code should go through `SweepSpec`.
+
+pub use crate::config::{ProtocolConfig, RouteSelection};
+pub use crate::experiment::{
+    DeliverySweepRow, ExperimentOptions, FaultSweepRow, PointSummary, SecuritySweepRow,
+};
+pub use crate::groups::{GroupId, OnionGroups};
+pub use crate::protocol::{ForwardingMode, OnionRouting};
+pub use crate::runner::{trial_rng, RunnerConfig, SeedDomain};
+pub use crate::sweep::{
+    FaultAxis, Scenario, SecurityAxis, SweepAxis, SweepReport, SweepSpec, TraceScenario,
+};
+pub use dtn_sim::faults::{ChurnMemory, FaultPlan};

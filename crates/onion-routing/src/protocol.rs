@@ -144,7 +144,7 @@ impl RoutingProtocol for OnionRouting {
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         let mut out = Vec::new();
         let peer = view.peer();
-        for (id, copy) in view.carried() {
+        for &(id, copy) in view.carried() {
             if view.is_delivered(id) {
                 continue;
             }

@@ -1,0 +1,721 @@
+//! The unified sweep builder: one serde-able description of *what* to
+//! sweep, one entry point that runs it.
+//!
+//! A sweep is a [`Scenario`] (where contacts come from) crossed with a
+//! [`SweepAxis`] (which parameter varies):
+//!
+//! | | `Deadline` | `Security` | `Fault` |
+//! |---|---|---|---|
+//! | [`Scenario::RandomGraph`] | Figs. 4, 5, 10 | Figs. 6–9, 12, 13 | fault sweep |
+//! | [`Scenario::Schedule`] | Fig. 17 | Figs. 15–19 | fault sweep |
+//! | [`Scenario::Trace`] | Fig. 14 (trained rates) | Figs. 15–19 | fault sweep |
+//!
+//! ```
+//! use onion_routing::sweep::SweepSpec;
+//! use onion_routing::{ExperimentOptions, ProtocolConfig};
+//!
+//! let opts = ExperimentOptions { messages: 5, realizations: 2, ..Default::default() };
+//! let rows = SweepSpec::random_graph(ProtocolConfig::table2_defaults())
+//!     .over_deadlines(&[180.0, 1080.0])
+//!     .run(&opts)
+//!     .into_delivery()
+//!     .expect("deadline axis yields delivery rows");
+//! assert_eq!(rows.len(), 2);
+//! ```
+//!
+//! Every combination routes through the same deterministic parallel
+//! runner as the legacy free functions in [`crate::experiment`] (which
+//! are now thin deprecated shims over this type) and produces
+//! bit-identical rows: the seed-domain choices, RNG draw order, and f64
+//! summation order are unchanged. `SweepSpec` itself is serde-able, so a
+//! sweep description can be shipped over the serving API, checkpointed,
+//! or stored next to its results.
+
+use contact_graph::{ContactGraph, ContactSchedule, Time, TimeDelta, UniformGraphBuilder};
+use dtn_sim::{run_with_faults, FaultPlan, SimConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::config::ProtocolConfig;
+use crate::experiment::{
+    onion_protocol, random_messages, resolve_failures, run_random_graph_point, run_schedule_point,
+    DeliveryPartial, DeliverySweepRow, ExperimentOptions, FaultSweepRow, SecurityPartial,
+    SecuritySweepRow,
+};
+use crate::groups::OnionGroups;
+use crate::runner::{run_trials_resilient, trial_rng_attempt, SeedDomain};
+
+/// Where a sweep's contacts (and analysis-side rates) come from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Sample a fresh Table II random graph per realization; the
+    /// analysis series evaluates Eq. 4 on the realized graph.
+    RandomGraph,
+    /// Replay a fixed contact schedule (synthetic or parsed trace);
+    /// analysis rates are estimated from the schedule itself.
+    Schedule(ContactSchedule),
+    /// Replay a fixed schedule with caller-trained analysis rates (e.g.
+    /// active-time rates from `traces::estimate_active_rates` — the
+    /// paper's Fig. 14 training step).
+    Trace(TraceScenario),
+}
+
+/// Payload of [`Scenario::Trace`]: the schedule to replay plus the
+/// trained rate graph the analysis series should use.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceScenario {
+    /// The contact schedule the simulation replays.
+    pub schedule: ContactSchedule,
+    /// Caller-provided per-pair rates for the analysis side.
+    pub rates: ContactGraph,
+}
+
+/// Which parameter a sweep varies, with its grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Delivery rate vs deadline `T` (one simulation per realization at
+    /// the maximum deadline covers the whole curve).
+    Deadline(Vec<f64>),
+    /// Traceable rate and anonymity vs compromised-node count `c`.
+    Security(SecurityAxis),
+    /// Full point summaries vs fault-plan intensity.
+    Fault(FaultAxis),
+}
+
+/// Payload of [`SweepAxis::Security`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SecurityAxis {
+    /// Compromised-node counts to sweep.
+    pub compromised: Vec<usize>,
+    /// Independent compromise sets averaged per `c` per realization.
+    pub adversary_draws: usize,
+}
+
+/// Payload of [`SweepAxis::Fault`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultAxis {
+    /// The plan scaled by each intensity (probabilities clamped to
+    /// `[0, 1]`, churn rate scaled linearly).
+    pub base_plan: FaultPlan,
+    /// Intensity multipliers (0.0 = fault-free).
+    pub intensities: Vec<f64>,
+}
+
+/// One sweep, fully described: protocol parameters, contact source, and
+/// the swept axis. Construct with [`SweepSpec::random_graph`],
+/// [`SweepSpec::schedule`], or [`SweepSpec::trace`], pick an axis with
+/// an `over_*` method, then call [`SweepSpec::run`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Protocol parameters (for deadline sweeps, `config.deadline` is
+    /// overridden by the maximum swept deadline).
+    pub config: ProtocolConfig,
+    /// Contact source.
+    pub scenario: Scenario,
+    /// Swept parameter and grid.
+    pub axis: SweepAxis,
+}
+
+/// The rows a sweep produced, tagged by axis kind.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SweepReport {
+    /// Rows of a [`SweepAxis::Deadline`] sweep.
+    Delivery(Vec<DeliverySweepRow>),
+    /// Rows of a [`SweepAxis::Security`] sweep.
+    Security(Vec<SecuritySweepRow>),
+    /// Rows of a [`SweepAxis::Fault`] sweep.
+    Fault(Vec<FaultSweepRow>),
+}
+
+impl SweepReport {
+    /// The delivery rows, if this was a deadline sweep.
+    pub fn into_delivery(self) -> Option<Vec<DeliverySweepRow>> {
+        match self {
+            SweepReport::Delivery(rows) => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// The security rows, if this was a security sweep.
+    pub fn into_security(self) -> Option<Vec<SecuritySweepRow>> {
+        match self {
+            SweepReport::Security(rows) => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// The fault rows, if this was a fault sweep.
+    pub fn into_fault(self) -> Option<Vec<FaultSweepRow>> {
+        match self {
+            SweepReport::Fault(rows) => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepReport::Delivery(rows) => rows.len(),
+            SweepReport::Security(rows) => rows.len(),
+            SweepReport::Fault(rows) => rows.len(),
+        }
+    }
+
+    /// Whether the sweep produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SweepSpec {
+    /// A random-graph sweep. Pick an axis with an `over_*` method before
+    /// running; the default axis is an empty deadline grid, which
+    /// [`SweepSpec::run`] rejects.
+    pub fn random_graph(config: ProtocolConfig) -> SweepSpec {
+        SweepSpec {
+            config,
+            scenario: Scenario::RandomGraph,
+            axis: SweepAxis::Deadline(Vec::new()),
+        }
+    }
+
+    /// A sweep replaying `schedule`, with analysis rates estimated from
+    /// the schedule itself.
+    pub fn schedule(config: ProtocolConfig, schedule: ContactSchedule) -> SweepSpec {
+        SweepSpec {
+            config,
+            scenario: Scenario::Schedule(schedule),
+            axis: SweepAxis::Deadline(Vec::new()),
+        }
+    }
+
+    /// A sweep replaying `schedule` with caller-trained analysis
+    /// `rates`.
+    pub fn trace(
+        config: ProtocolConfig,
+        schedule: ContactSchedule,
+        rates: ContactGraph,
+    ) -> SweepSpec {
+        SweepSpec {
+            config,
+            scenario: Scenario::Trace(TraceScenario { schedule, rates }),
+            axis: SweepAxis::Deadline(Vec::new()),
+        }
+    }
+
+    /// Sweeps delivery rate over `deadlines`.
+    pub fn over_deadlines(mut self, deadlines: &[f64]) -> SweepSpec {
+        self.axis = SweepAxis::Deadline(deadlines.to_vec());
+        self
+    }
+
+    /// Sweeps security metrics over `compromised` counts, averaging
+    /// `adversary_draws` compromise sets per count per realization.
+    pub fn over_security(mut self, compromised: &[usize], adversary_draws: usize) -> SweepSpec {
+        self.axis = SweepAxis::Security(SecurityAxis {
+            compromised: compromised.to_vec(),
+            adversary_draws,
+        });
+        self
+    }
+
+    /// Sweeps full point summaries over fault `intensities` applied to
+    /// `base_plan`.
+    pub fn over_faults(mut self, base_plan: FaultPlan, intensities: &[f64]) -> SweepSpec {
+        self.axis = SweepAxis::Fault(FaultAxis {
+            base_plan,
+            intensities: intensities.to_vec(),
+        });
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid for the scenario/axis (empty or
+    /// non-positive deadline grid, config/schedule node mismatch, invalid
+    /// fault plan), or — with `keep_going` unset — when a realization is
+    /// quarantined.
+    pub fn run(&self, opts: &ExperimentOptions) -> SweepReport {
+        self.run_with_checkpoint(opts, None)
+            .expect("checkpoint errors are impossible without a checkpoint")
+    }
+
+    /// Runs the sweep, resuming finished rows from `checkpoint` when one
+    /// is given. Only [`SweepAxis::Fault`] sweeps checkpoint per-row
+    /// (keyed `intensity=<value>`); the other axes compute all rows in
+    /// one pass and ignore the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] only when `checkpoint` is `Some`
+    /// and the file cannot be read or written.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSpec::run`].
+    pub fn run_with_checkpoint(
+        &self,
+        opts: &ExperimentOptions,
+        checkpoint: Option<&mut Checkpoint>,
+    ) -> Result<SweepReport, CheckpointError> {
+        match &self.axis {
+            SweepAxis::Deadline(deadlines) => {
+                let rows = match &self.scenario {
+                    Scenario::RandomGraph => delivery_random_graph(&self.config, deadlines, opts),
+                    Scenario::Schedule(schedule) => {
+                        let estimated = schedule.estimate_rates();
+                        delivery_schedule(schedule, &estimated, &self.config, deadlines, opts)
+                    }
+                    Scenario::Trace(t) => {
+                        delivery_schedule(&t.schedule, &t.rates, &self.config, deadlines, opts)
+                    }
+                };
+                Ok(SweepReport::Delivery(rows))
+            }
+            SweepAxis::Security(axis) => {
+                let rows = match &self.scenario {
+                    Scenario::RandomGraph => security_random_graph(
+                        &self.config,
+                        &axis.compromised,
+                        axis.adversary_draws,
+                        opts,
+                    ),
+                    Scenario::Schedule(schedule) => security_schedule(
+                        schedule,
+                        &self.config,
+                        &axis.compromised,
+                        axis.adversary_draws,
+                        opts,
+                    ),
+                    Scenario::Trace(t) => security_schedule(
+                        &t.schedule,
+                        &self.config,
+                        &axis.compromised,
+                        axis.adversary_draws,
+                        opts,
+                    ),
+                };
+                Ok(SweepReport::Security(rows))
+            }
+            SweepAxis::Fault(axis) => {
+                fault_sweep(&self.scenario, &self.config, axis, opts, checkpoint)
+                    .map(SweepReport::Fault)
+            }
+        }
+    }
+}
+
+/// Delivery rate vs deadline on random graphs, reusing one simulation per
+/// realization for every deadline: delivering within `T` is equivalent to
+/// a delivery delay `≤ T`, so a single maximum-deadline run yields the
+/// whole curve. The analysis series evaluates each message's Eq. 4
+/// hypoexponential at every deadline.
+fn delivery_random_graph(
+    cfg: &ProtocolConfig,
+    deadlines: &[f64],
+    opts: &ExperimentOptions,
+) -> Vec<DeliverySweepRow> {
+    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max_t > 0.0, "need at least one positive deadline");
+    let run_cfg = ProtocolConfig {
+        deadline: TimeDelta::new(max_t),
+        ..cfg.clone()
+    };
+    run_cfg.validate().expect("experiment config must be valid");
+    let span = obs::span("experiment.sweep_secs");
+
+    let mut total = DeliveryPartial::new(deadlines.len());
+    let failures = run_trials_resilient(
+        &opts.runner(),
+        opts.realizations,
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
+            let graph = UniformGraphBuilder::new(run_cfg.nodes)
+                .mean_intercontact_range(
+                    TimeDelta::new(opts.intercontact_range.0),
+                    TimeDelta::new(opts.intercontact_range.1),
+                )
+                .build(&mut rng);
+            let schedule = ContactSchedule::sample(&graph, Time::new(max_t), &mut rng);
+            let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
+
+            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(&run_cfg, groups);
+            let report = run_with_faults(
+                &schedule,
+                &mut protocol,
+                messages.clone(),
+                &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
+                &mut rng,
+            )
+            .expect("validated");
+
+            let mut partial = DeliveryPartial::new(deadlines.len());
+            partial.score_realization(&run_cfg, &graph, deadlines, &messages, &protocol, &report);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    resolve_failures("delivery_sweep_random_graph", &failures, opts);
+    let rows = total.rows(deadlines);
+    drop(span);
+    obs::flush_point("delivery_sweep_random_graph");
+    rows
+}
+
+/// Delivery rate vs deadline on a fixed schedule. Message starts follow
+/// the paper's business-hours policy (a random contact of the source);
+/// the analysis series evaluates Eq. 4 on `estimated`.
+fn delivery_schedule(
+    schedule: &ContactSchedule,
+    estimated: &ContactGraph,
+    cfg: &ProtocolConfig,
+    deadlines: &[f64],
+    opts: &ExperimentOptions,
+) -> Vec<DeliverySweepRow> {
+    let max_t = deadlines.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max_t > 0.0, "need at least one positive deadline");
+    let run_cfg = ProtocolConfig {
+        deadline: TimeDelta::new(max_t),
+        ..cfg.clone()
+    };
+    run_cfg.validate().expect("experiment config must be valid");
+    assert_eq!(
+        run_cfg.nodes,
+        schedule.node_count(),
+        "config nodes must match the trace"
+    );
+    let span = obs::span("experiment.sweep_secs");
+
+    let mut total = DeliveryPartial::new(deadlines.len());
+    let failures = run_trials_resilient(
+        &opts.runner(),
+        opts.realizations,
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
+            let mut start_rng =
+                trial_rng_attempt(opts.seed, SeedDomain::ScheduleStarts, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
+            let events = schedule.events();
+            let messages = random_messages(
+                &run_cfg,
+                opts.messages,
+                |source| {
+                    let candidates: Vec<Time> = events
+                        .iter()
+                        .filter(|e| e.involves(source))
+                        .map(|e| e.time)
+                        .collect();
+                    if candidates.is_empty() {
+                        Time::ZERO
+                    } else {
+                        candidates[start_rng.gen_range(0..candidates.len())]
+                    }
+                },
+                &mut rng,
+            );
+
+            let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(&run_cfg, groups);
+            let report = run_with_faults(
+                schedule,
+                &mut protocol,
+                messages.clone(),
+                &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
+                &mut rng,
+            )
+            .expect("validated");
+
+            let mut partial = DeliveryPartial::new(deadlines.len());
+            partial.score_realization(
+                &run_cfg, estimated, deadlines, &messages, &protocol, &report,
+            );
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    resolve_failures("delivery_sweep_schedule", &failures, opts);
+    let rows = total.rows(deadlines);
+    drop(span);
+    obs::flush_point("delivery_sweep_schedule");
+    rows
+}
+
+/// Security metrics vs compromised-node count on random graphs, reusing
+/// one simulation per realization across the whole `c` sweep (the
+/// adversary draw does not influence forwarding).
+fn security_random_graph(
+    cfg: &ProtocolConfig,
+    compromised_values: &[usize],
+    adversary_draws: usize,
+    opts: &ExperimentOptions,
+) -> Vec<SecuritySweepRow> {
+    cfg.validate().expect("experiment config must be valid");
+    let span = obs::span("experiment.sweep_secs");
+
+    let mut total = SecurityPartial::new(compromised_values.len());
+    let failures = run_trials_resilient(
+        &opts.runner(),
+        opts.realizations,
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng = trial_rng_attempt(opts.seed, SeedDomain::SecurityGraph, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
+            let graph = UniformGraphBuilder::new(cfg.nodes)
+                .mean_intercontact_range(
+                    TimeDelta::new(opts.intercontact_range.0),
+                    TimeDelta::new(opts.intercontact_range.1),
+                )
+                .build(&mut rng);
+            let horizon = Time::ZERO + cfg.deadline;
+            let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
+            let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+
+            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(cfg, groups);
+            let report = run_with_faults(
+                &schedule,
+                &mut protocol,
+                messages,
+                &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
+                &mut rng,
+            )
+            .expect("validated");
+
+            let mut partial = SecurityPartial::new(compromised_values.len());
+            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    resolve_failures("security_sweep_random_graph", &failures, opts);
+    let rows = total.rows(cfg, compromised_values);
+    drop(span);
+    obs::flush_point("security_sweep_random_graph");
+    rows
+}
+
+/// Security metrics vs compromised count on a fixed schedule.
+fn security_schedule(
+    schedule: &ContactSchedule,
+    cfg: &ProtocolConfig,
+    compromised_values: &[usize],
+    adversary_draws: usize,
+    opts: &ExperimentOptions,
+) -> Vec<SecuritySweepRow> {
+    cfg.validate().expect("experiment config must be valid");
+    assert_eq!(
+        cfg.nodes,
+        schedule.node_count(),
+        "config nodes must match the trace"
+    );
+    let span = obs::span("experiment.sweep_secs");
+
+    let mut total = SecurityPartial::new(compromised_values.len());
+    let failures = run_trials_resilient(
+        &opts.runner(),
+        opts.realizations,
+        |realization, attempt| {
+            let trial = realization as u64;
+            let mut rng =
+                trial_rng_attempt(opts.seed, SeedDomain::SecuritySchedule, trial, attempt);
+            let mut start_rng =
+                trial_rng_attempt(opts.seed, SeedDomain::SecurityStarts, trial, attempt);
+            let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
+            let events = schedule.events();
+            let messages = random_messages(
+                cfg,
+                opts.messages,
+                |source| {
+                    let candidates: Vec<Time> = events
+                        .iter()
+                        .filter(|e| e.involves(source))
+                        .map(|e| e.time)
+                        .collect();
+                    if candidates.is_empty() {
+                        Time::ZERO
+                    } else {
+                        candidates[start_rng.gen_range(0..candidates.len())]
+                    }
+                },
+                &mut rng,
+            );
+
+            let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
+            let mut protocol = onion_protocol(cfg, groups);
+            let report = run_with_faults(
+                schedule,
+                &mut protocol,
+                messages,
+                &SimConfig::default(),
+                &opts.faults,
+                &mut fault_rng,
+                &mut rng,
+            )
+            .expect("validated");
+
+            let mut partial = SecurityPartial::new(compromised_values.len());
+            partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            partial
+        },
+        &mut total,
+        |total, _realization, partial| total.merge(&partial),
+    );
+    resolve_failures("security_sweep_schedule", &failures, opts);
+    let rows = total.rows(cfg, compromised_values);
+    drop(span);
+    obs::flush_point("security_sweep_schedule");
+    rows
+}
+
+/// Full point summaries vs fault intensity: each row runs a complete
+/// point (random-graph or schedule, per the scenario) with `base_plan`
+/// scaled by the intensity. With a checkpoint, finished intensities are
+/// replayed byte-identically.
+fn fault_sweep(
+    scenario: &Scenario,
+    cfg: &ProtocolConfig,
+    axis: &FaultAxis,
+    opts: &ExperimentOptions,
+    mut checkpoint: Option<&mut Checkpoint>,
+) -> Result<Vec<FaultSweepRow>, CheckpointError> {
+    cfg.validate().expect("experiment config must be valid");
+    axis.base_plan
+        .validate()
+        .expect("base fault plan must be valid");
+    let span = obs::span("experiment.sweep_secs");
+    let mut rows = Vec::with_capacity(axis.intensities.len());
+    for &intensity in &axis.intensities {
+        let plan = axis.base_plan.scaled(intensity);
+        let point_opts = ExperimentOptions {
+            faults: plan,
+            ..opts.clone()
+        };
+        let key = format!("intensity={intensity}");
+        let compute = || FaultSweepRow {
+            intensity,
+            plan,
+            summary: match scenario {
+                Scenario::RandomGraph => run_random_graph_point(cfg, &point_opts),
+                Scenario::Schedule(schedule) => run_schedule_point(schedule, cfg, &point_opts),
+                Scenario::Trace(t) => run_schedule_point(&t.schedule, cfg, &point_opts),
+            },
+        };
+        let row = match checkpoint.as_deref_mut() {
+            Some(cp) => cp.run_point(&key, compute)?,
+            None => compute(),
+        };
+        rows.push(row);
+    }
+    drop(span);
+    obs::flush_point(match scenario {
+        Scenario::RandomGraph => "fault_sweep_random_graph",
+        Scenario::Schedule(_) | Scenario::Trace(_) => "fault_sweep_schedule",
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contact_graph::UniformGraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quick_opts() -> ExperimentOptions {
+        ExperimentOptions {
+            messages: 8,
+            realizations: 2,
+            seed: 19,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let spec =
+            SweepSpec::random_graph(ProtocolConfig::table2_defaults()).over_security(&[5, 10], 3);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn axis_selects_the_report_kind() {
+        let cfg = ProtocolConfig {
+            nodes: 30,
+            group_size: 3,
+            onions: 2,
+            compromised: 3,
+            deadline: contact_graph::TimeDelta::new(240.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let opts = quick_opts();
+        let delivery = SweepSpec::random_graph(cfg.clone())
+            .over_deadlines(&[120.0, 240.0])
+            .run(&opts);
+        assert!(matches!(delivery, SweepReport::Delivery(ref rows) if rows.len() == 2));
+        assert_eq!(delivery.len(), 2);
+        assert!(!delivery.is_empty());
+        assert!(delivery.into_security().is_none());
+
+        let security = SweepSpec::random_graph(cfg)
+            .over_security(&[0, 3], 2)
+            .run(&opts);
+        assert_eq!(security.len(), 2);
+        assert!(security.into_security().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive deadline")]
+    fn default_axis_is_rejected() {
+        let _ = SweepSpec::random_graph(ProtocolConfig::table2_defaults()).run(&quick_opts());
+    }
+
+    #[test]
+    fn schedule_fault_sweep_runs_per_intensity_points() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let graph = UniformGraphBuilder::new(24).build(&mut rng);
+        let schedule = ContactSchedule::sample(&graph, Time::new(300.0), &mut rng);
+        let cfg = ProtocolConfig {
+            nodes: 24,
+            group_size: 3,
+            onions: 2,
+            compromised: 2,
+            deadline: contact_graph::TimeDelta::new(200.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let plan = FaultPlan {
+            contact_failure: 0.5,
+            ..FaultPlan::default()
+        };
+        let rows = SweepSpec::schedule(cfg, schedule)
+            .over_faults(plan, &[0.0, 1.0])
+            .run(&quick_opts())
+            .into_fault()
+            .expect("fault axis yields fault rows");
+        assert_eq!(rows.len(), 2);
+        // Intensity 0 injects nothing; intensity 1 drops ~half the
+        // contacts, so the faulted point must not deliver more.
+        assert_eq!(rows[0].summary.sim_counters.fault_contacts_dropped, 0);
+        assert!(rows[1].summary.sim_counters.fault_contacts_dropped > 0);
+        assert!(rows[1].summary.sim_delivery <= rows[0].summary.sim_delivery + 1e-9);
+    }
+}

@@ -22,8 +22,7 @@ use std::sync::Arc;
 
 use dtn_sim::{ChurnConfig, ChurnMemory, FaultPlan};
 use onion_routing::{
-    delivery_sweep_random_graph, fault_sweep_random_graph, run_random_graph_point,
-    security_sweep_random_graph, Checkpoint, ExperimentOptions, ProtocolConfig,
+    run_random_graph_point, Checkpoint, ExperimentOptions, ProtocolConfig, SweepSpec,
 };
 use serde::{Serialize, Value};
 
@@ -104,7 +103,7 @@ impl Api {
             ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
             ("GET", "/metricsz") => match serde_json::to_string(&self.stats.snapshot()) {
                 Ok(body) => Response::json(200, body),
-                Err(e) => Response::error(500, &format!("snapshot: {e}")),
+                Err(e) => Response::error(500, "internal", &format!("snapshot: {e}")),
             },
             ("POST", "/v1/admin/shutdown") => {
                 let mut resp = Response::json(200, "{\"status\":\"draining\"}".to_string());
@@ -120,38 +119,38 @@ impl Api {
                     || path.starts_with("/v1/sweep/")
                     || path.starts_with("/v1/admin/") =>
             {
-                Response::error(405, "method not allowed")
+                Response::error(405, "method_not_allowed", "method not allowed")
             }
-            _ => Response::error(404, "no such endpoint"),
+            _ => Response::error(404, "not_found", "no such endpoint"),
         }
     }
 
     fn model(&self, req: &Request) -> Response {
         let body = match parse_body(&req.body) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &e),
+            Err(e) => return Response::error(400, "malformed_request", &e),
         };
         let result = match req.path.as_str() {
             "/v1/model/delivery" => model_delivery(&body),
             "/v1/model/cost" => model_cost(&body),
             "/v1/model/traceable" => model_traceable(&body),
             "/v1/model/anonymity" => model_anonymity(&body),
-            _ => return Response::error(404, "no such model endpoint"),
+            _ => return Response::error(404, "not_found", "no such model endpoint"),
         };
         match result {
             Ok(json) => Response::json(200, json),
-            Err(e) => Response::error(400, &e),
+            Err(e) => Response::error(400, "invalid_argument", &e),
         }
     }
 
     fn sweep(&self, req: &Request) -> Response {
         let body = match parse_body(&req.body) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &e),
+            Err(e) => return Response::error(400, "malformed_request", &e),
         };
         let (cfg, opts) = match self.sweep_base(&body) {
             Ok(pair) => pair,
-            Err(e) => return Response::error(400, &e),
+            Err(e) => return Response::error(400, "invalid_argument", &e),
         };
         // `threads` is an execution knob the *server* owns; the canonical
         // form in the cache key already zeroes it, and determinism makes
@@ -169,15 +168,20 @@ impl Api {
             "/v1/sweep/deadline" => {
                 let deadlines = match opt_field::<Vec<f64>>(&body, "deadlines") {
                     Ok(v) => v.unwrap_or_else(|| vec![60.0, 180.0, 360.0, 720.0, 1080.0]),
-                    Err(e) => return Response::error(400, &e),
+                    Err(e) => return Response::error(400, "invalid_argument", &e),
                 };
                 if deadlines.is_empty() || deadlines.iter().any(|&t| !t.is_finite() || t <= 0.0) {
-                    return Response::error(400, "deadlines must be positive");
+                    return Response::error(400, "invalid_argument", "deadlines must be positive");
                 }
                 let key =
                     Checkpoint::fingerprint(&("/v1/sweep/deadline", &cfg, &canon, &deadlines));
                 self.cached_sweep(&key, || {
-                    to_json(&delivery_sweep_random_graph(&cfg, &deadlines, &run_opts))
+                    let rows = SweepSpec::random_graph(cfg.clone())
+                        .over_deadlines(&deadlines)
+                        .run(&run_opts)
+                        .into_delivery()
+                        .expect("deadline axis yields delivery rows");
+                    to_json(&rows)
                 })
             }
             "/v1/sweep/security" => {
@@ -188,14 +192,18 @@ impl Api {
                             .map(|f| ((cfg.nodes as f64 * f).round() as usize).max(1))
                             .collect()
                     }),
-                    Err(e) => return Response::error(400, &e),
+                    Err(e) => return Response::error(400, "invalid_argument", &e),
                 };
                 let draws = match opt_field::<usize>(&body, "adversary_draws") {
                     Ok(v) => v.unwrap_or(3),
-                    Err(e) => return Response::error(400, &e),
+                    Err(e) => return Response::error(400, "invalid_argument", &e),
                 };
                 if compromised.is_empty() || compromised.iter().any(|&c| c > cfg.nodes) {
-                    return Response::error(400, "compromised values must be within 0..=n");
+                    return Response::error(
+                        400,
+                        "invalid_argument",
+                        "compromised values must be within 0..=n",
+                    );
                 }
                 let key = Checkpoint::fingerprint(&(
                     "/v1/sweep/security",
@@ -205,29 +213,33 @@ impl Api {
                     draws,
                 ));
                 self.cached_sweep(&key, || {
-                    to_json(&security_sweep_random_graph(
-                        &cfg,
-                        &compromised,
-                        draws,
-                        &run_opts,
-                    ))
+                    let rows = SweepSpec::random_graph(cfg.clone())
+                        .over_security(&compromised, draws)
+                        .run(&run_opts)
+                        .into_security()
+                        .expect("security axis yields security rows");
+                    to_json(&rows)
                 })
             }
             "/v1/sweep/fault" => {
                 let plan = match opt_field::<FaultPlan>(&body, "plan") {
                     Ok(v) => v.unwrap_or_else(default_fault_plan),
-                    Err(e) => return Response::error(400, &e),
+                    Err(e) => return Response::error(400, "invalid_argument", &e),
                 };
                 if let Err(e) = plan.validate() {
-                    return Response::error(400, &format!("fault plan: {e}"));
+                    return Response::error(400, "invalid_argument", &format!("fault plan: {e}"));
                 }
                 let intensities = match opt_field::<Vec<f64>>(&body, "intensities") {
                     Ok(v) => v.unwrap_or_else(|| vec![0.0, 0.25, 0.5, 0.75, 1.0]),
-                    Err(e) => return Response::error(400, &e),
+                    Err(e) => return Response::error(400, "invalid_argument", &e),
                 };
                 if intensities.is_empty() || intensities.iter().any(|&i| !(0.0..=10.0).contains(&i))
                 {
-                    return Response::error(400, "intensities must be within 0..=10");
+                    return Response::error(
+                        400,
+                        "invalid_argument",
+                        "intensities must be within 0..=10",
+                    );
                 }
                 let key = Checkpoint::fingerprint(&(
                     "/v1/sweep/fault",
@@ -237,12 +249,17 @@ impl Api {
                     &intensities,
                 ));
                 self.cached_sweep(&key, || {
-                    fault_sweep_random_graph(&cfg, &plan, &intensities, &run_opts, None)
+                    SweepSpec::random_graph(cfg.clone())
+                        .over_faults(plan, &intensities)
+                        .run_with_checkpoint(&run_opts, None)
                         .map_err(|e| format!("fault sweep: {e}"))
-                        .and_then(|rows| to_json(&rows))
+                        .and_then(|report| {
+                            let rows = report.into_fault().expect("fault axis yields fault rows");
+                            to_json(&rows)
+                        })
                 })
             }
-            _ => Response::error(404, "no such sweep endpoint"),
+            _ => Response::error(404, "not_found", "no such sweep endpoint"),
         }
     }
 
@@ -306,7 +323,7 @@ impl Api {
                 }
                 Response::json(200, (*body).clone())
             }
-            Err(e) => Response::error(500, &e),
+            Err(e) => Response::error(500, "internal", &e),
         }
     }
 }

@@ -88,20 +88,49 @@ impl Response {
         }
     }
 
-    /// A JSON error response `{"error": "..."}` with the given status.
-    pub fn error(status: u16, message: &str) -> Response {
+    /// A JSON error response with the given status, using the unified
+    /// envelope `{"error":{"code":"...","message":"..."}}`.
+    ///
+    /// `code` is a stable machine-readable string (see [`ErrorBody`] for
+    /// the vocabulary); `message` is free-form human-readable detail.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
         let body = serde_json::to_string(&ErrorBody {
-            error: message.to_string(),
+            error: ErrorDetail {
+                code: code.to_string(),
+                message: message.to_string(),
+            },
         })
         .expect("error body serializes");
         Response::json(status, body)
     }
 }
 
-/// Wire shape of error responses.
+/// Wire shape of error responses: `{"error":{"code","message"}}`.
+///
+/// Stable `code` vocabulary:
+///
+/// | code | meaning | typical status |
+/// |---|---|---|
+/// | `invalid_argument` | request parsed but a field is unusable | 400 |
+/// | `malformed_request` | the HTTP frame or JSON body failed to parse | 400 |
+/// | `not_found` | no such endpoint | 404 |
+/// | `method_not_allowed` | endpoint exists, wrong method | 405 |
+/// | `too_large` | head or body over its size cap | 413 |
+/// | `internal` | computation failed server-side | 500 |
+/// | `overloaded` | accept queue full, retry later | 503 |
 #[derive(serde::Serialize, serde::Deserialize)]
-struct ErrorBody {
-    error: String,
+pub struct ErrorBody {
+    /// The nested error detail.
+    pub error: ErrorDetail,
+}
+
+/// The `error` object inside [`ErrorBody`].
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ErrorDetail {
+    /// Stable machine-readable class.
+    pub code: String,
+    /// Human-readable detail, not stable.
+    pub message: String,
 }
 
 fn reason(status: u16) -> &'static str {
@@ -325,7 +354,7 @@ mod tests {
         let mut wire = Vec::new();
         let resp = Response {
             retry_after: Some(2),
-            ..Response::error(503, "queue full")
+            ..Response::error(503, "overloaded", "queue full")
         };
         write_response(&mut wire, &resp).unwrap();
         let text = String::from_utf8(wire.clone()).unwrap();

@@ -251,7 +251,7 @@ fn reject(shared: &Shared, mut stream: TcpStream) {
     shared.stats.bump(&shared.stats.rejected, "serve.rejected");
     let resp = Response {
         retry_after: Some(1),
-        ..Response::error(503, "queue full, retry shortly")
+        ..Response::error(503, "overloaded", "queue full, retry shortly")
     };
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let _ = write_response(&mut stream, &resp);
@@ -287,8 +287,8 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
             let class = Api::class_of(&req.path);
             (shared.api.handle(&req), class)
         }
-        Err(HttpError::TooLarge(m)) => (Response::error(413, &m), "other"),
-        Err(HttpError::Malformed(m)) => (Response::error(400, &m), "other"),
+        Err(HttpError::TooLarge(m)) => (Response::error(413, "too_large", &m), "other"),
+        Err(HttpError::Malformed(m)) => (Response::error(400, "malformed_request", &m), "other"),
         Err(HttpError::Io(e)) => {
             // Nothing parseable arrived; log and drop without a response.
             obs::debug!("serve", "read failed: {e}");

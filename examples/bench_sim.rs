@@ -1,0 +1,161 @@
+//! Single-core Monte-Carlo throughput harness for the fig04-style sweep.
+//!
+//! Times the fig04 deadline sweep (`SweepSpec::random_graph` +
+//! `over_deadlines`) at Table II defaults (the same
+//! workload as `mc_speedup`) on one thread, cross-checks bit-identity of
+//! the rows against a threads=2 run, and emits a JSON record shaped like
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_sim -- \
+//!     [--realizations N] [--out PATH] [--check-against BENCH_sim.json]
+//! ```
+//!
+//! `--check-against` compares trials/s to the committed baseline's
+//! `after.trials_per_sec` and exits non-zero on a >2x regression. The
+//! bound is deliberately generous: trials/s is roughly independent of
+//! realization count, but single-core CI containers are noisy.
+
+use std::time::Instant;
+
+use onion_routing::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    workload: &'static str,
+    config: &'static str,
+    deadlines: Vec<f64>,
+    messages: usize,
+    seed: u64,
+    realizations: usize,
+    threads: usize,
+    elapsed_secs: f64,
+    trials_per_sec: f64,
+    per_trial_ms: f64,
+    rows_bit_identical_threads_1_2: bool,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_sim: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut realizations: usize = 1000;
+    let mut out: Option<String> = None;
+    let mut check_against: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i])))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--realizations" => {
+                realizations = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--realizations must be a positive integer"));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(need(i));
+                i += 2;
+            }
+            "--check-against" => {
+                check_against = Some(need(i));
+                i += 2;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if realizations == 0 {
+        fail("--realizations must be a positive integer");
+    }
+
+    let cfg = ProtocolConfig::table2_defaults();
+    let deadlines = [60.0f64, 180.0, 360.0, 720.0, 1080.0];
+    let opts = |threads: usize| ExperimentOptions {
+        messages: 5,
+        realizations,
+        seed: 0xF1_604,
+        threads,
+        ..Default::default()
+    };
+
+    eprintln!("bench_sim: fig04-style sweep, {realizations} realizations, threads=1 ...");
+    let t0 = Instant::now();
+    let spec = SweepSpec::random_graph(cfg.clone()).over_deadlines(&deadlines);
+    let rows = spec
+        .run(&opts(1))
+        .into_delivery()
+        .expect("deadline axis yields delivery rows");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let trials_per_sec = realizations as f64 / elapsed;
+    let per_trial_ms = elapsed * 1e3 / realizations as f64;
+    eprintln!(
+        "bench_sim: {elapsed:.2} s ({trials_per_sec:.1} trials/s, {per_trial_ms:.2} ms/trial)"
+    );
+
+    // Determinism cross-check: the same sweep on two threads must produce
+    // byte-identical rows.
+    let rows_json = serde_json::to_string(&rows).expect("rows serialize");
+    let rows2 = spec
+        .run(&opts(2))
+        .into_delivery()
+        .expect("deadline axis yields delivery rows");
+    let rows2_json = serde_json::to_string(&rows2).expect("rows serialize");
+    assert_eq!(
+        rows_json, rows2_json,
+        "threads=1 and threads=2 rows must be bit-identical"
+    );
+    eprintln!("bench_sim: threads=1 vs threads=2 rows bit-identical");
+
+    let record = BenchRecord {
+        workload: "fig04_delivery_sweep_random_graph",
+        config: "table2_defaults",
+        deadlines: deadlines.to_vec(),
+        messages: 5,
+        seed: 0xF1_604,
+        realizations,
+        threads: 1,
+        elapsed_secs: elapsed,
+        trials_per_sec,
+        per_trial_ms,
+        rows_bit_identical_threads_1_2: true,
+    };
+    let rendered = serde_json::to_string_pretty(&record).expect("record serializes");
+    println!("{rendered}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{rendered}\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("bench_sim: wrote {path}");
+    }
+
+    if let Some(path) = check_against {
+        let baseline = serde_json::parse_value(
+            &std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        let committed = match baseline.get("after").and_then(|a| a.get("trials_per_sec")) {
+            Some(serde::Value::Float(v)) => *v,
+            Some(serde::Value::UInt(v)) => *v as f64,
+            Some(serde::Value::Int(v)) => *v as f64,
+            _ => fail(&format!("{path} has no after.trials_per_sec")),
+        };
+        eprintln!(
+            "bench_sim: committed baseline {committed:.1} trials/s, measured {trials_per_sec:.1}"
+        );
+        if trials_per_sec < committed / 2.0 {
+            eprintln!(
+                "bench_sim: FAIL — throughput regressed more than 2x vs the committed baseline"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench_sim: within the 2x regression bound");
+    }
+}

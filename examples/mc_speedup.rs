@@ -16,7 +16,6 @@
 use std::time::Instant;
 
 use onion_dtn::prelude::*;
-use onion_routing::delivery_sweep_random_graph;
 
 fn main() {
     let realizations: usize = std::env::args()
@@ -59,7 +58,11 @@ fn main() {
             ..base.clone()
         };
         let start = Instant::now();
-        let rows = delivery_sweep_random_graph(&cfg, &deadlines, &opts);
+        let rows = SweepSpec::random_graph(cfg.clone())
+            .over_deadlines(&deadlines)
+            .run(&opts)
+            .into_delivery()
+            .expect("deadline axis yields delivery rows");
         let secs = start.elapsed().as_secs_f64();
         // The sweep flushes its metrics on return; read back the
         // per-trial duration histogram for this run.

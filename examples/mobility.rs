@@ -61,7 +61,12 @@ fn main() {
     };
     println!("\ndelivery rate vs deadline (model on estimated rates | simulation):");
     let deadlines = [600.0, 1800.0, 3600.0, 7200.0];
-    for row in onion_routing::delivery_sweep_schedule(&schedule, &pcfg, &deadlines, &opts) {
+    let rows = SweepSpec::schedule(pcfg.clone(), schedule.clone())
+        .over_deadlines(&deadlines)
+        .run(&opts)
+        .into_delivery()
+        .expect("deadline axis yields delivery rows");
+    for row in rows {
         println!(
             "  T = {:>5.0} s: {:.3} | {:.3}",
             row.deadline, row.analysis, row.sim

@@ -7,7 +7,6 @@
 //! Run with: `cargo run --example parameter_study`
 
 use onion_dtn::prelude::*;
-use onion_routing::PointSummary;
 
 fn print_header() {
     println!(

@@ -72,7 +72,12 @@ fn main() {
 
     println!("\ndelivery rate vs deadline (analysis | simulation):");
     let deadlines = [60.0, 300.0, 900.0, 1800.0, 3600.0];
-    for row in onion_routing::delivery_sweep_schedule(&schedule, &cfg, &deadlines, &opts) {
+    let delivery_rows = SweepSpec::schedule(cfg.clone(), schedule.clone())
+        .over_deadlines(&deadlines)
+        .run(&opts)
+        .into_delivery()
+        .expect("deadline axis yields delivery rows");
+    for row in delivery_rows {
         println!(
             "  T = {:>6.0} s: {:.3} | {:.3}",
             row.deadline, row.analysis, row.sim
@@ -81,7 +86,12 @@ fn main() {
 
     println!("\nsecurity vs captured devices (traceable A|S, anonymity A|S):");
     let cs: Vec<usize> = (1..=n / 2).step_by((n / 8).max(1)).collect();
-    for row in onion_routing::security_sweep_schedule(&schedule, &cfg, &cs, 3, &opts) {
+    let security_rows = SweepSpec::schedule(cfg.clone(), schedule.clone())
+        .over_security(&cs, 3)
+        .run(&opts)
+        .into_security()
+        .expect("security axis yields security rows");
+    for row in security_rows {
         println!(
             "  c = {:>3}: traceable {:.3} | {} — anonymity {:.3} | {}",
             row.compromised,

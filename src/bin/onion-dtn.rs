@@ -302,7 +302,11 @@ fn cmd_deadline_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .collect();
     let mut cp = open_checkpoint(flags, "deadline-sweep", &cfg, &opts)?;
     let rows: Vec<DeliverySweepRow> = checkpointed(&mut cp, "rows", || {
-        onion_routing::delivery_sweep_random_graph(&cfg, &deadlines, &opts)
+        SweepSpec::random_graph(cfg.clone())
+            .over_deadlines(&deadlines)
+            .run(&opts)
+            .into_delivery()
+            .expect("deadline axis yields delivery rows")
     })?;
     println!("{:<12}{:>12}{:>12}", "deadline", "analysis", "simulation");
     for row in rows {
@@ -323,7 +327,11 @@ fn cmd_security_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .collect();
     let mut cp = open_checkpoint(flags, "security-sweep", &cfg, &opts)?;
     let rows: Vec<SecuritySweepRow> = checkpointed(&mut cp, "rows", || {
-        onion_routing::security_sweep_random_graph(&cfg, &cs, 3, &opts)
+        SweepSpec::random_graph(cfg.clone())
+            .over_security(&cs, 3)
+            .run(&opts)
+            .into_security()
+            .expect("security axis yields security rows")
     })?;
     println!(
         "{:<8}{:>12}{:>12}{:>12}{:>12}",
@@ -457,9 +465,12 @@ fn cmd_fault_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
         None => None,
     };
-    let rows =
-        onion_routing::fault_sweep_random_graph(&cfg, &base, &intensities, &opts, cp.as_mut())
-            .map_err(|e| CliError::Io(format!("checkpoint: {e}")))?;
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_faults(base, &intensities)
+        .run_with_checkpoint(&opts, cp.as_mut())
+        .map_err(|e| CliError::Io(format!("checkpoint: {e}")))?
+        .into_fault()
+        .expect("fault axis yields fault rows");
     println!(
         "{:<11}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}",
         "intensity", "deliv(A)", "deliv(S)", "trace(S)", "anon(S)", "crashes", "dropped"

@@ -74,12 +74,12 @@ pub mod prelude {
         EpochKeychain, FixedSizeOnion, GroupKeyring, OnionBuilder, OnionPacket, Peeled,
     };
     pub use onion_routing::{
-        fault_sweep_random_graph, run_random_graph_point, run_schedule_point, run_trials,
-        run_trials_resilient, trial_rng, trial_rng_attempt, trial_seed, trial_seed_attempt,
-        Adversary, Checkpoint, CheckpointError, DeliverySweepRow, ExperimentOptions, FaultSweepRow,
-        ForwardingMode, OnionCryptoContext, OnionGroups, OnionRouting, PointSummary,
-        ProtocolConfig, RouteSelection, RunnerConfig, SecuritySweepRow, SeedDomain, TrialFailure,
-        TRIAL_FAILURE_ABORT,
+        run_random_graph_point, run_schedule_point, run_trials, run_trials_resilient, trial_rng,
+        trial_rng_attempt, trial_seed, trial_seed_attempt, Adversary, Checkpoint, CheckpointError,
+        DeliverySweepRow, ExperimentOptions, FaultAxis, FaultSweepRow, ForwardingMode,
+        OnionCryptoContext, OnionGroups, OnionRouting, PointSummary, ProtocolConfig,
+        RouteSelection, RunnerConfig, Scenario, SecurityAxis, SecuritySweepRow, SeedDomain,
+        SweepAxis, SweepReport, SweepSpec, TraceScenario, TrialFailure, TRIAL_FAILURE_ABORT,
     };
     pub use serve::{
         run_loadgen, LoadReport, LoadgenConfig, ServeConfig, ServeError, Server, ServerHandle,

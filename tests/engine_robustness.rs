@@ -70,7 +70,8 @@ impl RoutingProtocol for TicketCheater {
     }
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .flat_map(|(id, copy)| {
                 [
                     Forward {
@@ -118,7 +119,8 @@ impl RoutingProtocol for Duplicator {
     }
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .flat_map(|(id, _)| {
                 std::iter::repeat_n(
                     Forward {
@@ -170,7 +172,8 @@ impl RoutingProtocol for PingPonger {
     }
     fn on_contact(&mut self, view: &dyn ContactView, _rng: &mut dyn RngCore) -> Vec<Forward> {
         view.carried()
-            .into_iter()
+            .iter()
+            .copied()
             .map(|(id, _)| Forward {
                 message: id,
                 kind: ForwardKind::Handoff,

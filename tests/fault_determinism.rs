@@ -122,24 +122,21 @@ fn faulted_security_sweep_is_thread_count_invariant() {
         ..small_opts(0x5EC5)
     };
     let cs = [2usize, 8];
-    let reference = onion_routing::security_sweep_random_graph(
-        &cfg,
-        &cs,
-        2,
-        &ExperimentOptions {
+    let spec = SweepSpec::random_graph(cfg.clone()).over_security(&cs, 2);
+    let reference = spec
+        .run(&ExperimentOptions {
             threads: 1,
             ..base.clone()
-        },
-    );
-    let wide = onion_routing::security_sweep_random_graph(
-        &cfg,
-        &cs,
-        2,
-        &ExperimentOptions {
+        })
+        .into_security()
+        .expect("security rows");
+    let wide = spec
+        .run(&ExperimentOptions {
             threads: 8,
             ..base.clone()
-        },
-    );
+        })
+        .into_security()
+        .expect("security rows");
     assert_eq!(
         serde_json::to_string(&reference).unwrap(),
         serde_json::to_string(&wide).unwrap()
@@ -180,8 +177,12 @@ fn interrupted_fault_sweep_resumes_byte_identically() {
     let intensities = [0.0, 0.5, 1.0];
 
     // Uninterrupted reference, no checkpoint involved.
-    let reference =
-        onion_routing::fault_sweep_random_graph(&cfg, &plan, &intensities, &opts, None).unwrap();
+    let spec = SweepSpec::random_graph(cfg.clone()).over_faults(plan, &intensities);
+    let reference = spec
+        .run_with_checkpoint(&opts, None)
+        .unwrap()
+        .into_fault()
+        .expect("fault rows");
     let reference_json = serde_json::to_string(&reference).unwrap();
 
     // "Killed" run: only the first two points finish before the crash,
@@ -190,14 +191,10 @@ fn interrupted_fault_sweep_resumes_byte_identically() {
     let fingerprint = Checkpoint::fingerprint(&("resume-test", &cfg));
     {
         let mut cp = Checkpoint::open(&path, &fingerprint).unwrap();
-        onion_routing::fault_sweep_random_graph(
-            &cfg,
-            &plan,
-            &intensities[..2],
-            &opts,
-            Some(&mut cp),
-        )
-        .unwrap();
+        SweepSpec::random_graph(cfg.clone())
+            .over_faults(plan, &intensities[..2])
+            .run_with_checkpoint(&opts, Some(&mut cp))
+            .unwrap();
     }
     let full = std::fs::read(&path).unwrap();
     std::fs::write(&path, &full[..full.len() - 7]).unwrap(); // torn tail
@@ -206,17 +203,21 @@ fn interrupted_fault_sweep_resumes_byte_identically() {
     // torn one and the never-started one are recomputed.
     let mut cp = Checkpoint::open(&path, &fingerprint).unwrap();
     assert_eq!(cp.len(), 1, "torn final entry must have been discarded");
-    let resumed =
-        onion_routing::fault_sweep_random_graph(&cfg, &plan, &intensities, &opts, Some(&mut cp))
-            .unwrap();
+    let resumed = spec
+        .run_with_checkpoint(&opts, Some(&mut cp))
+        .unwrap()
+        .into_fault()
+        .expect("fault rows");
     assert_eq!(cp.resumed_points(), 1);
     assert_eq!(serde_json::to_string(&resumed).unwrap(), reference_json);
 
     // A second full resume replays every point without recomputing.
     let mut cp = Checkpoint::open(&path, &fingerprint).unwrap();
-    let replayed =
-        onion_routing::fault_sweep_random_graph(&cfg, &plan, &intensities, &opts, Some(&mut cp))
-            .unwrap();
+    let replayed = spec
+        .run_with_checkpoint(&opts, Some(&mut cp))
+        .unwrap()
+        .into_fault()
+        .expect("fault rows");
     assert_eq!(cp.resumed_points(), intensities.len() as u64);
     assert_eq!(serde_json::to_string(&replayed).unwrap(), reference_json);
 }
@@ -283,8 +284,12 @@ fn faults_degrade_delivery_but_raise_anonymity() {
         contact_failure: 0.8,
         ..FaultPlan::default()
     };
-    let rows =
-        onion_routing::fault_sweep_random_graph(&cfg, &heavy, &[0.0, 1.0], &opts, None).unwrap();
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_faults(heavy, &[0.0, 1.0])
+        .run_with_checkpoint(&opts, None)
+        .unwrap()
+        .into_fault()
+        .expect("fault rows");
     let (clean, faulted) = (&rows[0].summary, &rows[1].summary);
     assert!(
         faulted.sim_delivery < clean.sim_delivery,

@@ -7,8 +7,8 @@
 
 use contact_graph::TimeDelta;
 use onion_routing::{
-    delivery_sweep_random_graph, run_random_graph_point, run_trials, security_sweep_random_graph,
-    trial_rng, ExperimentOptions, ProtocolConfig, RunnerConfig, SeedDomain,
+    run_random_graph_point, run_trials, trial_rng, ExperimentOptions, ProtocolConfig, RunnerConfig,
+    SeedDomain, SweepSpec,
 };
 use rand::Rng;
 
@@ -27,7 +27,11 @@ fn opts() -> ExperimentOptions {
 fn delivery_model_tracks_simulation_across_deadlines() {
     let cfg = ProtocolConfig::table2_defaults();
     let deadlines = [60.0, 120.0, 240.0, 480.0, 1080.0];
-    let rows = delivery_sweep_random_graph(&cfg, &deadlines, &opts());
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_deadlines(&deadlines)
+        .run(&opts())
+        .into_delivery()
+        .expect("delivery rows");
     for row in &rows {
         assert!(
             (row.analysis - row.sim).abs() < 0.12,
@@ -87,7 +91,11 @@ fn traceable_model_matches_simulation_closely() {
         ..ProtocolConfig::table2_defaults()
     };
     let cs = [5usize, 10, 20, 30, 50];
-    let rows = security_sweep_random_graph(&cfg, &cs, 4, &opts());
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_security(&cs, 4)
+        .run(&opts())
+        .into_security()
+        .expect("security rows");
     for row in &rows {
         let sim = row.sim_traceable.expect("plenty of deliveries at T = 1080");
         assert!(
@@ -107,7 +115,11 @@ fn anonymity_model_matches_simulation_closely() {
         ..ProtocolConfig::table2_defaults()
     };
     let cs = [5usize, 10, 20, 30];
-    let rows = security_sweep_random_graph(&cfg, &cs, 4, &opts());
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_security(&cs, 4)
+        .run(&opts())
+        .into_security()
+        .expect("security rows");
     for row in &rows {
         let sim = row.sim_anonymity.expect("anonymity always measurable");
         assert!(
@@ -129,7 +141,11 @@ fn multicopy_anonymity_gap_grows_with_compromise() {
         deadline: TimeDelta::new(1080.0),
         ..ProtocolConfig::table2_defaults()
     };
-    let rows = security_sweep_random_graph(&cfg, &[10usize, 50], 4, &opts());
+    let rows = SweepSpec::random_graph(cfg.clone())
+        .over_security(&[10usize, 50], 4)
+        .run(&opts())
+        .into_security()
+        .expect("security rows");
     let small_gap = (rows[0].analysis_anonymity - rows[0].sim_anonymity.unwrap()).abs();
     assert!(small_gap < 0.08, "gap at 10%: {small_gap}");
 }

@@ -50,15 +50,17 @@ fn sweep_body(cfg: &ProtocolConfig, opts: &ExperimentOptions) -> String {
 /// A sweep heavy enough (full Table II graph) to reliably hold a
 /// worker for several seconds in debug builds — the saturation and
 /// drain tests need the daemon to be genuinely busy while the test
-/// opens more connections.
+/// opens more connections. Sized against the arena/dense-state engine
+/// (which is ~3× faster per trial than the original): the realization
+/// count keeps the run comfortably multi-second.
 fn slow_point() -> (ProtocolConfig, ExperimentOptions) {
     let cfg = ProtocolConfig {
-        deadline: TimeDelta::new(720.0),
+        deadline: TimeDelta::new(1080.0),
         ..ProtocolConfig::table2_defaults()
     };
     let opts = ExperimentOptions {
-        messages: 8,
-        realizations: 4,
+        messages: 10,
+        realizations: 16,
         seed: 0x5EED,
         ..Default::default()
     };
@@ -170,6 +172,43 @@ fn concurrent_identical_sweeps_compute_exactly_once() {
     join.join().unwrap();
 }
 
+/// Asserts the unified error envelope `{"error":{"code","message"}}`
+/// and returns the `code` string.
+fn assert_error_envelope(resp: &Response, want_status: u16) -> String {
+    assert_eq!(resp.status, want_status, "{}", resp.body);
+    let envelope: onion_dtn::serve::http::ErrorBody =
+        serde_json::from_str(&resp.body).expect("error body matches the envelope shape");
+    assert!(
+        !envelope.error.message.is_empty(),
+        "error.message must not be empty"
+    );
+    envelope.error.code
+}
+
+#[test]
+fn every_failure_class_uses_the_error_envelope() {
+    let (handle, join) = start(ServeConfig::default());
+    let addr = handle.local_addr();
+
+    let not_found = exchange(addr, "POST", "/v1/nope", "{}");
+    assert_eq!(assert_error_envelope(&not_found, 404), "not_found");
+
+    let wrong_method = exchange(addr, "PUT", "/healthz", "");
+    assert_eq!(
+        assert_error_envelope(&wrong_method, 405),
+        "method_not_allowed"
+    );
+
+    let bad_json = exchange(addr, "POST", "/v1/sweep/point", "{not json");
+    assert_eq!(assert_error_envelope(&bad_json, 400), "malformed_request");
+
+    let bad_field = exchange(addr, "POST", "/v1/sweep/deadline", "{\"deadlines\":[-5.0]}");
+    assert_eq!(assert_error_envelope(&bad_field, 400), "invalid_argument");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 #[test]
 fn saturated_queue_sheds_load_with_503() {
     // One worker, a one-slot queue: the third concurrent connection
@@ -196,7 +235,7 @@ fn saturated_queue_sheds_load_with_503() {
     // ...and watch the next connection get shed immediately.
     let mut shed = TcpStream::connect(addr).expect("connect shed");
     let refusal = read_response(&mut shed).expect("read 503");
-    assert_eq!(refusal.status, 503);
+    assert_eq!(assert_error_envelope(&refusal, 503), "overloaded");
     assert_eq!(refusal.retry_after, Some(1));
     assert!(handle.stats().rejected.load(Ordering::SeqCst) >= 1);
 
