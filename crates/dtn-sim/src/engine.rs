@@ -62,6 +62,13 @@ pub struct SimConfig {
     pub buffer_capacity: Option<usize>,
     /// Behaviour at a full buffer (only relevant with a capacity).
     pub drop_policy: DropPolicy,
+    /// Wire mode (default off): every injection builds, and every
+    /// committed transfer moves/peels, a real constant-size ciphertext
+    /// packet via the protocol's wire hooks, tallying actual bytes and
+    /// AEAD operations into the `wire_*` counters. Requires a
+    /// [`RoutingProtocol::wire_capable`] protocol; the abstract
+    /// simulation results are bit-identical either way.
+    pub wire_mode: bool,
 }
 
 impl Default for SimConfig {
@@ -71,6 +78,7 @@ impl Default for SimConfig {
             reject_seen: true,
             buffer_capacity: None,
             drop_policy: DropPolicy::DropIncoming,
+            wire_mode: false,
         }
     }
 }
@@ -91,6 +99,10 @@ pub enum SimError {
     /// The fault plan has an out-of-range probability or churn
     /// parameter.
     InvalidFaultPlan(String),
+    /// Wire mode was requested but the protocol cannot move real
+    /// ciphertext (`RoutingProtocol::wire_capable` returned false).
+    /// Carries the protocol name.
+    WireUnsupported(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -105,6 +117,9 @@ impl std::fmt::Display for SimError {
             SimError::DuplicateId(id) => write!(f, "duplicate message id {id}"),
             SimError::ZeroCopies(id) => write!(f, "message {id} allows zero copies"),
             SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            SimError::WireUnsupported(name) => {
+                write!(f, "protocol {name} does not support wire mode")
+            }
         }
     }
 }
@@ -375,6 +390,9 @@ where
     F: RngCore,
 {
     plan.validate().map_err(SimError::InvalidFaultPlan)?;
+    if config.wire_mode && !protocol.wire_capable() {
+        return Err(SimError::WireUnsupported(protocol.name().to_string()));
+    }
     let n = schedule.node_count();
     let mut ids = HashSet::new();
     for m in &messages {
@@ -456,6 +474,12 @@ where
         while pending.last().is_some_and(|m| m.created <= now) {
             let m = pending.pop().expect("checked non-empty");
             let cs = protocol.on_inject(&m, rng);
+            // Wire mode: the source builds the real packet at injection
+            // time (from its own RNG stream, so abstract draws are
+            // untouched).
+            if config.wire_mode {
+                protocol.wire_on_inject(&m, &mut state.counters);
+            }
             let rank = state.rank(m.id);
             state.seen_insert(m.source, rank);
             state.materialized[rank] = true;
@@ -572,6 +596,7 @@ where
         apply(
             state,
             config,
+            protocol,
             event.time,
             event.a,
             event.b,
@@ -582,6 +607,7 @@ where
         apply(
             state,
             config,
+            protocol,
             event.time,
             event.b,
             event.a,
@@ -723,16 +749,19 @@ fn take_from_carrier(state: &mut SimState, carrier: NodeId, fwd: &Forward, copy:
 }
 
 #[allow(clippy::too_many_arguments)]
-fn apply(
+fn apply<P>(
     state: &mut SimState,
     config: &SimConfig,
+    protocol: &mut P,
     now: Time,
     carrier: NodeId,
     peer: NodeId,
     decisions: &[Forward],
     faults: Option<&FaultState>,
     fault_rng: &mut dyn RngCore,
-) {
+) where
+    P: RoutingProtocol + ?Sized,
+{
     let track_arrivals = faults.is_some_and(FaultState::has_churn);
     for fwd in decisions {
         let Ok(pos) = buf_find(&state.buffers[carrier.index()], fwd.message) else {
@@ -777,6 +806,9 @@ fn apply(
             take_from_carrier(state, carrier, fwd, copy);
             state.transmissions[rank] += 1;
             state.counters.fault_messages_lost += 1;
+            if config.wire_mode {
+                protocol.wire_on_transfer(fwd.message, fwd.receiver_tag, true, &mut state.counters);
+            }
             continue;
         }
         // Buffer admission at the receiver (destinations consume without
@@ -795,6 +827,9 @@ fn apply(
             ForwardKind::Replicate => state.counters.forwards_replicate += 1,
         }
         state.transmissions[rank] += 1;
+        if config.wire_mode {
+            protocol.wire_on_transfer(fwd.message, fwd.receiver_tag, false, &mut state.counters);
+        }
         if config.record_forwarding {
             state.forward_log.push(ForwardRecord {
                 time: now,
@@ -1084,6 +1119,127 @@ mod tests {
         .unwrap();
         assert!(report.forward_log().is_empty());
         assert_eq!(report.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn wire_mode_rejects_non_wire_protocols() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let err = run(
+            &s,
+            &mut Flood,
+            vec![msg(1, 0, 1, 0.0, 10.0)],
+            &cfg,
+            &mut rng(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::WireUnsupported("flood".to_string()));
+    }
+
+    /// Flood plus no-op-free wire hooks: counts hook invocations so the
+    /// engine's call sites are pinned without any real crypto.
+    struct WireFlood {
+        injects: u64,
+        transfers: u64,
+        lost: u64,
+    }
+    impl RoutingProtocol for WireFlood {
+        fn name(&self) -> &str {
+            "wire-flood"
+        }
+        fn on_contact(&mut self, view: &dyn ContactView, rng: &mut dyn RngCore) -> Vec<Forward> {
+            Flood.on_contact(view, rng)
+        }
+        fn wire_capable(&self) -> bool {
+            true
+        }
+        fn wire_on_inject(&mut self, _message: &Message, counters: &mut SimCounters) {
+            self.injects += 1;
+            counters.wire_packets_built += 1;
+        }
+        fn wire_on_transfer(
+            &mut self,
+            _message: MessageId,
+            _receiver_tag: u64,
+            lost: bool,
+            counters: &mut SimCounters,
+        ) {
+            self.transfers += 1;
+            if lost {
+                self.lost += 1;
+            }
+            counters.wire_bytes_sent += 1;
+        }
+    }
+
+    #[test]
+    fn wire_hooks_fire_per_injection_and_committed_transfer() {
+        // 0→1 at t=1, 1→2 at t=2: one injection, two committed transfers.
+        let s = schedule(vec![(1.0, 0, 1), (2.0, 1, 2)], 3, 10.0);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let mut p = WireFlood {
+            injects: 0,
+            transfers: 0,
+            lost: 0,
+        };
+        let report = run(&s, &mut p, vec![msg(1, 0, 2, 0.0, 10.0)], &cfg, &mut rng()).unwrap();
+        assert_eq!((p.injects, p.transfers, p.lost), (1, 2, 0));
+        let c = report.counters().unwrap();
+        assert_eq!(c.wire_packets_built, 1);
+        assert_eq!(c.wire_bytes_sent, 2);
+
+        // Default mode never calls the hooks, even on a capable protocol.
+        let mut p = WireFlood {
+            injects: 0,
+            transfers: 0,
+            lost: 0,
+        };
+        run(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 2, 0.0, 10.0)],
+            &SimConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!((p.injects, p.transfers), (0, 0));
+    }
+
+    #[test]
+    fn wire_hook_sees_in_flight_loss() {
+        let s = schedule(vec![(1.0, 0, 1)], 2, 10.0);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let plan = FaultPlan {
+            message_loss: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut p = WireFlood {
+            injects: 0,
+            transfers: 0,
+            lost: 0,
+        };
+        let mut fault_rng = StepRng::new(0, 1);
+        run_with_faults(
+            &s,
+            &mut p,
+            vec![msg(1, 0, 1, 0.0, 10.0)],
+            &cfg,
+            &plan,
+            &mut fault_rng,
+            &mut rng(),
+        )
+        .unwrap();
+        // The sender paid the bytes even though the copy died in flight.
+        assert_eq!((p.injects, p.transfers, p.lost), (1, 1, 1));
     }
 }
 

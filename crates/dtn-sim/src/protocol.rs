@@ -10,6 +10,7 @@ use contact_graph::{NodeId, Time};
 use rand::RngCore;
 
 use crate::message::{CopyState, Message, MessageId};
+use crate::report::SimCounters;
 
 /// How a message moves from carrier to peer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,6 +87,39 @@ pub trait RoutingProtocol {
     /// Called once per direction at each contact. Returns the transfers the
     /// carrier performs toward the peer.
     fn on_contact(&mut self, view: &dyn ContactView, rng: &mut dyn RngCore) -> Vec<Forward>;
+
+    /// Whether this protocol can move real ciphertext in wire mode
+    /// (`SimConfig::wire_mode`). Default: no — the engine rejects
+    /// wire-mode runs with `SimError::WireUnsupported` rather than
+    /// silently reporting zero crypto cost.
+    fn wire_capable(&self) -> bool {
+        false
+    }
+
+    /// Wire mode only: called right after [`on_inject`] so the protocol
+    /// builds the real constant-size packet for `message`, tallying
+    /// build cost into `counters`. Default: no-op.
+    ///
+    /// [`on_inject`]: RoutingProtocol::on_inject
+    fn wire_on_inject(&mut self, message: &Message, counters: &mut SimCounters) {
+        let _ = (message, counters);
+    }
+
+    /// Wire mode only: called for every committed transfer (including
+    /// copies lost in flight, where the sender still paid the bytes) so
+    /// the protocol moves/peels the real packet and tallies byte and
+    /// AEAD cost into `counters`. `receiver_tag` is the tag the engine
+    /// assigned to the receiving copy; `lost` marks in-flight loss.
+    /// Default: no-op.
+    fn wire_on_transfer(
+        &mut self,
+        message: MessageId,
+        receiver_tag: u64,
+        lost: bool,
+        counters: &mut SimCounters,
+    ) {
+        let _ = (message, receiver_tag, lost, counters);
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,13 @@ pub struct ForwardRecord {
 /// determinism suite compares. The engine always fills them (a handful
 /// of integer increments per event); mirroring into the global `obs`
 /// registry only happens when metrics are enabled.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The `wire_*` tallies are only nonzero in wire mode
+/// (`SimConfig::wire_mode`), where every forward moves a real
+/// constant-size ciphertext packet. They serialize only when nonzero, so
+/// abstract-mode reports (including the committed goldens) keep their
+/// exact historical byte layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimCounters {
     /// Contact events processed from the schedule.
     pub contacts: u64,
@@ -79,6 +85,18 @@ pub struct SimCounters {
     /// Committed transfers whose copy was lost in flight (the sender
     /// paid the transmission, the receiver got nothing).
     pub fault_messages_lost: u64,
+    /// Wire mode: constant-size packets built at injection time.
+    pub wire_packets_built: u64,
+    /// Wire mode: layers peeled off real packets by receiving relays.
+    pub wire_packets_peeled: u64,
+    /// Wire mode: actual bytes moved by committed transfers (every
+    /// transfer costs exactly one full packet, including lost ones —
+    /// the sender pays either way).
+    pub wire_bytes_sent: u64,
+    /// Wire mode: AEAD seal operations (route length per packet built).
+    pub wire_aead_seals: u64,
+    /// Wire mode: AEAD open operations (one per successful peel).
+    pub wire_aead_opens: u64,
 }
 
 impl SimCounters {
@@ -106,6 +124,11 @@ impl SimCounters {
         self.fault_transfers_truncated += other.fault_transfers_truncated;
         self.fault_buffer_wipes += other.fault_buffer_wipes;
         self.fault_messages_lost += other.fault_messages_lost;
+        self.wire_packets_built += other.wire_packets_built;
+        self.wire_packets_peeled += other.wire_packets_peeled;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_aead_seals += other.wire_aead_seals;
+        self.wire_aead_opens += other.wire_aead_opens;
     }
 
     /// Visits each `(name, value)` pair under the given prefix, in a
@@ -128,10 +151,152 @@ impl SimCounters {
             ("faults.transfers_truncated", self.fault_transfers_truncated),
             ("faults.buffer_wipes", self.fault_buffer_wipes),
             ("faults.messages_lost", self.fault_messages_lost),
+            ("wire.packets_built", self.wire_packets_built),
+            ("wire.packets_peeled", self.wire_packets_peeled),
+            ("wire.bytes_sent", self.wire_bytes_sent),
+            ("wire.aead_seals", self.wire_aead_seals),
+            ("wire.aead_opens", self.wire_aead_opens),
         ];
         for (name, value) in entries {
             f(&format!("{prefix}.{name}"), value);
         }
+    }
+
+    fn any_wire(&self) -> bool {
+        self.wire_packets_built
+            | self.wire_packets_peeled
+            | self.wire_bytes_sent
+            | self.wire_aead_seals
+            | self.wire_aead_opens
+            != 0
+    }
+}
+
+// Hand-written serde: the sixteen abstract-mode fields always serialize
+// (in declaration order, matching the historical derived layout byte for
+// byte), while the wire fields appear only when any is nonzero. That
+// keeps the committed abstract-mode goldens valid while letting
+// wire-mode reports carry their extra tallies.
+impl Serialize for SimCounters {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("contacts".into(), serde::Value::UInt(self.contacts)),
+            (
+                "forwards_handoff".into(),
+                serde::Value::UInt(self.forwards_handoff),
+            ),
+            (
+                "forwards_split".into(),
+                serde::Value::UInt(self.forwards_split),
+            ),
+            (
+                "forwards_replicate".into(),
+                serde::Value::UInt(self.forwards_replicate),
+            ),
+            (
+                "rejected_forwards".into(),
+                serde::Value::UInt(self.rejected_forwards),
+            ),
+            ("buffer_drops".into(), serde::Value::UInt(self.buffer_drops)),
+            (
+                "buffer_evictions".into(),
+                serde::Value::UInt(self.buffer_evictions),
+            ),
+            (
+                "deadline_expiries".into(),
+                serde::Value::UInt(self.deadline_expiries),
+            ),
+            ("injected".into(), serde::Value::UInt(self.injected)),
+            ("delivered".into(), serde::Value::UInt(self.delivered)),
+            ("expired".into(), serde::Value::UInt(self.expired)),
+            (
+                "fault_crashes".into(),
+                serde::Value::UInt(self.fault_crashes),
+            ),
+            (
+                "fault_contacts_dropped".into(),
+                serde::Value::UInt(self.fault_contacts_dropped),
+            ),
+            (
+                "fault_transfers_truncated".into(),
+                serde::Value::UInt(self.fault_transfers_truncated),
+            ),
+            (
+                "fault_buffer_wipes".into(),
+                serde::Value::UInt(self.fault_buffer_wipes),
+            ),
+            (
+                "fault_messages_lost".into(),
+                serde::Value::UInt(self.fault_messages_lost),
+            ),
+        ];
+        if self.any_wire() {
+            fields.push((
+                "wire_packets_built".into(),
+                serde::Value::UInt(self.wire_packets_built),
+            ));
+            fields.push((
+                "wire_packets_peeled".into(),
+                serde::Value::UInt(self.wire_packets_peeled),
+            ));
+            fields.push((
+                "wire_bytes_sent".into(),
+                serde::Value::UInt(self.wire_bytes_sent),
+            ));
+            fields.push((
+                "wire_aead_seals".into(),
+                serde::Value::UInt(self.wire_aead_seals),
+            ));
+            fields.push((
+                "wire_aead_opens".into(),
+                serde::Value::UInt(self.wire_aead_opens),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for SimCounters {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn required(value: &serde::Value, name: &str) -> Result<u64, serde::DeError> {
+            match value.get(name) {
+                Some(v) => u64::from_value(v),
+                None => Err(serde::DeError::new(format!(
+                    "SimCounters: missing field {name}"
+                ))),
+            }
+        }
+        // Wire fields are absent from abstract-mode (and pre-wire)
+        // reports; they default to zero.
+        fn optional(value: &serde::Value, name: &str) -> Result<u64, serde::DeError> {
+            match value.get(name) {
+                Some(v) => u64::from_value(v),
+                None => Ok(0),
+            }
+        }
+        Ok(SimCounters {
+            contacts: required(value, "contacts")?,
+            forwards_handoff: required(value, "forwards_handoff")?,
+            forwards_split: required(value, "forwards_split")?,
+            forwards_replicate: required(value, "forwards_replicate")?,
+            rejected_forwards: required(value, "rejected_forwards")?,
+            buffer_drops: required(value, "buffer_drops")?,
+            buffer_evictions: required(value, "buffer_evictions")?,
+            deadline_expiries: required(value, "deadline_expiries")?,
+            injected: required(value, "injected")?,
+            delivered: required(value, "delivered")?,
+            expired: required(value, "expired")?,
+            fault_crashes: required(value, "fault_crashes")?,
+            fault_contacts_dropped: required(value, "fault_contacts_dropped")?,
+            fault_transfers_truncated: required(value, "fault_transfers_truncated")?,
+            fault_buffer_wipes: required(value, "fault_buffer_wipes")?,
+            fault_messages_lost: required(value, "fault_messages_lost")?,
+            wire_packets_built: optional(value, "wire_packets_built")?,
+            wire_packets_peeled: optional(value, "wire_packets_peeled")?,
+            wire_bytes_sent: optional(value, "wire_bytes_sent")?,
+            wire_aead_seals: optional(value, "wire_aead_seals")?,
+            wire_aead_opens: optional(value, "wire_aead_opens")?,
+        })
     }
 }
 
@@ -517,6 +682,11 @@ mod tests {
             fault_transfers_truncated: 1,
             fault_buffer_wipes: 5,
             fault_messages_lost: 2,
+            wire_packets_built: 8,
+            wire_packets_peeled: 6,
+            wire_bytes_sent: 8198 * 9,
+            wire_aead_seals: 16,
+            wire_aead_opens: 6,
         };
         let mut b = a;
         b.merge(&a);
@@ -528,14 +698,49 @@ mod tests {
         assert_eq!(b.fault_transfers_truncated, 2);
         assert_eq!(b.fault_buffer_wipes, 10);
         assert_eq!(b.fault_messages_lost, 4);
+        assert_eq!(b.wire_packets_built, 16);
+        assert_eq!(b.wire_packets_peeled, 12);
+        assert_eq!(b.wire_bytes_sent, 8198 * 18);
+        assert_eq!(b.wire_aead_seals, 32);
+        assert_eq!(b.wire_aead_opens, 12);
 
         let mut names = Vec::new();
         a.for_each_named("sim", |name, value| names.push((name.to_string(), value)));
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 21);
         assert_eq!(names[0], ("sim.contacts".to_string(), 10));
         assert!(names.iter().any(|(n, v)| n == "sim.delivered" && *v == 4));
         assert!(names
             .iter()
             .any(|(n, v)| n == "sim.faults.buffer_wipes" && *v == 5));
+        assert!(names
+            .iter()
+            .any(|(n, v)| n == "sim.wire.bytes_sent" && *v == 8198 * 9));
+    }
+
+    #[test]
+    fn counters_wire_fields_serialize_only_when_nonzero() {
+        // Abstract-mode counters keep their historical 16-field layout
+        // (committed goldens embed it byte for byte)...
+        let abstract_mode = SimCounters {
+            contacts: 3,
+            delivered: 1,
+            ..SimCounters::default()
+        };
+        let text = serde_json::to_string(&abstract_mode).expect("serialize");
+        assert!(!text.contains("wire_"), "{text}");
+        let back: SimCounters = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, abstract_mode);
+
+        // ...while wire-mode counters round-trip the extra tallies.
+        let wire_mode = SimCounters {
+            contacts: 3,
+            wire_packets_built: 2,
+            wire_bytes_sent: 2 * 8198,
+            ..SimCounters::default()
+        };
+        let text = serde_json::to_string(&wire_mode).expect("serialize");
+        assert!(text.contains("wire_packets_built"), "{text}");
+        let back: SimCounters = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, wire_mode);
     }
 }

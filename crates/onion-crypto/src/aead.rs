@@ -127,6 +127,62 @@ pub fn open(
     Ok(out)
 }
 
+/// Encrypts the first `plain_len` bytes of `buf` in place and writes the
+/// authentication tag immediately after, at `buf[plain_len..plain_len + 16]`.
+///
+/// This is the zero-allocation core of [`seal`]: the wire layer calls it on
+/// a reusable packet buffer so sealing a layer never allocates.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than `plain_len + 16`.
+pub fn seal_in_place(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut [u8],
+    plain_len: usize,
+) {
+    assert!(
+        buf.len() >= plain_len + TAG_LEN,
+        "seal_in_place: buffer too small for plaintext plus tag"
+    );
+    chacha20::xor_in_place(&key.0, nonce, 1, &mut buf[..plain_len]);
+    let tag = compute_tag(key, nonce, aad, &buf[..plain_len]);
+    buf[plain_len..plain_len + TAG_LEN].copy_from_slice(&tag);
+}
+
+/// Decrypts `buf` (laid out as `ciphertext || tag`, exactly as produced by
+/// [`seal_in_place`]) in place, returning the ciphertext length. On success
+/// the plaintext occupies `buf[..returned_len]`; the tag bytes are left
+/// untouched. On failure `buf` is unmodified.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::AuthenticationFailed`] if the tag does not verify
+/// and [`CryptoError::LengthMismatch`] if `buf` is shorter than a tag.
+pub fn open_in_place(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut [u8],
+) -> Result<usize, CryptoError> {
+    if buf.len() < TAG_LEN {
+        return Err(CryptoError::LengthMismatch {
+            expected: TAG_LEN,
+            actual: buf.len(),
+        });
+    }
+    let ct_len = buf.len() - TAG_LEN;
+    let (ciphertext, tag) = buf.split_at(ct_len);
+    let expected = compute_tag(key, nonce, aad, ciphertext);
+    if !constant_time_eq(&expected, tag) {
+        return Err(CryptoError::AuthenticationFailed);
+    }
+    chacha20::xor_in_place(&key.0, nonce, 1, &mut buf[..ct_len]);
+    Ok(ct_len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +266,45 @@ only one tip for the future, sunscreen would be it.";
             let boxed = seal(&key, &nonce, b"x", &pt);
             assert_eq!(open(&key, &nonce, b"x", &boxed).unwrap(), pt, "len {len}");
         }
+    }
+
+    #[test]
+    fn in_place_matches_allocating_seal_and_open() {
+        let key = AeadKey::from_bytes([8u8; 32]);
+        let nonce = [9u8; 12];
+        for len in [0usize, 1, 16, 63, 257] {
+            let pt: Vec<u8> = (0..len as u32).map(|i| (i * 31 % 251) as u8).collect();
+            let boxed = seal(&key, &nonce, b"aad", &pt);
+
+            let mut buf = vec![0u8; len + TAG_LEN + 7]; // trailing slack stays untouched
+            buf[..len].copy_from_slice(&pt);
+            seal_in_place(&key, &nonce, b"aad", &mut buf, len);
+            assert_eq!(&buf[..len + TAG_LEN], &boxed[..], "len {len}");
+            assert_eq!(&buf[len + TAG_LEN..], &vec![0u8; 7][..]);
+
+            let ct_len = open_in_place(&key, &nonce, b"aad", &mut buf[..len + TAG_LEN]).unwrap();
+            assert_eq!(ct_len, len);
+            assert_eq!(&buf[..ct_len], &pt[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_in_place_rejects_tamper_and_leaves_buffer_intact() {
+        let key = AeadKey::from_bytes([2u8; 32]);
+        let nonce = [1u8; 12];
+        let mut buf = seal(&key, &nonce, b"a", b"secret");
+        buf[0] ^= 1;
+        let before = buf.clone();
+        assert_eq!(
+            open_in_place(&key, &nonce, b"a", &mut buf),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        assert_eq!(buf, before, "failed open must not scramble the buffer");
+
+        let mut short = [0u8; 5];
+        assert!(matches!(
+            open_in_place(&key, &nonce, b"", &mut short),
+            Err(CryptoError::LengthMismatch { .. })
+        ));
     }
 }

@@ -61,6 +61,7 @@ pub mod onion;
 pub mod poly1305;
 pub mod sha256;
 pub mod shamir;
+pub mod wire;
 pub mod x25519;
 
 pub use aead::AeadKey;
@@ -68,3 +69,4 @@ pub use error::CryptoError;
 pub use fixed_onion::{FixedPeeled, FixedSizeOnion};
 pub use keys::{EpochKeychain, GroupKeyring};
 pub use onion::{OnionBuilder, OnionLayerSpec, OnionPacket, Peeled, RouteTarget};
+pub use wire::{WirePacket, WirePeeled, WIRE_BODY_LEN, WIRE_PACKET_LEN, WIRE_PER_LAYER};

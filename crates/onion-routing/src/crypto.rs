@@ -129,6 +129,56 @@ impl OnionCryptoContext {
             .build(rng)
     }
 
+    /// The AEAD key of onion group `group` — what every member of that
+    /// group holds in its keyring.
+    pub fn group_key(&self, group: GroupId) -> onion_crypto::AeadKey {
+        derive_group_key(&self.master, group.0)
+    }
+
+    /// Builds a constant-size wire packet ([`onion_crypto::wire`]) in
+    /// place over `route`, reusing `packet`'s buffer — no per-call
+    /// allocation beyond the transient layer-spec list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] (empty route, payload too large for the
+    /// fixed body).
+    pub fn build_wire_into<R: RngCore + ?Sized>(
+        &self,
+        packet: &mut onion_crypto::WirePacket,
+        route: &[GroupId],
+        destination: NodeId,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<(), CryptoError> {
+        let specs: Vec<OnionLayerSpec> = route
+            .iter()
+            .map(|&gid| OnionLayerSpec {
+                group: gid.0,
+                key: derive_group_key(&self.master, gid.0),
+            })
+            .collect();
+        packet.build_into(&specs, destination.0, payload, rng)
+    }
+
+    /// Peels one layer of a wire packet exactly as `relay` would: looks
+    /// up the relay's keyring and uses its own group's key, so a relay
+    /// outside the expected group fails authentication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] (wrong group, tampered packet).
+    pub fn peel_wire_as<R: RngCore + ?Sized>(
+        &self,
+        packet: &mut onion_crypto::WirePacket,
+        relay: NodeId,
+        rng: &mut R,
+    ) -> Result<onion_crypto::WirePeeled, CryptoError> {
+        let ring = self.keyring_for(relay);
+        let gid = self.groups.group_of(relay);
+        packet.peel_in_place(ring.key(gid.0)?, rng)
+    }
+
     /// Builds a *constant-size* onion ([`onion_crypto::FixedSizeOnion`])
     /// for `route`: the wire size is identical at every hop, so relays
     /// cannot infer their position from the packet length.
@@ -388,6 +438,52 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, WalkError::WrongNextHop { hop: 1, .. }));
+    }
+
+    #[test]
+    fn wire_packet_walks_chain_via_keyrings() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let route = vec![GroupId(1), GroupId(2)];
+        let mut packet = onion_crypto::WirePacket::zeroed();
+        ctx.build_wire_into(&mut packet, &route, NodeId(7), b"wire payload", &mut rng)
+            .unwrap();
+        // Relay 3 (R1) peels, then relay 4 (R2) peels and sees delivery.
+        match ctx.peel_wire_as(&mut packet, NodeId(3), &mut rng).unwrap() {
+            onion_crypto::WirePeeled::Forward { next } => {
+                assert_eq!(next, RouteTarget::Group(2));
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        match ctx.peel_wire_as(&mut packet, NodeId(4), &mut rng).unwrap() {
+            onion_crypto::WirePeeled::Delivered { node, payload_len } => {
+                assert_eq!(node, 7);
+                assert_eq!(payload_len, b"wire payload".len());
+                assert_eq!(&packet.body()[..payload_len], b"wire payload");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_peel_by_wrong_group_member_fails() {
+        let ctx = context();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let route = vec![GroupId(1), GroupId(2)];
+        let mut packet = onion_crypto::WirePacket::zeroed();
+        ctx.build_wire_into(&mut packet, &route, NodeId(7), b"x", &mut rng)
+            .unwrap();
+        // Node 6 is in R3, not the R1 the outer layer mandates.
+        let err = ctx
+            .peel_wire_as(&mut packet, NodeId(6), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::AuthenticationFailed));
+        // The group key accessor hands the same key the keyring holds.
+        let mut direct = onion_crypto::WirePacket::zeroed();
+        direct.copy_from(&packet);
+        assert!(direct
+            .peel_in_place(&ctx.group_key(GroupId(1)), &mut rng)
+            .is_ok());
     }
 
     #[test]

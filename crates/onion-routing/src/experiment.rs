@@ -69,6 +69,12 @@ pub struct ExperimentOptions {
     /// records them in the summary and continues, `false` (the default)
     /// aborts the experiment with a [`TRIAL_FAILURE_ABORT`] panic.
     pub keep_going: bool,
+    /// Wire mode: move (and peel) real constant-size ciphertext on every
+    /// forward, tallying bytes and AEAD operations into the summary's
+    /// `sim_counters`. All crypto randomness comes from the dedicated
+    /// [`SeedDomain::Wire`] stream, so the abstract results are
+    /// bit-identical with this flag on or off.
+    pub wire: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -81,6 +87,7 @@ impl Default for ExperimentOptions {
             threads: 0,
             faults: FaultPlan::default(),
             keep_going: false,
+            wire: false,
         }
     }
 }
@@ -206,6 +213,9 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
             let horizon = Time::ZERO + cfg.deadline;
             let schedule = ContactSchedule::sample(&graph, horizon, &mut rng);
             let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
+            let wire_rng = opts
+                .wire
+                .then(|| trial_rng_attempt(opts.seed, SeedDomain::Wire, trial, attempt));
             let mut partial = Accumulator::default();
             run_one_realization(
                 cfg,
@@ -213,6 +223,7 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
                 Some(&graph),
                 messages,
                 &opts.faults,
+                wire_rng,
                 &mut fault_rng,
                 &mut rng,
                 &mut partial,
@@ -280,6 +291,9 @@ pub fn run_schedule_point(
                 },
                 &mut rng,
             );
+            let wire_rng = opts
+                .wire
+                .then(|| trial_rng_attempt(opts.seed, SeedDomain::Wire, trial, attempt));
             let mut partial = Accumulator::default();
             run_one_realization(
                 cfg,
@@ -287,6 +301,7 @@ pub fn run_schedule_point(
                 Some(&estimated),
                 messages,
                 &opts.faults,
+                wire_rng,
                 &mut fault_rng,
                 &mut rng,
                 &mut partial,
@@ -492,6 +507,7 @@ fn run_one_realization(
     rate_graph: Option<&contact_graph::ContactGraph>,
     messages: Vec<Message>,
     faults: &FaultPlan,
+    wire_rng: Option<ChaCha8Rng>,
     fault_rng: &mut ChaCha8Rng,
     rng: &mut ChaCha8Rng,
     acc: &mut Accumulator,
@@ -503,12 +519,20 @@ fn run_one_realization(
         ForwardingMode::MultiCopy
     };
     let mut protocol = OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection);
+    let wire_mode = wire_rng.is_some();
+    if let Some(wrng) = wire_rng {
+        protocol = protocol.with_wire(wrng);
+    }
+    let sim_config = SimConfig {
+        wire_mode,
+        ..SimConfig::default()
+    };
 
     let report: SimReport = run_with_faults(
         schedule,
         &mut protocol,
         messages.clone(),
-        &SimConfig::default(),
+        &sim_config,
         faults,
         fault_rng,
         rng,
@@ -690,6 +714,33 @@ pub(crate) fn onion_protocol(cfg: &ProtocolConfig, groups: OnionGroups) -> Onion
         ForwardingMode::MultiCopy
     };
     OnionRouting::new(groups, cfg.onions, mode).with_selection(cfg.selection)
+}
+
+/// Decorates one trial's protocol with its [`SeedDomain::Wire`] stream
+/// (when the options ask for wire mode) and returns the matching engine
+/// config. Keeping this in one place guarantees every entry point seeds
+/// the wire RNG identically.
+pub(crate) fn wire_setup(
+    protocol: OnionRouting,
+    opts: &ExperimentOptions,
+    trial: u64,
+    attempt: u32,
+) -> (OnionRouting, SimConfig) {
+    let sim_config = SimConfig {
+        wire_mode: opts.wire,
+        ..SimConfig::default()
+    };
+    let protocol = if opts.wire {
+        protocol.with_wire(trial_rng_attempt(
+            opts.seed,
+            SeedDomain::Wire,
+            trial,
+            attempt,
+        ))
+    } else {
+        protocol
+    };
+    (protocol, sim_config)
 }
 
 /// Delivery rate vs deadline on random graphs.
@@ -985,6 +1036,7 @@ mod tests {
             threads: 0,
             faults: FaultPlan::default(),
             keep_going: false,
+            wire: false,
         }
     }
 

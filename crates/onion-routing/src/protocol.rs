@@ -11,14 +11,74 @@
 //! The per-copy protocol tag stores the hop index `k` — the number of
 //! onion groups the copy has traversed (0 = still pre-`R_1`).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use contact_graph::NodeId;
-use dtn_sim::{ContactView, CopyState, Forward, ForwardKind, Message, MessageId, RoutingProtocol};
+use dtn_sim::{
+    ContactView, CopyState, Forward, ForwardKind, Message, MessageId, RoutingProtocol, SimCounters,
+};
+use onion_crypto::{RouteTarget, WirePacket, WirePeeled, WIRE_PACKET_LEN};
 use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
 
 use crate::config::RouteSelection;
+use crate::crypto::OnionCryptoContext;
 use crate::groups::{GroupId, OnionGroups};
+
+/// Cap on pooled wire buffers retained per worker thread (at 8 KiB each,
+/// 2 MiB per thread worst case).
+const WIRE_POOL_CAP: usize = 256;
+
+thread_local! {
+    /// Reusable wire-packet buffers, pooled per worker thread so wire-mode
+    /// runs peel in place over recycled 8 KiB arenas instead of allocating
+    /// per packet (the same reuse discipline as the engine's forward arena).
+    static WIRE_POOL: RefCell<Vec<WirePacket>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a packet buffer from the thread-local pool (zero-filled origin,
+/// but callers always overwrite the whole buffer via `build_into` or
+/// `copy_from` before use).
+fn pool_take() -> WirePacket {
+    WIRE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(WirePacket::zeroed)
+}
+
+/// Returns a packet buffer to the thread-local pool.
+fn pool_recycle(packet: WirePacket) {
+    WIRE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < WIRE_POOL_CAP {
+            pool.push(packet);
+        }
+    });
+}
+
+/// Wire-mode state: real constant-size ciphertext per in-flight message.
+///
+/// `packets[m][d]` is the canonical packet of message `m` after `d` layers
+/// have been peeled (slot 0 = as built at the source). Only slots
+/// `0 .. K-1` are ever filled — they are the peel *sources* for transfers
+/// at hop tags `1 ..= K`; the fully peeled packet is cleartext at the last
+/// relay and needs no slot.
+#[derive(Clone, Debug)]
+struct WireState {
+    crypto: OnionCryptoContext,
+    rng: ChaCha8Rng,
+    packets: HashMap<MessageId, Vec<Option<WirePacket>>>,
+}
+
+impl Drop for WireState {
+    fn drop(&mut self) {
+        for (_, slots) in self.packets.drain() {
+            for packet in slots.into_iter().flatten() {
+                pool_recycle(packet);
+            }
+        }
+    }
+}
 
 /// Copy discipline of the abstract protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +111,7 @@ pub struct OnionRouting {
     mode: ForwardingMode,
     selection: RouteSelection,
     routes: HashMap<MessageId, Vec<GroupId>>,
+    wire: Option<WireState>,
 }
 
 impl OnionRouting {
@@ -73,6 +134,7 @@ impl OnionRouting {
             mode,
             selection: RouteSelection::Uniform,
             routes: HashMap::new(),
+            wire: None,
         }
     }
 
@@ -81,6 +143,31 @@ impl OnionRouting {
     pub fn with_selection(mut self, selection: RouteSelection) -> Self {
         self.selection = selection;
         self
+    }
+
+    /// Enables wire mode: every forward of a simulation run with
+    /// [`dtn_sim::SimConfig::wire_mode`] set moves (and, at route hops,
+    /// peels) a real constant-size ciphertext packet.
+    ///
+    /// `rng` is the *wire* randomness stream (seed it from
+    /// [`crate::runner::SeedDomain::Wire`]): the network master secret is
+    /// drawn from it, as are all nonces and re-padding fill, so enabling
+    /// wire mode never perturbs the protocol's own trial draw order.
+    pub fn with_wire(mut self, mut rng: ChaCha8Rng) -> Self {
+        let mut master = [0u8; 32];
+        rng.fill_bytes(&mut master);
+        self.wire = Some(WireState {
+            crypto: OnionCryptoContext::new(master, self.groups.clone()),
+            rng,
+            packets: HashMap::new(),
+        });
+        self
+    }
+
+    /// The crypto context backing wire mode, if enabled via
+    /// [`Self::with_wire`].
+    pub fn wire_crypto(&self) -> Option<&OnionCryptoContext> {
+        self.wire.as_ref().map(|w| &w.crypto)
     }
 
     /// The group structure in use.
@@ -216,6 +303,106 @@ impl RoutingProtocol for OnionRouting {
             }
         }
         out
+    }
+
+    fn wire_capable(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    fn wire_on_inject(&mut self, message: &Message, counters: &mut SimCounters) {
+        let Some(wire) = self.wire.as_mut() else {
+            return;
+        };
+        let route = self
+            .routes
+            .get(&message.id)
+            .expect("wire_on_inject runs right after on_inject stored the route");
+        // The simulated payload is the message id — enough to prove the
+        // plaintext survives the full peel chain byte-for-byte.
+        let payload = message.id.0.to_le_bytes();
+        let mut packet = pool_take();
+        wire.crypto
+            .build_wire_into(
+                &mut packet,
+                route,
+                message.destination,
+                &payload,
+                &mut wire.rng,
+            )
+            .expect("K >= 1 and an 8-byte payload always fit the fixed body");
+        let depth = route.len();
+        let mut slots = vec![None; depth];
+        slots[0] = Some(packet);
+        wire.packets.insert(message.id, slots);
+        counters.wire_packets_built += 1;
+        counters.wire_aead_seals += depth as u64;
+    }
+
+    fn wire_on_transfer(
+        &mut self,
+        message: MessageId,
+        receiver_tag: u64,
+        lost: bool,
+        counters: &mut SimCounters,
+    ) {
+        let Some(wire) = self.wire.as_mut() else {
+            return;
+        };
+        // Every committed transfer moves one full constant-size packet —
+        // including copies lost in flight (the sender already paid the
+        // bytes), pre-route sprayed copies (tag 0), and the final clear
+        // hop to the destination (tag K+1), which carry ciphertext
+        // without peeling.
+        counters.wire_bytes_sent += WIRE_PACKET_LEN as u64;
+        if lost {
+            return;
+        }
+        let route = self
+            .routes
+            .get(&message)
+            .expect("transfers only happen for injected messages");
+        let depth = route.len();
+        let tag = receiver_tag as usize;
+        if tag == 0 || tag > depth {
+            return;
+        }
+        // Route hop k = tag: a member of R_k peels layer k. Copies reach
+        // tag k only via a non-lost transfer at tag k, so the canonical
+        // depth-(k-1) packet is always present.
+        let slots = wire
+            .packets
+            .get_mut(&message)
+            .expect("packet built at injection");
+        let source = slots[tag - 1]
+            .as_ref()
+            .expect("peel sources are filled in ascending tag order");
+        let mut scratch = pool_take();
+        scratch.copy_from(source);
+        let key = wire.crypto.group_key(route[tag - 1]);
+        let peeled = scratch
+            .peel_in_place(&key, &mut wire.rng)
+            .expect("the group key of R_k peels layer k by construction");
+        counters.wire_packets_peeled += 1;
+        counters.wire_aead_opens += 1;
+        match peeled {
+            WirePeeled::Forward { next } => {
+                debug_assert!(tag < depth, "forward target past the last layer");
+                debug_assert_eq!(
+                    next,
+                    RouteTarget::Group(route[tag].0),
+                    "peeled layer must reveal the next onion group"
+                );
+                if slots[tag].is_none() {
+                    slots[tag] = Some(scratch);
+                } else {
+                    pool_recycle(scratch);
+                }
+            }
+            WirePeeled::Delivered { .. } => {
+                debug_assert_eq!(tag, depth, "cleartext before the last layer");
+                pool_recycle(scratch);
+            }
+        }
     }
 }
 
@@ -457,5 +644,135 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn too_many_onions_rejected() {
         let _ = proto(9, ForwardingMode::SingleCopy);
+    }
+
+    /// Rich all-pairs schedule under which a K=2 route always completes.
+    fn rich_schedule() -> ContactSchedule {
+        let mut events = Vec::new();
+        let mut t = 1.0;
+        for round in 0..6 {
+            for other in 1..8u32 {
+                events.push((t + round as f64 * 10.0, 0, other));
+                t += 0.1;
+            }
+        }
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                events.push((70.0 + (a * 8 + b) as f64 * 0.1, a, b));
+                events.push((80.0 + (a * 8 + b) as f64 * 0.1, a, b));
+                events.push((90.0 + (a * 8 + b) as f64 * 0.1, a, b));
+            }
+        }
+        schedule(events, 100.0)
+    }
+
+    #[test]
+    fn wire_capability_follows_with_wire() {
+        assert!(!proto(2, ForwardingMode::SingleCopy).wire_capable());
+        let p = proto(2, ForwardingMode::SingleCopy).with_wire(rng(77));
+        assert!(p.wire_capable());
+        assert!(p.wire_crypto().is_some());
+    }
+
+    #[test]
+    fn wire_mode_matches_abstract_run_and_counts_crypto() {
+        let s = rich_schedule();
+        let mut p0 = proto(2, ForwardingMode::SingleCopy);
+        let mut r0 = rng(1);
+        let report0 = run(
+            &s,
+            &mut p0,
+            vec![msg(1, 0, 7, 100.0, 1)],
+            &SimConfig::default(),
+            &mut r0,
+        )
+        .unwrap();
+
+        let mut p1 = proto(2, ForwardingMode::SingleCopy).with_wire(rng(999));
+        let mut r1 = rng(1);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let report1 = run(&s, &mut p1, vec![msg(1, 0, 7, 100.0, 1)], &cfg, &mut r1).unwrap();
+
+        // The abstract trajectory is untouched by the real crypto.
+        assert_eq!(
+            report0.delivered_path(MessageId(1)),
+            report1.delivered_path(MessageId(1))
+        );
+        assert_eq!(report0.total_transmissions(), report1.total_transmissions());
+        assert_eq!(p0.route_of(MessageId(1)), p1.route_of(MessageId(1)));
+
+        // Wire tallies: one packet of K=2 layers built; every transfer
+        // moved a full packet; the two route hops peeled.
+        let c1 = report1.counters().unwrap();
+        assert_eq!(c1.wire_packets_built, 1);
+        assert_eq!(c1.wire_aead_seals, 2);
+        assert_eq!(
+            c1.wire_bytes_sent,
+            report1.total_transmissions() * WIRE_PACKET_LEN as u64
+        );
+        assert!(report1.delivery_rate() == 1.0, "rich schedule delivers");
+        assert_eq!(c1.wire_packets_peeled, 2);
+        assert_eq!(c1.wire_aead_opens, 2);
+
+        // Without wire mode no wire counters move.
+        let c0 = report0.counters().unwrap();
+        assert_eq!(c0.wire_packets_built, 0);
+        assert_eq!(c0.wire_bytes_sent, 0);
+    }
+
+    #[test]
+    fn wire_mode_multi_copy_moves_bytes_without_peeling_sprays() {
+        let s = rich_schedule();
+        let l = 3;
+        let mut p = proto(2, ForwardingMode::MultiCopy).with_wire(rng(42));
+        let mut r = rng(3);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let report = run(&s, &mut p, vec![msg(1, 0, 7, 100.0, l)], &cfg, &mut r).unwrap();
+        let c = report.counters().unwrap();
+        assert_eq!(c.wire_packets_built, 1);
+        // Sprayed copies (tag 0) and the final clear hop move bytes but
+        // never open a layer; route hops open exactly one layer each.
+        let sprayed = report
+            .forward_log()
+            .iter()
+            .filter(|rec| rec.receiver_tag == 0)
+            .count() as u64;
+        assert_eq!(
+            c.wire_bytes_sent,
+            report.total_transmissions() * WIRE_PACKET_LEN as u64
+        );
+        assert!(c.wire_packets_peeled + sprayed <= report.total_transmissions());
+        assert_eq!(c.wire_packets_peeled, c.wire_aead_opens);
+        assert!(c.wire_packets_peeled >= 1, "at least one route hop peeled");
+    }
+
+    #[test]
+    fn wire_mode_arden_delivery_peels_last_layer() {
+        let s = rich_schedule();
+        let groups = OnionGroups::sequential_partition(8, 2);
+        let mut p = OnionRouting::new(groups, 2, ForwardingMode::SingleCopy)
+            .with_selection(RouteSelection::ArdenLastHop)
+            .with_wire(rng(8));
+        let mut r = rng(6);
+        let cfg = SimConfig {
+            wire_mode: true,
+            ..SimConfig::default()
+        };
+        let report = run(&s, &mut p, vec![msg(1, 0, 7, 100.0, 1)], &cfg, &mut r).unwrap();
+        assert_eq!(report.delivery_rate(), 1.0);
+        let c = report.counters().unwrap();
+        // ARDEN: the destination itself peels the last layer, so peels
+        // equal K and every transfer (K of them) carried a full packet.
+        assert_eq!(c.wire_packets_peeled, 2);
+        assert_eq!(
+            c.wire_bytes_sent,
+            report.total_transmissions() * WIRE_PACKET_LEN as u64
+        );
     }
 }

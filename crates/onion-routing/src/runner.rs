@@ -66,6 +66,11 @@ pub enum SeedDomain {
     /// from the trial's protocol RNG so enabling faults never perturbs
     /// the protocol's own draws.
     Faults,
+    /// Wire-mode crypto draws (packet nonces and filler): a separate
+    /// stream from the trial's protocol RNG so building/peeling real
+    /// ciphertext never perturbs the trial's own draw order — the
+    /// invariant behind the wire-mode differential determinism test.
+    Wire,
 }
 
 impl SeedDomain {
@@ -82,6 +87,7 @@ impl SeedDomain {
             SeedDomain::SecurityStarts => 0x0000_1234_0000_0006,
             SeedDomain::ModelValidation => 0x00DE_17E5_0000_0007,
             SeedDomain::Faults => 0xFA17_0BAD_0000_0008,
+            SeedDomain::Wire => 0x3173_C0DE_0000_0009,
         }
     }
 }

@@ -32,7 +32,7 @@
 //! or stored next to its results.
 
 use contact_graph::{ContactGraph, ContactSchedule, Time, TimeDelta, UniformGraphBuilder};
-use dtn_sim::{run_with_faults, FaultPlan, SimConfig};
+use dtn_sim::{run_with_faults, FaultPlan};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -40,8 +40,8 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::ProtocolConfig;
 use crate::experiment::{
     onion_protocol, random_messages, resolve_failures, run_random_graph_point, run_schedule_point,
-    DeliveryPartial, DeliverySweepRow, ExperimentOptions, FaultSweepRow, SecurityPartial,
-    SecuritySweepRow,
+    wire_setup, DeliveryPartial, DeliverySweepRow, ExperimentOptions, FaultSweepRow,
+    SecurityPartial, SecuritySweepRow,
 };
 use crate::groups::OnionGroups;
 use crate::runner::{run_trials_resilient, trial_rng_attempt, SeedDomain};
@@ -346,12 +346,13 @@ fn delivery_random_graph(
             let messages = random_messages(&run_cfg, opts.messages, |_| Time::ZERO, &mut rng);
 
             let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(&run_cfg, groups);
+            let (mut protocol, sim_config) =
+                wire_setup(onion_protocol(&run_cfg, groups), opts, trial, attempt);
             let report = run_with_faults(
                 &schedule,
                 &mut protocol,
                 messages.clone(),
-                &SimConfig::default(),
+                &sim_config,
                 &opts.faults,
                 &mut fault_rng,
                 &mut rng,
@@ -427,12 +428,13 @@ fn delivery_schedule(
             );
 
             let groups = OnionGroups::random_partition(run_cfg.nodes, run_cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(&run_cfg, groups);
+            let (mut protocol, sim_config) =
+                wire_setup(onion_protocol(&run_cfg, groups), opts, trial, attempt);
             let report = run_with_faults(
                 schedule,
                 &mut protocol,
                 messages.clone(),
-                &SimConfig::default(),
+                &sim_config,
                 &opts.faults,
                 &mut fault_rng,
                 &mut rng,
@@ -486,12 +488,13 @@ fn security_random_graph(
             let messages = random_messages(cfg, opts.messages, |_| Time::ZERO, &mut rng);
 
             let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(cfg, groups);
+            let (mut protocol, sim_config) =
+                wire_setup(onion_protocol(cfg, groups), opts, trial, attempt);
             let report = run_with_faults(
                 &schedule,
                 &mut protocol,
                 messages,
-                &SimConfig::default(),
+                &sim_config,
                 &opts.faults,
                 &mut fault_rng,
                 &mut rng,
@@ -559,12 +562,13 @@ fn security_schedule(
             );
 
             let groups = OnionGroups::random_partition(cfg.nodes, cfg.group_size, &mut rng);
-            let mut protocol = onion_protocol(cfg, groups);
+            let (mut protocol, sim_config) =
+                wire_setup(onion_protocol(cfg, groups), opts, trial, attempt);
             let report = run_with_faults(
                 schedule,
                 &mut protocol,
                 messages,
-                &SimConfig::default(),
+                &sim_config,
                 &opts.faults,
                 &mut fault_rng,
                 &mut rng,

@@ -1,0 +1,213 @@
+//! Wire-packet crypto throughput harness.
+//!
+//! Times constant-size onion packet *build* (all layers sealed batch-wise
+//! into one reusable buffer) and *full peel* (layer-by-layer in-place
+//! AEAD opens over the same buffer) at one and five layers, and emits a
+//! JSON record shaped like `BENCH_crypto.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_crypto -- \
+//!     [--iters N] [--out PATH] [--check-against BENCH_crypto.json]
+//! ```
+//!
+//! `--check-against` compares each packets/s figure to the committed
+//! baseline's `after.*_pps` field and exits non-zero on a >2x
+//! regression. The bound is deliberately generous: absolute throughput
+//! varies across CI containers, a 2x collapse means the hot path broke.
+
+use std::time::Instant;
+
+use onion_crypto::keys::derive_group_key;
+use onion_crypto::{OnionLayerSpec, WirePacket, WirePeeled, WIRE_PACKET_LEN};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    workload: &'static str,
+    packet_bytes: usize,
+    payload_bytes: usize,
+    seed: u64,
+    iters: usize,
+    build_single_pps: f64,
+    build_five_pps: f64,
+    peel_single_pps: f64,
+    peel_five_pps: f64,
+    build_single_us: f64,
+    build_five_us: f64,
+    peel_single_us: f64,
+    peel_five_us: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_crypto: {msg}");
+    std::process::exit(2);
+}
+
+const SEED: u64 = 0xC1_9A_70;
+const PAYLOAD: &[u8] = b"wire-mode throughput probe payload";
+
+fn route(layers: usize) -> Vec<OnionLayerSpec> {
+    let master = [0x5Au8; 32];
+    (0..layers as u32)
+        .map(|g| OnionLayerSpec {
+            group: g,
+            key: derive_group_key(&master, g),
+        })
+        .collect()
+}
+
+/// Packets/s building `iters` packets of `layers` layers into one
+/// reusable buffer.
+fn bench_build(layers: usize, iters: usize) -> f64 {
+    let specs = route(layers);
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut packet = WirePacket::zeroed();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        packet
+            .build_into(&specs, 7, PAYLOAD, &mut rng)
+            .expect("payload fits the fixed body");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&packet);
+    iters as f64 / elapsed
+}
+
+/// Packets/s fully peeling (all `layers` layers, in place) `iters`
+/// copies of one prebuilt packet.
+fn bench_peel(layers: usize, iters: usize) -> f64 {
+    let specs = route(layers);
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED + 1);
+    let canonical =
+        WirePacket::build(&specs, 7, PAYLOAD, &mut rng).expect("payload fits the fixed body");
+    let mut scratch = WirePacket::zeroed();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        scratch.copy_from(&canonical);
+        for spec in &specs {
+            match scratch.peel_in_place(&spec.key, &mut rng) {
+                Ok(WirePeeled::Forward { .. }) | Ok(WirePeeled::Delivered { .. }) => {}
+                Err(e) => fail(&format!("peel failed mid-bench: {e}")),
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&scratch);
+    iters as f64 / elapsed
+}
+
+/// Reads `after.<field>` from the committed baseline.
+fn baseline_pps(baseline: &serde::Value, path: &str, field: &str) -> f64 {
+    match baseline.get("after").and_then(|a| a.get(field)) {
+        Some(serde::Value::Float(v)) => *v,
+        Some(serde::Value::UInt(v)) => *v as f64,
+        Some(serde::Value::Int(v)) => *v as f64,
+        _ => fail(&format!("{path} has no after.{field}")),
+    }
+}
+
+fn main() {
+    let mut iters: usize = 2000;
+    let mut out: Option<String> = None;
+    let mut check_against: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i])))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--iters" => {
+                iters = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--iters must be a positive integer"));
+                i += 2;
+            }
+            "--out" => {
+                out = Some(need(i));
+                i += 2;
+            }
+            "--check-against" => {
+                check_against = Some(need(i));
+                i += 2;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if iters == 0 {
+        fail("--iters must be a positive integer");
+    }
+
+    eprintln!("bench_crypto: {iters} iters per workload, {WIRE_PACKET_LEN}-byte packets ...");
+    let build_single_pps = bench_build(1, iters);
+    let build_five_pps = bench_build(5, iters);
+    let peel_single_pps = bench_peel(1, iters);
+    let peel_five_pps = bench_peel(5, iters);
+    for (name, pps) in [
+        ("build 1-layer", build_single_pps),
+        ("build 5-layer", build_five_pps),
+        ("peel  1-layer", peel_single_pps),
+        ("peel  5-layer", peel_five_pps),
+    ] {
+        eprintln!(
+            "bench_crypto: {name}: {pps:.0} packets/s ({:.1} us/packet)",
+            1e6 / pps
+        );
+    }
+
+    let record = BenchRecord {
+        workload: "wire_packet_build_and_full_peel",
+        packet_bytes: WIRE_PACKET_LEN,
+        payload_bytes: PAYLOAD.len(),
+        seed: SEED,
+        iters,
+        build_single_pps,
+        build_five_pps,
+        peel_single_pps,
+        peel_five_pps,
+        build_single_us: 1e6 / build_single_pps,
+        build_five_us: 1e6 / build_five_pps,
+        peel_single_us: 1e6 / peel_single_pps,
+        peel_five_us: 1e6 / peel_five_pps,
+    };
+    let rendered = serde_json::to_string_pretty(&record).expect("record serializes");
+    println!("{rendered}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{rendered}\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("bench_crypto: wrote {path}");
+    }
+
+    if let Some(path) = check_against {
+        let baseline = serde_json::parse_value(
+            &std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        let mut regressed = false;
+        for (field, measured) in [
+            ("build_single_pps", build_single_pps),
+            ("build_five_pps", build_five_pps),
+            ("peel_single_pps", peel_single_pps),
+            ("peel_five_pps", peel_five_pps),
+        ] {
+            let committed = baseline_pps(&baseline, &path, field);
+            eprintln!(
+                "bench_crypto: {field}: committed {committed:.0} packets/s, measured {measured:.0}"
+            );
+            if measured < committed / 2.0 {
+                eprintln!("bench_crypto: FAIL — {field} regressed more than 2x vs the baseline");
+                regressed = true;
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+        eprintln!("bench_crypto: all figures within the 2x regression bound");
+    }
+}

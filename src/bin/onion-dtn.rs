@@ -18,7 +18,10 @@
 //! (node crashes per minute, with `--fault-downtime <mean minutes>` and
 //! `--fault-forget` to also wipe duplicate-suppression state),
 //! `--fault-contact-loss <p>`, `--fault-truncation <p>`, and
-//! `--fault-msg-loss <p>`. `--keep-going` tolerates quarantined trial
+//! `--fault-msg-loss <p>`. `--wire` turns on wire mode: every forward
+//! moves (and, at route hops, peels) a real constant-size onion packet,
+//! filling the `wire.*` counters without changing any abstract result.
+//! `--keep-going` tolerates quarantined trial
 //! failures instead of aborting; `--resume <path>` checkpoints finished
 //! points to a JSONL file and skips them on restart, byte-identically.
 //!
@@ -47,6 +50,8 @@ fn print_usage() {
          \t                results are identical for every value)\n\
          faults: --fault-churn <crashes/min> --fault-downtime <mean min> --fault-forget\n\
          \t--fault-contact-loss <p> --fault-truncation <p> --fault-msg-loss <p>\n\
+         wire mode: --wire (move + peel real constant-size ciphertext per forward;\n\
+         \t         abstract results are bit-identical, wire.* counters fill in)\n\
          resilience: --keep-going (tolerate quarantined trials)\n\
          \t--resume <path> (JSONL checkpoint; finished points are skipped on restart)\n\
          trace: onion-dtn trace (cambridge|infocom|<haggle file>) [--t seconds]\n\
@@ -69,6 +74,7 @@ const BOOL_FLAGS: &[&str] = &[
     "keep-going",
     "fault-forget",
     "shutdown",
+    "wire",
 ];
 
 /// A CLI failure carrying its process exit code: usage errors exit 2,
@@ -205,6 +211,7 @@ fn opts_from(flags: &HashMap<String, String>) -> Result<ExperimentOptions, Strin
         threads: flag(flags, "threads", 0usize)?,
         faults: faults_from(flags)?,
         keep_going: flags.contains_key("keep-going"),
+        wire: flags.contains_key("wire"),
     })
 }
 
@@ -395,6 +402,7 @@ fn cmd_trace(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         threads: flag(flags, "threads", 0usize)?,
         faults: faults_from(flags)?,
         keep_going: flags.contains_key("keep-going"),
+        wire: flags.contains_key("wire"),
         ..Default::default()
     };
     let mut cp = open_checkpoint(flags, &format!("trace:{which}"), &cfg, &opts)?;

@@ -2,7 +2,7 @@
 //! detection, and structural invariants of onion packets under arbitrary
 //! inputs.
 
-use onion_crypto::aead::{open, seal, AeadKey};
+use onion_crypto::aead::{open, open_in_place, seal, seal_in_place, AeadKey};
 use onion_crypto::hex;
 use onion_crypto::keys::derive_group_key;
 use onion_crypto::onion::{
@@ -38,6 +38,43 @@ proptest! {
         let bit = flip_bit % (boxed.len() * 8);
         boxed[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(open(&key, &nonce, b"aad", &boxed).is_err());
+    }
+
+    /// The zero-copy in-place seal/open pair is byte-equivalent to the
+    /// allocating pair for every key, nonce, aad, and payload.
+    #[test]
+    fn aead_in_place_matches_allocating(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                        aad in proptest::collection::vec(any::<u8>(), 0..64),
+                                        payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let key = AeadKey::from_bytes(key);
+        let boxed = seal(&key, &nonce, &aad, &payload);
+        let mut buf = payload.clone();
+        buf.resize(payload.len() + 16, 0);
+        seal_in_place(&key, &nonce, &aad, &mut buf, payload.len());
+        prop_assert_eq!(&buf[..], &boxed[..]);
+        let len = open_in_place(&key, &nonce, &aad, &mut buf).unwrap();
+        prop_assert_eq!(len, payload.len());
+        prop_assert_eq!(&buf[..len], &payload[..]);
+    }
+
+    /// A failed in-place open must leave the buffer byte-identical (the
+    /// wire peel path relies on this to keep packets forwardable after a
+    /// wrong-key attempt).
+    #[test]
+    fn aead_open_in_place_rejects_flip_and_preserves_buffer(
+            key in any::<[u8; 32]>(),
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_bit in any::<usize>()) {
+        let key = AeadKey::from_bytes(key);
+        let nonce = [5u8; 12];
+        let mut buf = payload.clone();
+        buf.resize(payload.len() + 16, 0);
+        seal_in_place(&key, &nonce, b"aad", &mut buf, payload.len());
+        let bit = flip_bit % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let tampered = buf.clone();
+        prop_assert!(open_in_place(&key, &nonce, b"aad", &mut buf).is_err());
+        prop_assert_eq!(buf, tampered);
     }
 
     #[test]

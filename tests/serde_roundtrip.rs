@@ -65,6 +65,7 @@ fn sim_config_roundtrip() {
         reject_seen: false,
         buffer_capacity: Some(8),
         drop_policy: DropPolicy::DropOldest,
+        wire_mode: true,
     };
     assert_eq!(json_roundtrip(&constrained), constrained);
 
@@ -94,8 +95,32 @@ fn sim_counters_roundtrip() {
         fault_transfers_truncated: 2,
         fault_buffer_wipes: 8,
         fault_messages_lost: 3,
+        wire_packets_built: 25,
+        wire_packets_peeled: 75,
+        wire_bytes_sent: 819_800,
+        wire_aead_seals: 75,
+        wire_aead_opens: 75,
     };
     assert_eq!(json_roundtrip(&counters), counters);
+
+    // Abstract-mode counters serialize without the wire fields at all
+    // (the legacy shape), and still deserialize — wire fields default
+    // to zero when absent, so old checkpoints load unchanged.
+    let abstract_only = SimCounters {
+        contacts: 7,
+        injected: 2,
+        delivered: 1,
+        ..SimCounters::default()
+    };
+    let text = serde_json::to_string(&abstract_only).expect("serialize");
+    assert!(
+        !text.contains("wire_"),
+        "abstract counters must keep the legacy serialization shape"
+    );
+    assert_eq!(
+        serde_json::from_str::<SimCounters>(&text).expect("deserialize"),
+        abstract_only
+    );
     assert_eq!(
         json_roundtrip(&SimCounters::default()),
         SimCounters::default()
@@ -197,6 +222,7 @@ fn runner_and_experiment_config_roundtrip() {
         SeedDomain::SecuritySchedule,
         SeedDomain::SecurityStarts,
         SeedDomain::ModelValidation,
+        SeedDomain::Wire,
     ] {
         assert_eq!(json_roundtrip(&domain), domain);
     }

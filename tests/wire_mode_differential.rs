@@ -1,0 +1,126 @@
+//! Differential determinism suite for wire mode.
+//!
+//! Wire mode moves and peels real constant-size ciphertext on every
+//! forward, but all of its randomness comes from the dedicated
+//! `SeedDomain::Wire` stream — so the *abstract* results (delivery, cost,
+//! anonymity, every legacy counter) must be bit-identical with the flag
+//! on or off, at any thread count. This suite pins that claim:
+//!
+//! 1. `PointSummary` with wire mode on, after zeroing the five `wire_*`
+//!    counters, serializes to the exact bytes of the wire-off summary —
+//!    at threads 1, 2, and 8.
+//! 2. The wire byte/AEAD counters themselves are deterministic: equal
+//!    across thread counts and pinned to a committed golden
+//!    (`tests/golden/wire_counters_fig04_small.json`). Regenerate with
+//!    `UPDATE_GOLDEN=1 cargo test --test wire_mode_differential`.
+
+use contact_graph::TimeDelta;
+use onion_routing::{run_random_graph_point, ExperimentOptions, PointSummary, ProtocolConfig};
+
+const GOLDEN_WIRE_COUNTERS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/wire_counters_fig04_small.json"
+);
+
+/// Same small fig04-flavored configuration as the committed
+/// `point_fig04_small.json` golden, so the two suites pin the same run.
+fn golden_cfg() -> ProtocolConfig {
+    ProtocolConfig {
+        nodes: 40,
+        group_size: 5,
+        onions: 2,
+        compromised: 4,
+        deadline: TimeDelta::new(1080.0),
+        ..ProtocolConfig::table2_defaults()
+    }
+}
+
+fn golden_opts(threads: usize, wire: bool) -> ExperimentOptions {
+    ExperimentOptions {
+        messages: 5,
+        realizations: 10,
+        seed: 0xF1_604,
+        threads,
+        wire,
+        ..Default::default()
+    }
+}
+
+/// The summary with the wire-only tallies zeroed — what a wire-mode run
+/// must reduce to when the real crypto is subtracted.
+fn strip_wire(mut p: PointSummary) -> PointSummary {
+    p.sim_counters.wire_packets_built = 0;
+    p.sim_counters.wire_packets_peeled = 0;
+    p.sim_counters.wire_bytes_sent = 0;
+    p.sim_counters.wire_aead_seals = 0;
+    p.sim_counters.wire_aead_opens = 0;
+    p
+}
+
+#[test]
+fn wire_mode_changes_nothing_but_wire_counters_at_threads_1_2_8() {
+    let cfg = golden_cfg();
+    let abstract_json =
+        serde_json::to_string(&run_random_graph_point(&cfg, &golden_opts(1, false)))
+            .expect("PointSummary serializes");
+
+    let wired_reference = run_random_graph_point(&cfg, &golden_opts(1, true));
+    let wired_reference_json =
+        serde_json::to_string(&wired_reference).expect("PointSummary serializes");
+
+    for threads in [1usize, 2, 8] {
+        let wired = run_random_graph_point(&cfg, &golden_opts(threads, true));
+
+        // The real crypto actually ran.
+        let c = &wired.sim_counters;
+        assert!(
+            c.wire_packets_built > 0,
+            "threads={threads}: no packets built"
+        );
+        assert!(
+            c.wire_packets_peeled > 0,
+            "threads={threads}: no layers peeled"
+        );
+        assert!(
+            c.wire_aead_seals >= 2 * c.wire_packets_built,
+            "K = 2 seals per packet"
+        );
+        assert_eq!(c.wire_aead_opens, c.wire_packets_peeled);
+        assert!(c.wire_bytes_sent > 0);
+
+        // Wire counters (and everything else) are thread-invariant.
+        assert_eq!(
+            serde_json::to_string(&wired).expect("PointSummary serializes"),
+            wired_reference_json,
+            "wire-mode summary at threads={threads} drifted from threads=1"
+        );
+
+        // Subtract the wire tallies and the summary is byte-identical to
+        // the abstract run: enabling real ciphertext perturbed nothing.
+        assert_eq!(
+            serde_json::to_string(&strip_wire(wired)).expect("PointSummary serializes"),
+            abstract_json,
+            "wire mode changed abstract results at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn wire_counters_match_committed_golden() {
+    let wired = run_random_graph_point(&golden_cfg(), &golden_opts(1, true));
+    let computed = serde_json::to_string(&wired.sim_counters).expect("SimCounters serialize");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_WIRE_COUNTERS, format!("{computed}\n"))
+            .expect("write golden wire counters");
+        eprintln!("updated {GOLDEN_WIRE_COUNTERS}");
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_WIRE_COUNTERS)
+        .expect("golden wire counters missing — run with UPDATE_GOLDEN=1 to create them");
+    assert_eq!(
+        computed,
+        golden.trim_end(),
+        "wire-mode byte/AEAD counters drifted from the committed golden"
+    );
+}
