@@ -33,10 +33,22 @@ use contact_graph::{ContactSchedule, NodeId, Time};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use obs::TraceEvent;
+
 use crate::faults::{ChurnMemory, FaultPlan, FaultState};
 use crate::message::{CopyState, Message, MessageId};
 use crate::protocol::{ContactView, Forward, ForwardKind, RoutingProtocol};
 use crate::report::{ForwardRecord, SimCounters, SimReport};
+
+/// Stable trace label for a forward kind.
+#[inline]
+fn kind_label(kind: ForwardKind) -> &'static str {
+    match kind {
+        ForwardKind::Handoff => "handoff",
+        ForwardKind::Split { .. } => "split",
+        ForwardKind::Replicate => "replicate",
+    }
+}
 
 /// What to do when a transfer arrives at a full buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -255,8 +267,9 @@ fn arrival_insert(arrivals: &mut Vec<(MessageId, Time)>, id: MessageId, t: Time)
 }
 
 /// Makes room at `node` for one more copy, per the drop policy. Returns
-/// false if the incoming copy should be refused instead.
-fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
+/// false if the incoming copy should be refused instead. `now` only
+/// labels the trace event for an evicted victim.
+fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId, now: Time) -> bool {
     let Some(capacity) = config.buffer_capacity else {
         return true;
     };
@@ -282,6 +295,11 @@ fn make_room(state: &mut SimState, config: &SimConfig, node: NodeId) -> bool {
                 buf_remove(&mut state.buffers[node.index()], victim);
                 state.counters.buffer_drops += 1;
                 state.counters.buffer_evictions += 1;
+                obs::trace_event(|| TraceEvent::Drop {
+                    time: now.as_f64(),
+                    message: victim.0,
+                    node: node.0 as u64,
+                });
                 true
             } else {
                 // Capacity is zero.
@@ -474,11 +492,24 @@ where
         while pending.last().is_some_and(|m| m.created <= now) {
             let m = pending.pop().expect("checked non-empty");
             let cs = protocol.on_inject(&m, rng);
+            obs::trace_event(|| TraceEvent::Inject {
+                time: m.created.as_f64(),
+                message: m.id.0,
+                source: m.source.0 as u64,
+                destination: m.destination.0 as u64,
+            });
             // Wire mode: the source builds the real packet at injection
             // time (from its own RNG stream, so abstract draws are
             // untouched).
             if config.wire_mode {
+                let seals_before = state.counters.wire_aead_seals;
                 protocol.wire_on_inject(&m, &mut state.counters);
+                obs::trace_event(|| TraceEvent::Seal {
+                    time: m.created.as_f64(),
+                    message: m.id.0,
+                    node: m.source.0 as u64,
+                    layers: state.counters.wire_aead_seals - seals_before,
+                });
             }
             let rank = state.rank(m.id);
             state.seen_insert(m.source, rank);
@@ -493,15 +524,26 @@ where
                 .is_some_and(|f| f.node_down(source, created))
             {
                 state.counters.fault_buffer_wipes += 1;
+                obs::trace_event(|| TraceEvent::FaultBufferWipe {
+                    time: created.as_f64(),
+                    node: source.0 as u64,
+                    message: id.0,
+                });
                 continue;
             }
             // A full source buffer refuses (or evicts for) the new
             // message, per the drop policy.
-            if make_room(state, config, source) {
+            if make_room(state, config, source, created) {
                 buf_insert(&mut state.buffers[source.index()], id, cs);
                 if track_arrivals {
                     arrival_insert(&mut state.arrivals[source.index()], id, created);
                 }
+            } else {
+                obs::trace_event(|| TraceEvent::Drop {
+                    time: created.as_f64(),
+                    message: id.0,
+                    node: source.0 as u64,
+                });
             }
         }
     };
@@ -520,10 +562,20 @@ where
             // beacon). Neither is observed by the protocol.
             if f.node_down(event.a, event.time) || f.node_down(event.b, event.time) {
                 state.counters.fault_contacts_dropped += 1;
+                obs::trace_event(|| TraceEvent::FaultContactDrop {
+                    time: event.time.as_f64(),
+                    a: event.a.0 as u64,
+                    b: event.b.0 as u64,
+                });
                 continue;
             }
             if f.contact_dropped(fault_rng) {
                 state.counters.fault_contacts_dropped += 1;
+                obs::trace_event(|| TraceEvent::FaultContactDrop {
+                    time: event.time.as_f64(),
+                    a: event.a.0 as u64,
+                    b: event.b.0 as u64,
+                });
                 continue;
             }
         }
@@ -542,7 +594,15 @@ where
             let before = buf.len();
             buf.retain(|&(id, _)| {
                 let r = ids.binary_search(&id).expect("buffered id is known");
-                event.time <= expires[r]
+                let live = event.time <= expires[r];
+                if !live {
+                    obs::trace_event(|| TraceEvent::Expire {
+                        time: event.time.as_f64(),
+                        message: id.0,
+                        node: node.0 as u64,
+                    });
+                }
+                live
             });
             state.counters.deadline_expiries += (before - buf.len()) as u64;
         }
@@ -587,6 +647,11 @@ where
         {
             Some(keep) => {
                 state.counters.fault_transfers_truncated += (total - keep) as u64;
+                obs::trace_event(|| TraceEvent::FaultTransferTruncated {
+                    time: event.time.as_f64(),
+                    from: event.a.0 as u64,
+                    to: event.b.0 as u64,
+                });
                 let keep_ab = keep.min(decisions_ab.len());
                 (keep_ab, keep - keep_ab)
             }
@@ -692,13 +757,25 @@ where
 fn apply_crashes(state: &mut SimState, faults: &mut FaultState, node: NodeId, now: Time) {
     for crash in faults.take_crashes(node, now) {
         state.counters.fault_crashes += 1;
+        obs::trace_event(|| TraceEvent::FaultCrash {
+            time: crash.as_f64(),
+            node: node.0 as u64,
+        });
         let arrivals = &state.arrivals[node.index()];
         let buf = &mut state.buffers[node.index()];
         let before = buf.len();
         buf.retain(|&(id, _)| {
-            arrivals
+            let survives = arrivals
                 .binary_search_by_key(&id, |&(aid, _)| aid)
-                .is_ok_and(|p| arrivals[p].1 > crash)
+                .is_ok_and(|p| arrivals[p].1 > crash);
+            if !survives {
+                obs::trace_event(|| TraceEvent::FaultBufferWipe {
+                    time: crash.as_f64(),
+                    node: node.0 as u64,
+                    message: id.0,
+                });
+            }
+            survives
         });
         state.counters.fault_buffer_wipes += (before - buf.len()) as u64;
         if faults.churn_memory() == Some(ChurnMemory::Forget) {
@@ -806,6 +883,12 @@ fn apply<P>(
             take_from_carrier(state, carrier, fwd, copy);
             state.transmissions[rank] += 1;
             state.counters.fault_messages_lost += 1;
+            obs::trace_event(|| TraceEvent::FaultMessageLost {
+                time: now.as_f64(),
+                message: fwd.message.0,
+                from: carrier.0 as u64,
+                to: peer.0 as u64,
+            });
             if config.wire_mode {
                 protocol.wire_on_transfer(fwd.message, fwd.receiver_tag, true, &mut state.counters);
             }
@@ -813,7 +896,12 @@ fn apply<P>(
         }
         // Buffer admission at the receiver (destinations consume without
         // buffering). Must happen before any carrier-side mutation.
-        if peer != destination && !make_room(state, config, peer) {
+        if peer != destination && !make_room(state, config, peer, now) {
+            obs::trace_event(|| TraceEvent::Drop {
+                time: now.as_f64(),
+                message: fwd.message.0,
+                node: peer.0 as u64,
+            });
             continue;
         }
 
@@ -827,8 +915,21 @@ fn apply<P>(
             ForwardKind::Replicate => state.counters.forwards_replicate += 1,
         }
         state.transmissions[rank] += 1;
+        obs::trace_event(|| TraceEvent::Forward {
+            time: now.as_f64(),
+            message: fwd.message.0,
+            from: carrier.0 as u64,
+            to: peer.0 as u64,
+            kind: kind_label(fwd.kind).to_string(),
+            route_group: fwd.receiver_tag,
+        });
         if config.wire_mode {
             protocol.wire_on_transfer(fwd.message, fwd.receiver_tag, false, &mut state.counters);
+            obs::trace_event(|| TraceEvent::Peel {
+                time: now.as_f64(),
+                message: fwd.message.0,
+                node: peer.0 as u64,
+            });
         }
         if config.record_forwarding {
             state.forward_log.push(ForwardRecord {
@@ -845,6 +946,11 @@ fn apply<P>(
             // Delivery: the destination consumes the copy.
             if state.delivered[rank].is_none() {
                 state.delivered[rank] = Some(now);
+                obs::trace_event(|| TraceEvent::Deliver {
+                    time: now.as_f64(),
+                    message: fwd.message.0,
+                    node: peer.0 as u64,
+                });
             }
         } else {
             buf_insert(

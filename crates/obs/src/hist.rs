@@ -197,6 +197,43 @@ impl Histogram {
         self.max
     }
 
+    /// Recorded values `<= 0` (tallied outside the buckets).
+    pub fn zero_or_negative(&self) -> u64 {
+        self.zero_or_negative
+    }
+
+    /// Recorded values past the largest bucket (`>= 2^(MAX_EXP+1)`).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates the occupied buckets as `(index, count)` pairs, in
+    /// ascending value order; feed indices to [`bucket_bounds`] for the
+    /// value ranges. Empty buckets are skipped.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (idx, n))
+    }
+
+    /// Cumulative bucket counts in Prometheus `le` form: one
+    /// `(upper_bound, cumulative_count)` pair per occupied bucket,
+    /// ascending. `zero_or_negative` values are below every positive
+    /// bound, so they seed the running total; `overflow` values belong
+    /// only to the implicit `+Inf` bucket (i.e. [`Histogram::count`]),
+    /// which the caller appends.
+    pub fn cumulative_le(&self) -> Vec<(f64, u64)> {
+        let mut total = self.zero_or_negative;
+        self.nonzero_buckets()
+            .map(|(idx, n)| {
+                total += n;
+                (bucket_bounds(idx).1, total)
+            })
+            .collect()
+    }
+
     /// Point-in-time summary with the standard quantiles.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -344,6 +381,32 @@ mod tests {
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
         assert_eq!(a.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn bucket_exposition_is_cumulative_and_skips_empties() {
+        let mut h = Histogram::new();
+        h.record(0.0); // zero_or_negative
+        h.record(1.0);
+        h.record(1.0);
+        h.record(100.0);
+        h.record(((MAX_EXP + 2) as f64).exp2()); // overflow
+
+        let occupied: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(occupied.len(), 2);
+        assert_eq!(occupied[0].1, 2);
+        assert_eq!(occupied[1].1, 1);
+        assert_eq!(h.zero_or_negative(), 1);
+        assert_eq!(h.overflow(), 1);
+
+        let le = h.cumulative_le();
+        assert_eq!(le.len(), 2);
+        // zero_or_negative seeds the running total; overflow is excluded.
+        assert_eq!(le[0].1, 3);
+        assert_eq!(le[1].1, 4);
+        assert!(le[0].0 < le[1].0);
+        assert!(le[0].0 > 1.0 && le[1].0 > 100.0);
+        assert_eq!(h.count(), 5); // the +Inf bucket the caller appends
     }
 
     #[test]

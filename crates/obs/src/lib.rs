@@ -13,6 +13,10 @@
 //!   p50/p90/p99 summaries ([`record`], [`Histogram`]).
 //! - **Spans** — RAII wall-time measurement into a histogram
 //!   ([`span`], [`Span`]), plus a throttled live [`Progress`] line.
+//! - **Traces** — bounded per-trial message-lifecycle journals and the
+//!   crash-bundle flight recorder ([`trace_event`], [`TraceRing`],
+//!   [`dump_crash_bundle`]), gated by `ONION_DTN_TRACE` /
+//!   [`set_trace_enabled`].
 //!
 //! Everything funnels through one global recorder. The design contract
 //! is that *disabled telemetry costs nothing measurable*: every
@@ -37,6 +41,7 @@ mod level;
 mod progress;
 mod recorder;
 mod span;
+mod trace;
 
 pub use counters::CounterMap;
 pub use gauges::GaugeMap;
@@ -51,6 +56,12 @@ pub use recorder::{
     take_last_snapshot, MetricsSnapshot,
 };
 pub use span::{span, Span};
+pub use trace::{
+    clear_crash_sink, dump_crash_bundle, set_crash_sink, set_trace_capacity, set_trace_enabled,
+    set_trace_path, trace_capacity, trace_enabled, trace_event, trace_ring_begin, trace_ring_flush,
+    trace_ring_take, CrashBundleHeader, TraceEvent, TraceRing, CRASH_BUNDLE_SCHEMA,
+    DEFAULT_TRACE_CAP,
+};
 
 /// Emits a leveled event: `event!(Level::Info, "target", "fmt {}", x)`.
 ///

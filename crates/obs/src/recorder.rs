@@ -114,6 +114,9 @@ pub fn init() {
                 PROGRESS.store(true, Ordering::Relaxed);
             }
         }
+        if let Ok(val) = std::env::var("ONION_DTN_TRACE") {
+            crate::trace::init_from_env(&val);
+        }
     });
 }
 

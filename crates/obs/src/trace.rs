@@ -1,0 +1,899 @@
+//! Message-lifecycle tracing: bounded per-trial event journals and the
+//! crash-bundle flight recorder.
+//!
+//! Tracing follows the same contract as the metric registry: the
+//! disabled fast path is **one relaxed atomic load** ([`trace_enabled`])
+//! and event construction is deferred behind a closure, so an
+//! instrumented site costs nothing measurable when tracing is off.
+//! Recording is purely observational — it never draws randomness and
+//! never feeds back into simulation state — so enabling it cannot
+//! perturb the deterministic Monte-Carlo results.
+//!
+//! # Per-trial rings
+//!
+//! Events accumulate in a thread-local fixed-capacity [`TraceRing`]
+//! installed by [`trace_ring_begin`] at the start of a trial. The ring
+//! keeps the **last** `cap` events (FIFO eviction, oldest first) plus a
+//! count of everything it evicted, so memory stays bounded no matter
+//! how long a trial runs. A finished trial calls [`trace_ring_flush`]
+//! to append its events as JSONL to the `--trace-out` path (one object
+//! per line, tagged with the trial id); a *panicked* trial leaves its
+//! ring in place, where the runner's quarantine path salvages it into a
+//! crash bundle via [`dump_crash_bundle`].
+//!
+//! # Crash bundles
+//!
+//! When a crash sink is configured ([`set_crash_sink`], typically
+//! pointed next to a sweep checkpoint), a quarantined trial produces
+//! `crash-trial<N>.jsonl`: a [`CrashBundleHeader`] line (config
+//! fingerprint, base seed, trial, panic message) followed by the ring's
+//! surviving events — enough to replay the exact trial that died.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::Level;
+use crate::recorder::{emit, init};
+
+/// Default per-trial ring capacity (events kept per trial).
+pub const DEFAULT_TRACE_CAP: usize = 4096;
+
+/// Crash bundle schema version (the header's `schema` field).
+pub const CRASH_BUNDLE_SCHEMA: u32 = 1;
+
+static TRACE: AtomicBool = AtomicBool::new(false);
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_TRACE_CAP);
+
+fn trace_path() -> &'static Mutex<Option<PathBuf>> {
+    static PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+    &PATH
+}
+
+fn crash_sink() -> &'static Mutex<Option<CrashSink>> {
+    static SINK: Mutex<Option<CrashSink>> = Mutex::new(None);
+    &SINK
+}
+
+thread_local! {
+    static RING: RefCell<Option<TraceRing>> = const { RefCell::new(None) };
+}
+
+/// One message-lifecycle event. All ids are plain integers (node and
+/// message ids as `u64`, times as `f64` minutes) so the type stays
+/// dependency-free; the simulation layer converts at the call site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A message entered the network at its source.
+    Inject {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Source node.
+        source: u64,
+        /// Destination node.
+        destination: u64,
+    },
+    /// Wire mode: a constant-size onion packet was built and sealed.
+    Seal {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Node that built the packet (the source).
+        node: u64,
+        /// AEAD layers sealed (the route length).
+        layers: u64,
+    },
+    /// A committed custody transfer.
+    Forward {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Sending custodian.
+        from: u64,
+        /// Receiving node.
+        to: u64,
+        /// Forward kind: `handoff`, `split`, or `replicate`.
+        kind: String,
+        /// Protocol tag of the receiver's copy (onion hop index).
+        route_group: u64,
+    },
+    /// Wire mode: a receiving relay peeled one AEAD layer.
+    Peel {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Peeling node.
+        node: u64,
+    },
+    /// A message reached its destination within the deadline.
+    Deliver {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Destination node.
+        node: u64,
+    },
+    /// A copy was dropped (buffer admission refused or evicted).
+    Drop {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Node that dropped the copy.
+        node: u64,
+    },
+    /// A buffered copy passed its deadline and was discarded.
+    Expire {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Node holding the expired copy.
+        node: u64,
+    },
+    /// Fault injection: a node crashed (churn).
+    FaultCrash {
+        /// Simulation time.
+        time: f64,
+        /// Crashed node.
+        node: u64,
+    },
+    /// Fault injection: a crash wipe destroyed a buffered copy.
+    FaultBufferWipe {
+        /// Simulation time.
+        time: f64,
+        /// Crashed node.
+        node: u64,
+        /// Destroyed copy's message id.
+        message: u64,
+    },
+    /// Fault injection: a scheduled contact was suppressed.
+    FaultContactDrop {
+        /// Simulation time.
+        time: f64,
+        /// One endpoint.
+        a: u64,
+        /// The other endpoint.
+        b: u64,
+    },
+    /// Fault injection: a contact window closed mid-transfer.
+    FaultTransferTruncated {
+        /// Simulation time.
+        time: f64,
+        /// Sending custodian.
+        from: u64,
+        /// Intended receiver.
+        to: u64,
+    },
+    /// Fault injection: a committed transfer's copy was lost in flight.
+    FaultMessageLost {
+        /// Simulation time.
+        time: f64,
+        /// Message id.
+        message: u64,
+        /// Sending custodian (paid the transmission anyway).
+        from: u64,
+        /// Receiver that got nothing.
+        to: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag (the JSON `event` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Inject { .. } => "inject",
+            TraceEvent::Seal { .. } => "seal",
+            TraceEvent::Forward { .. } => "forward",
+            TraceEvent::Peel { .. } => "peel",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Expire { .. } => "expire",
+            TraceEvent::FaultCrash { .. } => "fault_crash",
+            TraceEvent::FaultBufferWipe { .. } => "fault_buffer_wipe",
+            TraceEvent::FaultContactDrop { .. } => "fault_contact_drop",
+            TraceEvent::FaultTransferTruncated { .. } => "fault_transfer_truncated",
+            TraceEvent::FaultMessageLost { .. } => "fault_message_lost",
+        }
+    }
+
+    /// The event's simulation time.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Inject { time, .. }
+            | TraceEvent::Seal { time, .. }
+            | TraceEvent::Forward { time, .. }
+            | TraceEvent::Peel { time, .. }
+            | TraceEvent::Deliver { time, .. }
+            | TraceEvent::Drop { time, .. }
+            | TraceEvent::Expire { time, .. }
+            | TraceEvent::FaultCrash { time, .. }
+            | TraceEvent::FaultBufferWipe { time, .. }
+            | TraceEvent::FaultContactDrop { time, .. }
+            | TraceEvent::FaultTransferTruncated { time, .. }
+            | TraceEvent::FaultMessageLost { time, .. } => time,
+        }
+    }
+
+    /// The event's fields, in serialization order, excluding the
+    /// leading `event` tag.
+    fn fields(&self) -> Vec<(String, serde::Value)> {
+        use serde::Value::{Float, Str, UInt};
+        match self {
+            TraceEvent::Inject {
+                time,
+                message,
+                source,
+                destination,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("message".into(), UInt(*message)),
+                ("source".into(), UInt(*source)),
+                ("destination".into(), UInt(*destination)),
+            ],
+            TraceEvent::Seal {
+                time,
+                message,
+                node,
+                layers,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("message".into(), UInt(*message)),
+                ("node".into(), UInt(*node)),
+                ("layers".into(), UInt(*layers)),
+            ],
+            TraceEvent::Forward {
+                time,
+                message,
+                from,
+                to,
+                kind,
+                route_group,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("message".into(), UInt(*message)),
+                ("from".into(), UInt(*from)),
+                ("to".into(), UInt(*to)),
+                ("kind".into(), Str(kind.clone())),
+                ("route_group".into(), UInt(*route_group)),
+            ],
+            TraceEvent::Peel {
+                time,
+                message,
+                node,
+            }
+            | TraceEvent::Deliver {
+                time,
+                message,
+                node,
+            }
+            | TraceEvent::Drop {
+                time,
+                message,
+                node,
+            }
+            | TraceEvent::Expire {
+                time,
+                message,
+                node,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("message".into(), UInt(*message)),
+                ("node".into(), UInt(*node)),
+            ],
+            TraceEvent::FaultCrash { time, node } => {
+                vec![("time".into(), Float(*time)), ("node".into(), UInt(*node))]
+            }
+            TraceEvent::FaultBufferWipe {
+                time,
+                node,
+                message,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("node".into(), UInt(*node)),
+                ("message".into(), UInt(*message)),
+            ],
+            TraceEvent::FaultContactDrop { time, a, b } => vec![
+                ("time".into(), Float(*time)),
+                ("a".into(), UInt(*a)),
+                ("b".into(), UInt(*b)),
+            ],
+            TraceEvent::FaultTransferTruncated { time, from, to } => vec![
+                ("time".into(), Float(*time)),
+                ("from".into(), UInt(*from)),
+                ("to".into(), UInt(*to)),
+            ],
+            TraceEvent::FaultMessageLost {
+                time,
+                message,
+                from,
+                to,
+            } => vec![
+                ("time".into(), Float(*time)),
+                ("message".into(), UInt(*message)),
+                ("from".into(), UInt(*from)),
+                ("to".into(), UInt(*to)),
+            ],
+        }
+    }
+}
+
+// Hand-written serde (the vendored derive cannot express data-carrying
+// enums): one flat JSON object per event with a leading `event` tag,
+// e.g. `{"event":"forward","time":3.5,"message":0,"from":1,"to":2,
+// "kind":"handoff","route_group":1}`.
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![(
+            "event".to_string(),
+            serde::Value::Str(self.name().to_string()),
+        )];
+        fields.extend(self.fields());
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for TraceEvent {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field<T: serde::DeserializeOwned>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            match value.get(name) {
+                Some(v) => T::from_value(v),
+                None => Err(serde::DeError::new(format!(
+                    "TraceEvent: missing field {name}"
+                ))),
+            }
+        }
+        let tag: String = field(value, "event")?;
+        let time: f64 = field(value, "time")?;
+        match tag.as_str() {
+            "inject" => Ok(TraceEvent::Inject {
+                time,
+                message: field(value, "message")?,
+                source: field(value, "source")?,
+                destination: field(value, "destination")?,
+            }),
+            "seal" => Ok(TraceEvent::Seal {
+                time,
+                message: field(value, "message")?,
+                node: field(value, "node")?,
+                layers: field(value, "layers")?,
+            }),
+            "forward" => Ok(TraceEvent::Forward {
+                time,
+                message: field(value, "message")?,
+                from: field(value, "from")?,
+                to: field(value, "to")?,
+                kind: field(value, "kind")?,
+                route_group: field(value, "route_group")?,
+            }),
+            "peel" => Ok(TraceEvent::Peel {
+                time,
+                message: field(value, "message")?,
+                node: field(value, "node")?,
+            }),
+            "deliver" => Ok(TraceEvent::Deliver {
+                time,
+                message: field(value, "message")?,
+                node: field(value, "node")?,
+            }),
+            "drop" => Ok(TraceEvent::Drop {
+                time,
+                message: field(value, "message")?,
+                node: field(value, "node")?,
+            }),
+            "expire" => Ok(TraceEvent::Expire {
+                time,
+                message: field(value, "message")?,
+                node: field(value, "node")?,
+            }),
+            "fault_crash" => Ok(TraceEvent::FaultCrash {
+                time,
+                node: field(value, "node")?,
+            }),
+            "fault_buffer_wipe" => Ok(TraceEvent::FaultBufferWipe {
+                time,
+                node: field(value, "node")?,
+                message: field(value, "message")?,
+            }),
+            "fault_contact_drop" => Ok(TraceEvent::FaultContactDrop {
+                time,
+                a: field(value, "a")?,
+                b: field(value, "b")?,
+            }),
+            "fault_transfer_truncated" => Ok(TraceEvent::FaultTransferTruncated {
+                time,
+                from: field(value, "from")?,
+                to: field(value, "to")?,
+            }),
+            "fault_message_lost" => Ok(TraceEvent::FaultMessageLost {
+                time,
+                message: field(value, "message")?,
+                from: field(value, "from")?,
+                to: field(value, "to")?,
+            }),
+            other => Err(serde::DeError::new(format!(
+                "TraceEvent: unknown event tag {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A fixed-capacity per-trial event journal that keeps the **last**
+/// `capacity` events: pushing into a full ring evicts the oldest event
+/// (deterministic FIFO order) and counts it as dropped.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    trial: u64,
+    capacity: usize,
+    pushed: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl TraceRing {
+    /// An empty ring for `trial` keeping at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(trial: u64, capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            trial,
+            capacity,
+            pushed: 0,
+            events: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The trial this ring records.
+    pub fn trial(&self) -> u64 {
+        self.trial
+    }
+
+    /// Maximum number of events kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed (held + evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Events evicted to make room (`pushed - len`); also the sequence
+    /// number of the oldest surviving event.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.events.len() as u64
+    }
+
+    /// Appends one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.pushed += 1;
+    }
+
+    /// Iterates the surviving events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Consumes the ring into its surviving events, oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+}
+
+/// First line of a crash bundle: everything needed to identify and
+/// replay the quarantined trial that produced it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashBundleHeader {
+    /// Bundle format version ([`CRASH_BUNDLE_SCHEMA`]).
+    pub schema: u32,
+    /// Fingerprint of the sweep configuration (the checkpoint's).
+    pub fingerprint: String,
+    /// Base seed of the run; with `trial` it reproduces the panic.
+    pub seed: u64,
+    /// Zero-based index of the quarantined trial.
+    pub trial: u64,
+    /// Attempts made before quarantine (normally 2: first run + retry).
+    pub attempts: u32,
+    /// The panic message of the final attempt.
+    pub message: String,
+    /// Number of event lines following the header.
+    pub events: u64,
+    /// Ring evictions: lifecycle events lost before the crash.
+    pub dropped: u64,
+}
+
+#[derive(Clone)]
+struct CrashSink {
+    dir: PathBuf,
+    fingerprint: String,
+    seed: u64,
+}
+
+/// Parses the `ONION_DTN_TRACE` env value (called from `init`):
+/// `1`/`true`/`on` enables tracing; any other non-empty value enables
+/// tracing *and* is taken as the JSONL output path.
+pub(crate) fn init_from_env(val: &str) {
+    match val.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "off" => {}
+        "1" | "true" | "on" => TRACE.store(true, Ordering::Relaxed),
+        _ => {
+            TRACE.store(true, Ordering::Relaxed);
+            // Not `set_trace_path`: this runs inside `init`'s `Once`,
+            // which must not re-enter.
+            apply_trace_path(Some(Path::new(val.trim())));
+        }
+    }
+}
+
+/// Whether lifecycle events are being recorded. The common disabled
+/// case is one relaxed atomic load.
+pub fn trace_enabled() -> bool {
+    init();
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Turns lifecycle tracing on or off programmatically (overrides env).
+pub fn set_trace_enabled(on: bool) {
+    init();
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+/// Sets (or clears) the JSONL file that [`trace_ring_flush`] appends
+/// to. The file is created/truncated immediately so a sweep starts
+/// clean.
+pub fn set_trace_path(path: Option<&Path>) {
+    init();
+    apply_trace_path(path);
+}
+
+fn apply_trace_path(path: Option<&Path>) {
+    if let Some(p) = path {
+        if let Err(e) = File::create(p) {
+            emit(
+                Level::Error,
+                "obs",
+                format_args!("cannot create trace file {}: {e}", p.display()),
+            );
+            return;
+        }
+    }
+    *trace_path().lock().unwrap() = path.map(Path::to_path_buf);
+}
+
+/// Sets the per-trial ring capacity used by [`trace_ring_begin`]
+/// (clamped to at least 1).
+pub fn set_trace_capacity(cap: usize) {
+    TRACE_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// The current per-trial ring capacity.
+pub fn trace_capacity() -> usize {
+    TRACE_CAP.load(Ordering::Relaxed)
+}
+
+/// Installs a fresh ring for `trial` on this thread, replacing any
+/// stale ring left by a previously panicked attempt. No-op when
+/// tracing is disabled.
+pub fn trace_ring_begin(trial: u64) {
+    if !trace_enabled() {
+        return;
+    }
+    let ring = TraceRing::new(trial, trace_capacity());
+    RING.with(|cell| *cell.borrow_mut() = Some(ring));
+}
+
+/// Records one lifecycle event into this thread's ring. The closure is
+/// only invoked when tracing is enabled, so a disabled call site costs
+/// one relaxed atomic load.
+pub fn trace_event(f: impl FnOnce() -> TraceEvent) {
+    if !TRACE.load(Ordering::Relaxed) {
+        return;
+    }
+    RING.with(|cell| {
+        if let Some(ring) = cell.borrow_mut().as_mut() {
+            ring.push(f());
+        }
+    });
+}
+
+/// Removes and returns this thread's ring, if any.
+pub fn trace_ring_take() -> Option<TraceRing> {
+    RING.with(|cell| cell.borrow_mut().take())
+}
+
+/// Finishes a successful trial: takes this thread's ring and appends
+/// its events to the trace path (one JSON object per line, tagged with
+/// the trial id and per-trial sequence number). Events are discarded
+/// when no trace path is set.
+pub fn trace_ring_flush() {
+    let Some(ring) = trace_ring_take() else {
+        return;
+    };
+    let guard = trace_path().lock().unwrap();
+    let Some(path) = guard.as_ref() else {
+        return;
+    };
+    // Written while holding the path lock so each trial's lines stay
+    // contiguous even when worker threads finish concurrently.
+    if let Err(e) = append_ring(path, &ring) {
+        emit(
+            Level::Error,
+            "obs",
+            format_args!("cannot write trace to {}: {e}", path.display()),
+        );
+    }
+}
+
+/// Adapter: the vendored `serde_json` serializes via the `Serialize`
+/// trait, which the raw `Value` type does not itself implement.
+struct RawValue(serde::Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+fn event_line(trial: u64, seq: u64, event: &TraceEvent) -> String {
+    let mut fields = vec![
+        ("trial".to_string(), serde::Value::UInt(trial)),
+        ("seq".to_string(), serde::Value::UInt(seq)),
+    ];
+    if let serde::Value::Object(rest) = event.to_value() {
+        fields.extend(rest);
+    }
+    serde_json::to_string(&RawValue(serde::Value::Object(fields))).expect("trace event serializes")
+}
+
+fn append_ring(path: &Path, ring: &TraceRing) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut out = String::new();
+    for (seq, event) in (ring.dropped()..).zip(ring.iter()) {
+        out.push_str(&event_line(ring.trial(), seq, event));
+        out.push('\n');
+    }
+    f.write_all(out.as_bytes())
+}
+
+/// Configures where quarantined trials dump crash bundles: `dir` is the
+/// directory (typically the checkpoint's), `fingerprint` binds the
+/// bundle to the sweep configuration, and `seed` is the run's base
+/// seed.
+pub fn set_crash_sink(dir: &Path, fingerprint: &str, seed: u64) {
+    init();
+    *crash_sink().lock().unwrap() = Some(CrashSink {
+        dir: dir.to_path_buf(),
+        fingerprint: fingerprint.to_string(),
+        seed,
+    });
+}
+
+/// Clears the crash sink; quarantined trials stop producing bundles.
+pub fn clear_crash_sink() {
+    *crash_sink().lock().unwrap() = None;
+}
+
+/// Dumps `crash-trial<N>.jsonl` into the crash sink directory: a
+/// [`CrashBundleHeader`] line followed by this thread's surviving ring
+/// events (the flight-recorder tail of the trial that panicked). Must
+/// run on the thread that executed the trial. Returns the bundle path,
+/// or `None` when no sink is configured or the write fails.
+///
+/// The quarantine path in the runner calls this exactly once per
+/// failed trial (after the retry also panics), so each trial writes at
+/// most one bundle; the file is truncated on create, so a stale bundle
+/// from an earlier run is replaced, not appended to.
+pub fn dump_crash_bundle(trial: u64, attempts: u32, message: &str) -> Option<PathBuf> {
+    let sink = crash_sink().lock().unwrap().clone()?;
+    // Only attribute ring events that belong to this trial; a ring from
+    // a different trial (panic before `trace_ring_begin`) is discarded.
+    let ring = trace_ring_take().filter(|r| r.trial() == trial);
+    let (events, dropped) = ring
+        .as_ref()
+        .map_or((0, 0), |r| (r.len() as u64, r.dropped()));
+    let header = CrashBundleHeader {
+        schema: CRASH_BUNDLE_SCHEMA,
+        fingerprint: sink.fingerprint,
+        seed: sink.seed,
+        trial,
+        attempts,
+        message: message.to_string(),
+        events,
+        dropped,
+    };
+    let path = sink.dir.join(format!("crash-trial{trial}.jsonl"));
+    match write_bundle(&path, &header, ring.as_ref()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            emit(
+                Level::Error,
+                "obs",
+                format_args!("cannot write crash bundle {}: {e}", path.display()),
+            );
+            None
+        }
+    }
+}
+
+fn write_bundle(
+    path: &Path,
+    header: &CrashBundleHeader,
+    ring: Option<&TraceRing>,
+) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    let head = serde_json::to_string(header)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(f, "{head}")?;
+    if let Some(ring) = ring {
+        for (seq, event) in (ring.dropped()..).zip(ring.iter()) {
+            writeln!(f, "{}", event_line(header.trial, seq, event))?;
+        }
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_cap_events_in_order() {
+        let mut ring = TraceRing::new(7, 3);
+        for i in 0..5u64 {
+            ring.push(TraceEvent::FaultCrash {
+                time: i as f64,
+                node: i,
+            });
+        }
+        assert_eq!(ring.trial(), 7);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let nodes: Vec<u64> = ring
+            .iter()
+            .map(|e| match e {
+                TraceEvent::FaultCrash { node, .. } => *node,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(nodes, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = TraceRing::new(0, 0);
+        ring.push(TraceEvent::FaultCrash { time: 0.0, node: 1 });
+        ring.push(TraceEvent::FaultCrash { time: 1.0, node: 2 });
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_json() {
+        let events = vec![
+            TraceEvent::Inject {
+                time: 0.0,
+                message: 1,
+                source: 2,
+                destination: 3,
+            },
+            TraceEvent::Seal {
+                time: 0.0,
+                message: 1,
+                node: 2,
+                layers: 4,
+            },
+            TraceEvent::Forward {
+                time: 1.5,
+                message: 1,
+                from: 2,
+                to: 5,
+                kind: "handoff".to_string(),
+                route_group: 1,
+            },
+            TraceEvent::Peel {
+                time: 1.5,
+                message: 1,
+                node: 5,
+            },
+            TraceEvent::Deliver {
+                time: 9.0,
+                message: 1,
+                node: 3,
+            },
+            TraceEvent::Drop {
+                time: 2.0,
+                message: 1,
+                node: 5,
+            },
+            TraceEvent::Expire {
+                time: 99.0,
+                message: 1,
+                node: 5,
+            },
+            TraceEvent::FaultCrash { time: 3.0, node: 7 },
+            TraceEvent::FaultBufferWipe {
+                time: 3.0,
+                node: 7,
+                message: 1,
+            },
+            TraceEvent::FaultContactDrop {
+                time: 4.0,
+                a: 1,
+                b: 2,
+            },
+            TraceEvent::FaultTransferTruncated {
+                time: 5.0,
+                from: 1,
+                to: 2,
+            },
+            TraceEvent::FaultMessageLost {
+                time: 6.0,
+                message: 1,
+                from: 1,
+                to: 2,
+            },
+        ];
+        for event in events {
+            let text = serde_json::to_string(&event).expect("serialize");
+            assert!(
+                text.contains(&format!("\"event\":\"{}\"", event.name())),
+                "{text}"
+            );
+            let back: TraceEvent = serde_json::from_str(&text).expect("deserialize");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let err = serde_json::from_str::<TraceEvent>("{\"event\":\"warp\",\"time\":0.0}");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn crash_bundle_header_roundtrips() {
+        let header = CrashBundleHeader {
+            schema: CRASH_BUNDLE_SCHEMA,
+            fingerprint: "ab".repeat(32),
+            seed: 0xF1_604,
+            trial: 12,
+            attempts: 2,
+            message: "boom".to_string(),
+            events: 3,
+            dropped: 1,
+        };
+        let text = serde_json::to_string(&header).unwrap();
+        let back: CrashBundleHeader = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, header);
+    }
+}

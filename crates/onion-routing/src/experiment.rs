@@ -119,6 +119,28 @@ impl ExperimentOptions {
 /// carrying this prefix to its trial-failure exit code.
 pub const TRIAL_FAILURE_ABORT: &str = "experiment aborted: quarantined trial failure";
 
+/// Trial index forced to panic via `ONION_DTN_PANIC_TRIAL` — a CI/test
+/// hook for exercising quarantine and the crash-bundle flight recorder
+/// deterministically. Parsed once per process.
+fn forced_panic_trial() -> Option<u64> {
+    static FORCED: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("ONION_DTN_PANIC_TRIAL")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Panics (on every attempt) when `trial` is the forced-panic trial.
+/// Called after the realization ran, so the trial's trace ring holds
+/// real lifecycle events when the flight recorder dumps it.
+pub(crate) fn maybe_forced_panic(trial: u64) {
+    assert!(
+        forced_panic_trial() != Some(trial),
+        "forced panic for trial {trial} (ONION_DTN_PANIC_TRIAL)"
+    );
+}
+
 /// Logs quarantined failures and either panics (`keep_going == false`)
 /// or returns how many were tolerated.
 pub(crate) fn resolve_failures(
@@ -201,6 +223,7 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng =
                 trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
             let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
@@ -228,6 +251,8 @@ pub fn run_random_graph_point(cfg: &ProtocolConfig, opts: &ExperimentOptions) ->
                 &mut rng,
                 &mut partial,
             );
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut acc,
@@ -267,6 +292,7 @@ pub fn run_schedule_point(
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng =
                 trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
             let mut start_rng =
@@ -306,6 +332,8 @@ pub fn run_schedule_point(
                 &mut rng,
                 &mut partial,
             );
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut acc,

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod audit;
 pub mod checkpoint;
 pub mod config;
 pub mod crypto;
@@ -50,6 +51,7 @@ pub mod sweep;
 pub mod tps;
 
 pub use adversary::Adversary;
+pub use audit::TraceAudit;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ProtocolConfig, RouteSelection};
 pub use crypto::{OnionCryptoContext, WalkError};

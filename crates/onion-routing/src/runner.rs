@@ -361,11 +361,26 @@ where
                 );
                 match catch_unwind(AssertUnwindSafe(|| job(i, 1))) {
                     Ok(out) => Ok(out),
-                    Err(second) => Err(TrialFailure {
-                        trial: i,
-                        attempts: 2,
-                        message: panic_message(second.as_ref()),
-                    }),
+                    Err(second) => {
+                        let message = panic_message(second.as_ref());
+                        // Flight recorder: still on the thread that ran the
+                        // trial, so its thread-local trace ring holds the
+                        // last events before the panic. Dump them (plus the
+                        // config fingerprint and seed) as a crash bundle
+                        // next to the checkpoint, when a sink is armed.
+                        if let Some(path) = obs::dump_crash_bundle(i as u64, 2, &message) {
+                            obs::warn!(
+                                "onion_routing::runner",
+                                "trial {i} crash bundle written to {}",
+                                path.display(),
+                            );
+                        }
+                        Err(TrialFailure {
+                            trial: i,
+                            attempts: 2,
+                            message,
+                        })
+                    }
                 }
             }
         }

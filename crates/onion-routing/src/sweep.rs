@@ -39,9 +39,9 @@ use serde::{Deserialize, Serialize};
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::ProtocolConfig;
 use crate::experiment::{
-    onion_protocol, random_messages, resolve_failures, run_random_graph_point, run_schedule_point,
-    wire_setup, DeliveryPartial, DeliverySweepRow, ExperimentOptions, FaultSweepRow,
-    SecurityPartial, SecuritySweepRow,
+    maybe_forced_panic, onion_protocol, random_messages, resolve_failures, run_random_graph_point,
+    run_schedule_point, wire_setup, DeliveryPartial, DeliverySweepRow, ExperimentOptions,
+    FaultSweepRow, SecurityPartial, SecuritySweepRow,
 };
 use crate::groups::OnionGroups;
 use crate::runner::{run_trials_resilient, trial_rng_attempt, SeedDomain};
@@ -333,6 +333,7 @@ fn delivery_random_graph(
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng =
                 trial_rng_attempt(opts.seed, SeedDomain::GraphRealization, trial, attempt);
             let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
@@ -361,6 +362,8 @@ fn delivery_random_graph(
 
             let mut partial = DeliveryPartial::new(deadlines.len());
             partial.score_realization(&run_cfg, &graph, deadlines, &messages, &protocol, &report);
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut total,
@@ -403,6 +406,7 @@ fn delivery_schedule(
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng =
                 trial_rng_attempt(opts.seed, SeedDomain::ScheduleRealization, trial, attempt);
             let mut start_rng =
@@ -445,6 +449,8 @@ fn delivery_schedule(
             partial.score_realization(
                 &run_cfg, estimated, deadlines, &messages, &protocol, &report,
             );
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut total,
@@ -475,6 +481,7 @@ fn security_random_graph(
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng = trial_rng_attempt(opts.seed, SeedDomain::SecurityGraph, trial, attempt);
             let mut fault_rng = trial_rng_attempt(opts.seed, SeedDomain::Faults, trial, attempt);
             let graph = UniformGraphBuilder::new(cfg.nodes)
@@ -503,6 +510,8 @@ fn security_random_graph(
 
             let mut partial = SecurityPartial::new(compromised_values.len());
             partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut total,
@@ -537,6 +546,7 @@ fn security_schedule(
         opts.realizations,
         |realization, attempt| {
             let trial = realization as u64;
+            obs::trace_ring_begin(trial);
             let mut rng =
                 trial_rng_attempt(opts.seed, SeedDomain::SecuritySchedule, trial, attempt);
             let mut start_rng =
@@ -577,6 +587,8 @@ fn security_schedule(
 
             let mut partial = SecurityPartial::new(compromised_values.len());
             partial.score_realization(cfg, compromised_values, adversary_draws, &report, &mut rng);
+            maybe_forced_panic(trial);
+            obs::trace_ring_flush();
             partial
         },
         &mut total,

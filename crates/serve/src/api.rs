@@ -80,8 +80,10 @@ impl Api {
         }
     }
 
-    /// The latency/metrics class a path belongs to.
+    /// The latency/metrics class a path belongs to. Any query string is
+    /// ignored: `/metricsz?format=prometheus` classifies as `metrics`.
     pub fn class_of(path: &str) -> &'static str {
+        let path = path.split('?').next().unwrap_or(path);
         if path.starts_with("/v1/model/") {
             "model"
         } else if path.starts_with("/v1/sweep/") {
@@ -97,14 +99,17 @@ impl Api {
         }
     }
 
-    /// Routes one parsed request to its handler.
+    /// Routes one parsed request to its handler. The request target is
+    /// split into path and query at the first `?`; only `/metricsz`
+    /// currently inspects its query (`format=prometheus`).
     pub fn handle(&self, req: &Request) -> Response {
-        match (req.method.as_str(), req.path.as_str()) {
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (req.path.as_str(), ""),
+        };
+        match (req.method.as_str(), path) {
             ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
-            ("GET", "/metricsz") => match serde_json::to_string(&self.stats.snapshot()) {
-                Ok(body) => Response::json(200, body),
-                Err(e) => Response::error(500, "internal", &format!("snapshot: {e}")),
-            },
+            ("GET", "/metricsz") => self.metricsz(query),
             ("POST", "/v1/admin/shutdown") => {
                 let mut resp = Response::json(200, "{\"status\":\"draining\"}".to_string());
                 resp.shutdown = true;
@@ -122,6 +127,27 @@ impl Api {
                 Response::error(405, "method_not_allowed", "method not allowed")
             }
             _ => Response::error(404, "not_found", "no such endpoint"),
+        }
+    }
+
+    /// `/metricsz`: JSON by default, Prometheus text exposition with
+    /// `?format=prometheus`.
+    fn metricsz(&self, query: &str) -> Response {
+        match query_param(query, "format") {
+            Some("prometheus") => Response::with_content_type(
+                200,
+                crate::http::CONTENT_TYPE_PROMETHEUS,
+                self.stats.snapshot().to_prometheus(),
+            ),
+            None | Some("json") => match serde_json::to_string(&self.stats.snapshot()) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::error(500, "internal", &format!("snapshot: {e}")),
+            },
+            Some(other) => Response::error(
+                400,
+                "invalid_argument",
+                &format!("unknown format {other:?}; expected json or prometheus"),
+            ),
         }
     }
 
@@ -343,6 +369,14 @@ fn default_fault_plan() -> FaultPlan {
     }
 }
 
+/// Looks up one `key=value` pair in an `&`-separated query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find_map(|(k, v)| (k == key).then_some(v))
+}
+
 /// An empty body parses as an empty object; anything else must be JSON.
 fn parse_body(body: &str) -> Result<Value, String> {
     if body.is_empty() {
@@ -561,6 +595,31 @@ mod tests {
         let r = api.handle(&get("/metricsz"));
         assert_eq!(r.status, 200);
         assert!(r.body.contains("uptime_secs"));
+    }
+
+    #[test]
+    fn metricsz_formats_select_body_and_content_type() {
+        let api = api();
+        // `observe` lives in the connection handler, not the router, so
+        // record the latency sample directly.
+        api.stats.observe("health", 200, 0.0005);
+        let json = api.handle(&get("/metricsz"));
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, crate::http::CONTENT_TYPE_JSON);
+        assert!(json.body.contains("\"endpoint_buckets\""));
+        let prom = api.handle(&get("/metricsz?format=prometheus"));
+        assert_eq!(prom.status, 200);
+        assert_eq!(prom.content_type, crate::http::CONTENT_TYPE_PROMETHEUS);
+        assert!(prom.body.contains("serve_requests_total"));
+        assert!(prom
+            .body
+            .contains("serve_latency_seconds_bucket{class=\"health\",le=\"+Inf\"} 1"));
+        let explicit = api.handle(&get("/metricsz?format=json"));
+        assert_eq!(explicit.status, 200);
+        assert_eq!(explicit.content_type, crate::http::CONTENT_TYPE_JSON);
+        let bad = api.handle(&get("/metricsz?format=xml"));
+        assert_eq!(bad.status, 400);
+        assert_eq!(Api::class_of("/metricsz?format=prometheus"), "metrics");
     }
 
     #[test]

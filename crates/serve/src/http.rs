@@ -63,13 +63,20 @@ pub struct Request {
     pub body: String,
 }
 
+/// The default response media type.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// The Prometheus text exposition format (version 0.0.4).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 /// An outbound response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: String,
     /// Optional `Retry-After` header value in seconds (backpressure).
     pub retry_after: Option<u32>,
     /// Whether serving this response should trigger a graceful
@@ -83,8 +90,17 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: CONTENT_TYPE_JSON.to_string(),
             retry_after: None,
             shutdown: false,
+        }
+    }
+
+    /// A response with an explicit media type (e.g. Prometheus text).
+    pub fn with_content_type(status: u16, content_type: &str, body: impl Into<String>) -> Response {
+        Response {
+            content_type: content_type.to_string(),
+            ..Response::json(status, body)
         }
     }
 
@@ -257,9 +273,10 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, HttpError> {
 /// Propagates socket write failures.
 pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
     );
     if let Some(secs) = response.retry_after {
@@ -319,6 +336,9 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| HttpError::Malformed("bad status code".into()))?;
     let retry_after = header_value(head, "retry-after").and_then(|v| v.parse::<u32>().ok());
+    let content_type = header_value(head, "content-type")
+        .unwrap_or(CONTENT_TYPE_JSON)
+        .to_string();
     let length = match header_value(head, "content-length") {
         None => 0,
         Some(v) => v
@@ -329,6 +349,7 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
     Ok(Response {
         status,
         body,
+        content_type,
         retry_after,
         shutdown: false,
     })
@@ -365,6 +386,19 @@ mod tests {
         assert_eq!(back.status, 503);
         assert_eq!(back.retry_after, Some(2));
         assert_eq!(back.body, resp.body);
+        assert_eq!(back.content_type, CONTENT_TYPE_JSON);
+    }
+
+    #[test]
+    fn content_type_roundtrips() {
+        let mut wire = Vec::new();
+        let resp = Response::with_content_type(200, CONTENT_TYPE_PROMETHEUS, "metric 1\n");
+        write_response(&mut wire, &resp).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        let back = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(back.content_type, CONTENT_TYPE_PROMETHEUS);
+        assert_eq!(back.body, "metric 1\n");
     }
 
     #[test]

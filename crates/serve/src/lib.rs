@@ -47,8 +47,8 @@ pub mod stats;
 pub use api::{Api, ApiLimits, TABLE2_MEAN_RATE};
 pub use cache::ShardedLru;
 pub use flight::{Role, SingleFlight};
-pub use http::{Request, Response};
-pub use loadgen::{run_loadgen, ClassStats, LoadReport, LoadgenConfig};
+pub use http::{Request, Response, CONTENT_TYPE_JSON, CONTENT_TYPE_PROMETHEUS};
+pub use loadgen::{run_loadgen, ClassStats, LoadReport, LoadgenConfig, LOAD_REPORT_SCHEMA};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServeConfig, ServeError, Server, ServerHandle};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{LatencyBucket, ServeStats, StatsSnapshot};

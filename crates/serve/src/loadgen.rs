@@ -24,11 +24,19 @@ use serde::Serialize;
 
 use crate::http::{read_response, write_request};
 
+/// Version of the [`LoadReport`] JSON shape. Bump when fields change
+/// incompatibly so downstream tooling can dispatch on `schema`.
+pub const LOAD_REPORT_SCHEMA: u32 = 1;
+
 /// Load-generation parameters.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
     /// Target `host:port`.
     pub addr: String,
+    /// Where the CLI's `--metrics-out` JSONL is going, if anywhere;
+    /// recorded verbatim in the report so a run's artifacts
+    /// cross-reference each other.
+    pub metrics_out: Option<String>,
     /// Concurrent closed-loop workers.
     pub workers: usize,
     /// Wall-clock run length in seconds.
@@ -45,6 +53,7 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
             addr: "127.0.0.1:7070".to_string(),
+            metrics_out: None,
             workers: 2,
             duration_secs: 10.0,
             sweep_share: 0.1,
@@ -74,8 +83,12 @@ pub struct ClassStats {
 /// The final report (also what `--report` writes as JSON).
 #[derive(Clone, Debug, Serialize)]
 pub struct LoadReport {
+    /// Report shape version ([`LOAD_REPORT_SCHEMA`]).
+    pub schema: u32,
     /// Target address.
     pub addr: String,
+    /// The `--metrics-out` JSONL path active during the run, if any.
+    pub metrics_out: Option<String>,
     /// Worker count.
     pub workers: usize,
     /// Requested run length (seconds).
@@ -309,7 +322,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         })
         .collect();
     Ok(LoadReport {
+        schema: LOAD_REPORT_SCHEMA,
         addr: cfg.addr.clone(),
+        metrics_out: cfg.metrics_out.clone(),
         workers: cfg.workers,
         duration_secs: cfg.duration_secs,
         elapsed_secs: elapsed,
@@ -390,7 +405,7 @@ mod tests {
             duration_secs: 1.0,
             sweep_share: 0.0, // models only: keep the unit test fast
             seed: 3,
-            shutdown_after: false,
+            ..LoadgenConfig::default()
         })
         .unwrap();
         handle.shutdown();
@@ -401,7 +416,9 @@ mod tests {
         assert_eq!(report.ok + report.rejected, report.total);
         assert!(report.throughput_rps > 0.0);
         assert!(report.classes.contains_key("model"));
+        assert_eq!(report.schema, LOAD_REPORT_SCHEMA);
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"throughput_rps\""));
+        assert!(json.contains("\"schema\":1"));
     }
 }

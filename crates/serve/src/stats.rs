@@ -118,18 +118,29 @@ impl ServeStats {
             "queue_depth".to_string(),
             self.queue_depth.load(Ordering::Relaxed),
         );
-        let endpoints = self
-            .latency
-            .lock()
-            .unwrap()
+        let latency = self.latency.lock().unwrap();
+        let endpoints = latency
             .iter()
             .map(|(class, hist)| (class.clone(), hist.summary()))
             .collect();
+        let endpoint_buckets = latency
+            .iter()
+            .map(|(class, hist)| {
+                let buckets = hist
+                    .cumulative_le()
+                    .into_iter()
+                    .map(|(le, count)| LatencyBucket { le, count })
+                    .collect();
+                (class.clone(), buckets)
+            })
+            .collect();
+        drop(latency);
         StatsSnapshot {
             uptime_secs: self.started.elapsed().as_secs_f64(),
             counters,
             gauges,
             endpoints,
+            endpoint_buckets,
         }
     }
 }
@@ -138,6 +149,18 @@ impl Default for ServeStats {
     fn default() -> Self {
         ServeStats::new()
     }
+}
+
+/// One cumulative latency bucket: `count` observations were `<= le`
+/// seconds. Only finite, occupied bucket bounds appear here; the
+/// implicit `+Inf` bucket equals the class's total count (see
+/// [`StatsSnapshot::endpoints`]).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencyBucket {
+    /// Upper bound of the bucket, in seconds.
+    pub le: f64,
+    /// Cumulative observation count at or below `le`.
+    pub count: u64,
 }
 
 /// The `/metricsz` response body.
@@ -151,6 +174,57 @@ pub struct StatsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Latency summaries (seconds) keyed by endpoint class.
     pub endpoints: BTreeMap<String, obs::HistSummary>,
+    /// Cumulative latency histogram buckets keyed by endpoint class.
+    pub endpoint_buckets: BTreeMap<String, Vec<LatencyBucket>>,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `serve_<name>_total`, gauges as
+    /// `serve_<name>`, and per-class latency as a conventional
+    /// `serve_latency_seconds` histogram with cumulative `le` buckets,
+    /// an explicit `+Inf` bucket, `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# HELP serve_uptime_seconds Seconds since the server started.\n");
+        out.push_str("# TYPE serve_uptime_seconds gauge\n");
+        out.push_str(&format!("serve_uptime_seconds {}\n", self.uptime_secs));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE serve_{name}_total counter\n"));
+            out.push_str(&format!("serve_{name}_total {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE serve_{name} gauge\n"));
+            out.push_str(&format!("serve_{name} {value}\n"));
+        }
+        if !self.endpoints.is_empty() {
+            out.push_str(
+                "# HELP serve_latency_seconds Request latency by endpoint class.\n\
+                 # TYPE serve_latency_seconds histogram\n",
+            );
+        }
+        for (class, summary) in &self.endpoints {
+            for bucket in self.endpoint_buckets.get(class).into_iter().flatten() {
+                out.push_str(&format!(
+                    "serve_latency_seconds_bucket{{class=\"{class}\",le=\"{}\"}} {}\n",
+                    bucket.le, bucket.count,
+                ));
+            }
+            out.push_str(&format!(
+                "serve_latency_seconds_bucket{{class=\"{class}\",le=\"+Inf\"}} {}\n",
+                summary.count,
+            ));
+            out.push_str(&format!(
+                "serve_latency_seconds_sum{{class=\"{class}\"}} {}\n",
+                summary.sum.unwrap_or(0.0),
+            ));
+            out.push_str(&format!(
+                "serve_latency_seconds_count{{class=\"{class}\"}} {}\n",
+                summary.count,
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +255,44 @@ mod tests {
         stats.gauge(&stats.inflight, "serve.test_inflight", 1);
         stats.gauge(&stats.inflight, "serve.test_inflight", -1);
         assert_eq!(stats.snapshot().gauges["inflight"], 1);
+    }
+
+    #[test]
+    fn snapshot_carries_cumulative_buckets() {
+        let stats = ServeStats::new();
+        stats.observe("model", 200, 0.001);
+        stats.observe("model", 200, 0.002);
+        stats.observe("model", 200, 4.0);
+        let snap = stats.snapshot();
+        let buckets = &snap.endpoint_buckets["model"];
+        assert!(!buckets.is_empty());
+        // Monotone non-decreasing in both bound and count, ending at the
+        // total observation count.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].le < pair[1].le);
+            assert!(pair[0].count <= pair[1].count);
+        }
+        assert_eq!(buckets.last().unwrap().count, 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_the_conventional_shape() {
+        let stats = ServeStats::new();
+        stats.observe("model", 200, 0.001);
+        stats.observe("sweep", 500, 0.5);
+        stats.gauge(&stats.inflight, "serve.test_inflight", 1);
+        let text = stats.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 2"));
+        assert!(text.contains("serve_inflight 1"));
+        assert!(text.contains("# TYPE serve_latency_seconds histogram"));
+        assert!(text.contains("serve_latency_seconds_bucket{class=\"model\",le=\"+Inf\"} 1"));
+        assert!(text.contains("serve_latency_seconds_count{class=\"sweep\"} 1"));
+        assert!(text.contains("serve_latency_seconds_sum{class=\"sweep\"} 0.5"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.rsplitn(2, ' ').count(), 2, "bad line: {line}");
+        }
     }
 
     #[test]

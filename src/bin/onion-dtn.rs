@@ -29,11 +29,16 @@
 //! failed its retry and the run aborted (rerun with `--keep-going`).
 //!
 //! Telemetry flags (any command): `--metrics-out <path>` appends one
-//! JSON object per experiment point to `<path>`, `--progress` shows a
-//! live trials/s + ETA line on stderr, and `--quiet` silences all
-//! status output below the error level. `ONION_DTN_LOG`,
-//! `ONION_DTN_METRICS`, and `ONION_DTN_PROGRESS` set the same defaults
-//! from the environment (see the `obs` crate).
+//! JSON object per experiment point to `<path>`, `--trace-out <path>`
+//! appends one JSON object per message-lifecycle event (bounded per
+//! trial by `--trace-cap <n>`, default 4096; tracing never perturbs
+//! results), `--progress` shows a live trials/s + ETA line on stderr,
+//! and `--quiet` silences all status output below the error level.
+//! `ONION_DTN_LOG`, `ONION_DTN_METRICS`, `ONION_DTN_TRACE`, and
+//! `ONION_DTN_PROGRESS` set the same defaults from the environment
+//! (see the `obs` crate). When `--resume` is active, a trial that
+//! panics on both its seed and retry seed dumps its last traced
+//! events into `crash-trial<N>.jsonl` next to the checkpoint file.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -62,6 +67,9 @@ fn print_usage() {
          loadgen: onion-dtn loadgen [--addr 127.0.0.1:7070 --workers 2 --duration 10\n\
          \t--sweep-share 0.1 --seed 1 --report out.json --shutdown]\n\
          telemetry: --metrics-out <path> (JSONL per experiment point)\n\
+         \t--trace-out <path> (JSONL message-lifecycle trace; deterministic,\n\
+         \t                    never perturbs results)  --trace-cap <n> (per-trial\n\
+         \t                    ring-buffer capacity, default 4096)\n\
          \t--progress (live trials/s + ETA on stderr)  --quiet (errors only)\n\
          exit codes: 0 ok | 2 usage | 3 I/O | 4 trial failed its retry"
     );
@@ -138,11 +146,24 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
 
 /// Applies the telemetry flags to the global `obs` recorder. Env vars
 /// (`ONION_DTN_*`) set the defaults; explicit flags override them.
-fn apply_telemetry(flags: &HashMap<String, String>) {
+fn apply_telemetry(flags: &HashMap<String, String>) -> Result<(), String> {
     obs::init();
     if let Some(path) = flags.get("metrics-out") {
         obs::set_metrics_enabled(true);
         obs::set_metrics_path(Some(std::path::Path::new(path)));
+    }
+    if let Some(path) = flags.get("trace-out") {
+        obs::set_trace_path(Some(std::path::Path::new(path)));
+        obs::set_trace_enabled(true);
+    }
+    if let Some(cap) = flags.get("trace-cap") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| format!("cannot parse --trace-cap value {cap:?}"))?;
+        if cap == 0 {
+            return Err("--trace-cap must be at least 1".to_string());
+        }
+        obs::set_trace_capacity(cap);
     }
     if flags.contains_key("progress") {
         obs::set_progress(true);
@@ -151,6 +172,7 @@ fn apply_telemetry(flags: &HashMap<String, String>) {
         obs::set_filter("error");
         obs::set_progress(false);
     }
+    Ok(())
 }
 
 fn flag<T: std::str::FromStr>(
@@ -231,6 +253,7 @@ fn open_checkpoint(
     let fingerprint = Checkpoint::fingerprint(&(command, cfg, &opts.canonical()));
     let cp = Checkpoint::open(std::path::Path::new(path), &fingerprint)
         .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
+    arm_crash_sink(path, &fingerprint, opts.seed);
     if cp.resumed_points() > 0 {
         obs::info!(
             "onion_dtn",
@@ -239,6 +262,18 @@ fn open_checkpoint(
         );
     }
     Ok(Some(cp))
+}
+
+/// Points the flight recorder's crash sink at the checkpoint's
+/// directory: a quarantined trial then dumps its last traced events,
+/// the run fingerprint, and the base seed into a JSONL crash bundle
+/// next to the checkpoint file.
+fn arm_crash_sink(checkpoint_path: &str, fingerprint: &str, seed: u64) {
+    let dir = match std::path::Path::new(checkpoint_path).parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    obs::set_crash_sink(&dir, fingerprint, seed);
 }
 
 /// Runs `compute` through the checkpoint when one is open, so a finished
@@ -462,6 +497,7 @@ fn cmd_fault_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
             ));
             let cp = Checkpoint::open(std::path::Path::new(path), &fp)
                 .map_err(|e| CliError::Io(format!("checkpoint {path}: {e}")))?;
+            arm_crash_sink(path, &fp, opts.seed);
             if cp.resumed_points() > 0 {
                 obs::info!(
                     "onion_dtn",
@@ -555,6 +591,7 @@ fn serve_error_text(e: ServeError) -> String {
 fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let cfg = LoadgenConfig {
         addr: flag(flags, "addr", "127.0.0.1:7070".to_string())?,
+        metrics_out: flags.get("metrics-out").cloned(),
         workers: flag(flags, "workers", 2usize)?,
         duration_secs: flag(flags, "duration", 10.0f64)?,
         sweep_share: flag(flags, "sweep-share", 0.1f64)?,
@@ -631,25 +668,27 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match parse_flags(rest) {
         Err(e) => Err(CliError::Usage(e)),
-        Ok((positional, flags)) => {
-            apply_telemetry(&flags);
-            // Quarantined trial failures abort experiments by panicking
-            // with a marker prefix; translate that to exit code 4 instead
-            // of a raw abort. Any other panic is re-raised untouched.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                dispatch(&command, &positional, &flags)
-            })) {
-                Ok(r) => r,
-                Err(payload) => {
-                    let text = panic_text(payload.as_ref());
-                    if text.contains(TRIAL_FAILURE_ABORT) {
-                        Err(CliError::Trial(text))
-                    } else {
-                        std::panic::resume_unwind(payload)
+        Ok((positional, flags)) => match apply_telemetry(&flags) {
+            Err(e) => Err(CliError::Usage(e)),
+            Ok(()) => {
+                // Quarantined trial failures abort experiments by panicking
+                // with a marker prefix; translate that to exit code 4 instead
+                // of a raw abort. Any other panic is re-raised untouched.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    dispatch(&command, &positional, &flags)
+                })) {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        let text = panic_text(payload.as_ref());
+                        if text.contains(TRIAL_FAILURE_ABORT) {
+                            Err(CliError::Trial(text))
+                        } else {
+                            std::panic::resume_unwind(payload)
+                        }
                     }
                 }
             }
-        }
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

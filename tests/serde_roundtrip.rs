@@ -222,6 +222,7 @@ fn runner_and_experiment_config_roundtrip() {
         SeedDomain::SecuritySchedule,
         SeedDomain::SecurityStarts,
         SeedDomain::ModelValidation,
+        SeedDomain::Faults,
         SeedDomain::Wire,
     ] {
         assert_eq!(json_roundtrip(&domain), domain);
@@ -261,6 +262,109 @@ fn point_summary_roundtrip() {
         back.delivery_stats.mean().map(f64::to_bits),
         point.delivery_stats.mean().map(f64::to_bits)
     );
+}
+
+#[test]
+fn trace_event_roundtrip_covers_every_variant() {
+    use obs::TraceEvent;
+
+    let events = [
+        TraceEvent::Inject {
+            time: 0.5,
+            message: 1,
+            source: 2,
+            destination: 3,
+        },
+        TraceEvent::Seal {
+            time: 0.5,
+            message: 1,
+            node: 2,
+            layers: 3,
+        },
+        TraceEvent::Forward {
+            time: 1.25,
+            message: 1,
+            from: 2,
+            to: 7,
+            kind: "handoff".to_string(),
+            route_group: 1,
+        },
+        TraceEvent::Peel {
+            time: 1.25,
+            message: 1,
+            node: 7,
+        },
+        TraceEvent::Deliver {
+            time: 9.0,
+            message: 1,
+            node: 3,
+        },
+        TraceEvent::Drop {
+            time: 2.0,
+            message: 4,
+            node: 5,
+        },
+        TraceEvent::Expire {
+            time: 3.0,
+            message: 4,
+            node: 5,
+        },
+        TraceEvent::FaultCrash { time: 4.0, node: 6 },
+        TraceEvent::FaultBufferWipe {
+            time: 4.0,
+            node: 6,
+            message: 4,
+        },
+        TraceEvent::FaultContactDrop {
+            time: 5.0,
+            a: 1,
+            b: 2,
+        },
+        TraceEvent::FaultTransferTruncated {
+            time: 6.0,
+            from: 1,
+            to: 2,
+        },
+        TraceEvent::FaultMessageLost {
+            time: 7.0,
+            message: 4,
+            from: 1,
+            to: 2,
+        },
+    ];
+    for event in &events {
+        assert_eq!(&json_roundtrip(event), event);
+    }
+    // The wire tags are the stable JSONL vocabulary.
+    let text = serde_json::to_string(&events[0]).unwrap();
+    assert!(text.contains("\"inject\""), "{text}");
+    let text = serde_json::to_string(&events[7]).unwrap();
+    assert!(text.contains("\"fault_crash\""), "{text}");
+}
+
+#[test]
+fn crash_bundle_header_roundtrip() {
+    use obs::{CrashBundleHeader, CRASH_BUNDLE_SCHEMA};
+
+    let header = CrashBundleHeader {
+        schema: CRASH_BUNDLE_SCHEMA,
+        fingerprint: "deadbeef".to_string(),
+        seed: 0xF1_604,
+        trial: 3,
+        attempts: 2,
+        message: "forced panic for trial 3".to_string(),
+        events: 17,
+        dropped: 5,
+    };
+    let back = json_roundtrip(&header);
+    assert_eq!(back.schema, header.schema);
+    assert_eq!(back.fingerprint, header.fingerprint);
+    assert_eq!(back.seed, header.seed);
+    assert_eq!(back.trial, header.trial);
+    assert_eq!(back.attempts, header.attempts);
+    assert_eq!(back.message, header.message);
+    assert_eq!(back.events, header.events);
+    assert_eq!(back.dropped, header.dropped);
 }
 
 #[test]

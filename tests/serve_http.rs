@@ -210,6 +210,52 @@ fn every_failure_class_uses_the_error_envelope() {
 }
 
 #[test]
+fn metricsz_serves_json_and_prometheus_with_correct_content_types() {
+    let (handle, join) = start(ServeConfig::default());
+    let addr = handle.local_addr();
+
+    // Generate one observed request so a latency class exists.
+    let health = exchange(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+
+    let json = exchange(addr, "GET", "/metricsz", "");
+    assert_eq!(json.status, 200);
+    assert_eq!(
+        json.content_type,
+        onion_dtn::serve::http::CONTENT_TYPE_JSON,
+        "JSON view keeps the application/json content type"
+    );
+    assert!(json.body.contains("\"endpoints\""));
+    assert!(
+        json.body.contains("\"endpoint_buckets\""),
+        "JSON view exposes the per-class histogram buckets: {}",
+        json.body
+    );
+    assert!(json.body.contains("\"health\""));
+
+    let prom = exchange(addr, "GET", "/metricsz?format=prometheus", "");
+    assert_eq!(prom.status, 200);
+    assert_eq!(
+        prom.content_type,
+        onion_dtn::serve::http::CONTENT_TYPE_PROMETHEUS,
+        "Prometheus view declares text/plain; version=0.0.4"
+    );
+    assert!(prom.body.contains("serve_requests_total"));
+    assert!(prom
+        .body
+        .contains("serve_latency_seconds_bucket{class=\"health\",le=\"+Inf\"} 1"));
+    assert!(prom
+        .body
+        .contains("serve_latency_seconds_count{class=\"health\"} 1"));
+
+    let bad = exchange(addr, "GET", "/metricsz?format=xml", "");
+    assert_eq!(assert_error_envelope(&bad, 400), "invalid_argument");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn saturated_queue_sheds_load_with_503() {
     // One worker, a one-slot queue: the third concurrent connection
     // has nowhere to go and must be refused at the door.

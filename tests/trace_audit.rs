@@ -1,0 +1,133 @@
+//! Empirical traceability from lifecycle traces.
+//!
+//! The trace-based path auditor ([`onion_routing::TraceAudit`]) and the
+//! report-based metrics ([`onion_routing::metrics`]) derive the same
+//! security quantities from entirely separate data paths: one folds the
+//! `obs` event journal the engine emits, the other folds the
+//! simulator's forwarding log. This test pins both levels of agreement
+//! on the fig04-small configuration:
+//!
+//! 1. **Per-trial, exact**: for every trial and adversary draw, the
+//!    audit's traceable rate and path anonymity equal the metrics
+//!    values bit for bit.
+//! 2. **Monte-Carlo, closed-form**: the empirical mean traceable rate
+//!    over all trials matches `analysis::expected_traceable_rate`
+//!    within sampling tolerance, and anonymity stays in `(0, 1]`.
+
+use onion_dtn::prelude::*;
+use onion_routing::{metrics, Adversary, TraceAudit};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One test function so the global trace toggle cannot race other
+/// tests in this binary.
+#[test]
+fn audit_from_trace_matches_report_metrics_and_closed_form() {
+    // fig04-small shape: 40 nodes, g=5, K=2 (eta=3), c=4.
+    let n = 40usize;
+    let g = 5usize;
+    let k = 2usize;
+    let eta = k + 1;
+    let c = 4usize;
+    let trials = 60usize;
+    let messages = 5u64;
+
+    obs::set_trace_enabled(true);
+
+    let mut empirical_sum = 0.0;
+    let mut empirical_count = 0usize;
+    let mut audited_messages = 0usize;
+    for trial in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF1_604 ^ (trial as u64) << 17);
+        let graph = UniformGraphBuilder::new(n).build(&mut rng);
+        let schedule = ContactSchedule::sample(&graph, Time::new(1080.0), &mut rng);
+        let groups = OnionGroups::random_partition(n, g, &mut rng);
+        let mut protocol = OnionRouting::new(groups, k, ForwardingMode::SingleCopy);
+        let msgs: Vec<Message> = (0..messages)
+            .map(|i| Message {
+                id: MessageId(i),
+                source: NodeId(i as u32),
+                destination: NodeId((n as u32) - 1 - i as u32),
+                created: Time::ZERO,
+                deadline: TimeDelta::new(1080.0),
+                copies: 1,
+            })
+            .collect();
+
+        obs::trace_ring_begin(trial as u64);
+        let report = run(
+            &schedule,
+            &mut protocol,
+            msgs,
+            &SimConfig::default(),
+            &mut rng,
+        )
+        .expect("simulation runs");
+        let ring = obs::trace_ring_take().expect("tracing captured the trial");
+        assert_eq!(
+            ring.dropped(),
+            0,
+            "default capacity holds a small trial in full"
+        );
+        let audit = TraceAudit::from_events(&ring.into_events());
+
+        assert_eq!(audit.message_count(), messages as usize);
+        audited_messages += audit.message_count();
+
+        // The trace reconstructs the same winning custody chain the
+        // report's forwarding log yields, message by message.
+        for i in 0..messages {
+            let from_trace = audit.delivered_path(i);
+            let from_report = report.delivered_path(MessageId(i)).map(|p| p.to_vec());
+            assert_eq!(from_trace, from_report, "trial {trial} message {i}");
+        }
+
+        // Exact agreement under several independent adversary draws.
+        for draw in 0..3u64 {
+            let mut adv_rng = ChaCha8Rng::seed_from_u64(0xAD5A ^ (trial as u64) << 8 ^ draw);
+            let adversary = Adversary::random(n, c, &mut adv_rng);
+            let audit_rate = audit.mean_traceable_rate(&adversary);
+            let report_rate = metrics::mean_traceable_rate(&report, &adversary);
+            assert_eq!(
+                audit_rate.map(f64::to_bits),
+                report_rate.map(f64::to_bits),
+                "trial {trial} draw {draw}: traceable rates must be bit-identical"
+            );
+            let audit_anon = audit.mean_path_anonymity(&adversary, n, g, eta);
+            let report_anon = metrics::mean_path_anonymity(&report, &adversary, n, g, eta);
+            assert_eq!(
+                audit_anon.map(f64::to_bits),
+                report_anon.map(f64::to_bits),
+                "trial {trial} draw {draw}: anonymity must be bit-identical"
+            );
+            if let Some(anon) = audit_anon {
+                assert!((0.0..=1.0).contains(&anon) && anon > 0.0);
+            }
+            if draw == 0 {
+                if let Some(rate) = audit_rate {
+                    empirical_sum += rate;
+                    empirical_count += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(audited_messages, trials * messages as usize);
+    assert!(
+        empirical_count >= trials / 2,
+        "most trials deliver something ({empirical_count}/{trials})"
+    );
+
+    // Monte-Carlo agreement with the closed form (Eqs. 8-12): the
+    // empirical mean traceable rate over all delivered paths matches
+    // E[traceable] for eta hops at compromise probability c/n, within
+    // generous sampling tolerance.
+    let empirical = empirical_sum / empirical_count as f64;
+    let expected =
+        analysis::expected_traceable_rate(eta, c as f64 / n as f64).expect("closed form evaluates");
+    assert!(
+        (empirical - expected).abs() < 0.06,
+        "empirical {empirical:.4} vs closed-form {expected:.4} outside Monte-Carlo tolerance"
+    );
+
+    obs::set_trace_enabled(false);
+}
