@@ -69,6 +69,7 @@ pub use runner::{
     RunnerConfig, SeedDomain, TrialFailure,
 };
 pub use sweep::{
-    FaultAxis, Scenario, SecurityAxis, SweepAxis, SweepReport, SweepSpec, TraceScenario,
+    FaultAxis, RowCache, Scenario, SecurityAxis, SweepAxis, SweepControls, SweepReport,
+    SweepRunError, SweepSpec, TraceScenario,
 };
 pub use tps::{destination_exposure, run_tps_message, tps_cost_bound, TpsConfig, TpsOutcome};

@@ -128,6 +128,70 @@ pub enum SweepReport {
     Fault(Vec<FaultSweepRow>),
 }
 
+/// Why [`SweepSpec::run_controlled`] stopped without a full report.
+#[derive(Debug)]
+pub enum SweepRunError {
+    /// Checkpoint I/O failed (only with a checkpoint installed).
+    Checkpoint(CheckpointError),
+    /// The cancel hook fired between rows; `completed` rows were
+    /// finished (and persisted to any installed [`RowCache`]) before
+    /// the sweep stopped.
+    Cancelled {
+        /// Rows finished before cancellation.
+        completed: usize,
+        /// Rows the sweep would have produced.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SweepRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepRunError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            SweepRunError::Cancelled { completed, total } => {
+                write!(f, "cancelled after {completed} of {total} row(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepRunError {}
+
+impl From<CheckpointError> for SweepRunError {
+    fn from(e: CheckpointError) -> Self {
+        SweepRunError::Checkpoint(e)
+    }
+}
+
+/// Per-row persistence hooks for [`SweepSpec::run_controlled`]: lets a
+/// caller (the serving daemon's disk store) replay finished rows and
+/// persist new ones as they complete, so a cancelled sweep's partial
+/// work survives. Row JSON round-trips exactly (the vendored serde
+/// guarantees exact f64 round-trips — the same property checkpoint
+/// replay relies on), so replayed rows are byte-identical to computed
+/// ones.
+pub trait RowCache {
+    /// Returns the stored JSON for `key`, if any.
+    fn load(&self, key: &str) -> Option<String>;
+    /// Persists one finished row's JSON under `key`; best-effort.
+    fn save(&self, key: &str, row_json: &str);
+}
+
+/// External control hooks for [`SweepSpec::run_controlled`].
+#[derive(Clone, Copy, Default)]
+pub struct SweepControls<'a> {
+    /// Polled between rows; returning `true` stops the sweep with
+    /// [`SweepRunError::Cancelled`]. One-pass axes (`Deadline`,
+    /// `Security`) compute every row from a single realization pass, so
+    /// they only poll once, before the pass starts.
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+    /// Row replay/persistence hooks; only [`SweepAxis::Fault`] has
+    /// per-row granularity. Keys match the checkpoint row keys
+    /// (`intensity=<value>`). Ignored when a checkpoint is installed
+    /// (the checkpoint already provides replay).
+    pub rows: Option<&'a (dyn RowCache + Sync)>,
+}
+
 impl SweepReport {
     /// The delivery rows, if this was a deadline sweep.
     pub fn into_delivery(self) -> Option<Vec<DeliverySweepRow>> {
@@ -261,8 +325,46 @@ impl SweepSpec {
         opts: &ExperimentOptions,
         checkpoint: Option<&mut Checkpoint>,
     ) -> Result<SweepReport, CheckpointError> {
+        self.run_controlled(opts, checkpoint, &SweepControls::default())
+            .map_err(|e| match e {
+                SweepRunError::Checkpoint(c) => c,
+                SweepRunError::Cancelled { .. } => {
+                    unreachable!("no cancel hook was installed")
+                }
+            })
+    }
+
+    /// Runs the sweep under external [`SweepControls`]: an optional
+    /// cancel hook polled between rows (the serving daemon's request
+    /// deadline) and an optional [`RowCache`] that replays finished
+    /// rows and persists new ones as they complete. Checkpoint resume
+    /// composes as in [`SweepSpec::run_with_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`SweepRunError::Checkpoint`] on checkpoint I/O failure,
+    /// [`SweepRunError::Cancelled`] when the cancel hook fires — rows
+    /// completed up to that point have already been offered to the
+    /// `RowCache`.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSpec::run`].
+    pub fn run_controlled(
+        &self,
+        opts: &ExperimentOptions,
+        checkpoint: Option<&mut Checkpoint>,
+        controls: &SweepControls<'_>,
+    ) -> Result<SweepReport, SweepRunError> {
+        let cancelled = || controls.cancel.is_some_and(|hook| hook());
         match &self.axis {
             SweepAxis::Deadline(deadlines) => {
+                if cancelled() {
+                    return Err(SweepRunError::Cancelled {
+                        completed: 0,
+                        total: deadlines.len(),
+                    });
+                }
                 let rows = match &self.scenario {
                     Scenario::RandomGraph => delivery_random_graph(&self.config, deadlines, opts),
                     Scenario::Schedule(schedule) => {
@@ -276,6 +378,12 @@ impl SweepSpec {
                 Ok(SweepReport::Delivery(rows))
             }
             SweepAxis::Security(axis) => {
+                if cancelled() {
+                    return Err(SweepRunError::Cancelled {
+                        completed: 0,
+                        total: axis.compromised.len(),
+                    });
+                }
                 let rows = match &self.scenario {
                     Scenario::RandomGraph => security_random_graph(
                         &self.config,
@@ -300,10 +408,15 @@ impl SweepSpec {
                 };
                 Ok(SweepReport::Security(rows))
             }
-            SweepAxis::Fault(axis) => {
-                fault_sweep(&self.scenario, &self.config, axis, opts, checkpoint)
-                    .map(SweepReport::Fault)
-            }
+            SweepAxis::Fault(axis) => fault_sweep(
+                &self.scenario,
+                &self.config,
+                axis,
+                opts,
+                checkpoint,
+                controls,
+            )
+            .map(SweepReport::Fault),
         }
     }
 }
@@ -604,14 +717,19 @@ fn security_schedule(
 /// Full point summaries vs fault intensity: each row runs a complete
 /// point (random-graph or schedule, per the scenario) with `base_plan`
 /// scaled by the intensity. With a checkpoint, finished intensities are
-/// replayed byte-identically.
+/// replayed byte-identically. This per-row loop is also where
+/// [`SweepControls`] bite: the cancel hook is polled before each row,
+/// and a [`RowCache`] (when no checkpoint is installed) replays
+/// finished rows and persists new ones one at a time — so a cancelled
+/// sweep keeps the rows it paid for.
 fn fault_sweep(
     scenario: &Scenario,
     cfg: &ProtocolConfig,
     axis: &FaultAxis,
     opts: &ExperimentOptions,
     mut checkpoint: Option<&mut Checkpoint>,
-) -> Result<Vec<FaultSweepRow>, CheckpointError> {
+    controls: &SweepControls<'_>,
+) -> Result<Vec<FaultSweepRow>, SweepRunError> {
     cfg.validate().expect("experiment config must be valid");
     axis.base_plan
         .validate()
@@ -619,6 +737,12 @@ fn fault_sweep(
     let span = obs::span("experiment.sweep_secs");
     let mut rows = Vec::with_capacity(axis.intensities.len());
     for &intensity in &axis.intensities {
+        if controls.cancel.is_some_and(|hook| hook()) {
+            return Err(SweepRunError::Cancelled {
+                completed: rows.len(),
+                total: axis.intensities.len(),
+            });
+        }
         let plan = axis.base_plan.scaled(intensity);
         let point_opts = ExperimentOptions {
             faults: plan,
@@ -636,7 +760,24 @@ fn fault_sweep(
         };
         let row = match checkpoint.as_deref_mut() {
             Some(cp) => cp.run_point(&key, compute)?,
-            None => compute(),
+            None => match controls.rows {
+                Some(cache) => {
+                    let replayed = cache
+                        .load(&key)
+                        .and_then(|json| serde_json::from_str::<FaultSweepRow>(&json).ok());
+                    match replayed {
+                        Some(row) => row,
+                        None => {
+                            let row = compute();
+                            if let Ok(json) = serde_json::to_string(&row) {
+                                cache.save(&key, &json);
+                            }
+                            row
+                        }
+                    }
+                }
+                None => compute(),
+            },
         };
         rows.push(row);
     }
@@ -733,5 +874,119 @@ mod tests {
         assert_eq!(rows[0].summary.sim_counters.fault_contacts_dropped, 0);
         assert!(rows[1].summary.sim_counters.fault_contacts_dropped > 0);
         assert!(rows[1].summary.sim_delivery <= rows[0].summary.sim_delivery + 1e-9);
+    }
+
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// In-memory [`RowCache`] for the control-hook tests.
+    #[derive(Default)]
+    struct MemRows(Mutex<HashMap<String, String>>);
+
+    impl RowCache for MemRows {
+        fn load(&self, key: &str) -> Option<String> {
+            self.0.lock().unwrap().get(key).cloned()
+        }
+        fn save(&self, key: &str, row_json: &str) {
+            self.0
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), row_json.to_string());
+        }
+    }
+
+    fn tiny_fault_spec() -> SweepSpec {
+        let cfg = ProtocolConfig {
+            nodes: 24,
+            group_size: 3,
+            onions: 2,
+            compromised: 2,
+            deadline: contact_graph::TimeDelta::new(200.0),
+            ..ProtocolConfig::table2_defaults()
+        };
+        let plan = FaultPlan {
+            contact_failure: 0.3,
+            ..FaultPlan::default()
+        };
+        SweepSpec::random_graph(cfg).over_faults(plan, &[0.0, 1.0])
+    }
+
+    #[test]
+    fn cancelled_fault_sweep_keeps_completed_rows_in_the_row_cache() {
+        let spec = tiny_fault_spec();
+        let opts = ExperimentOptions {
+            messages: 4,
+            realizations: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        // The cancel hook is polled once before each row: let the first
+        // row through, stop before the second.
+        let polls = AtomicUsize::new(0);
+        let cancel = || polls.fetch_add(1, Ordering::SeqCst) >= 1;
+        let cache = MemRows::default();
+        let err = spec
+            .run_controlled(
+                &opts,
+                None,
+                &SweepControls {
+                    cancel: Some(&cancel),
+                    rows: Some(&cache),
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SweepRunError::Cancelled {
+                    completed: 1,
+                    total: 2
+                }
+            ),
+            "{err}"
+        );
+        assert!(cache.load("intensity=0").is_some());
+        assert!(cache.load("intensity=1").is_none());
+
+        // A retry with the same cache replays the finished row and only
+        // computes the missing one; the report is bit-identical to an
+        // uncontrolled batch run.
+        let report = spec
+            .run_controlled(
+                &opts,
+                None,
+                &SweepControls {
+                    cancel: None,
+                    rows: Some(&cache),
+                },
+            )
+            .unwrap();
+        assert_eq!(report, spec.run(&opts));
+        assert_eq!(cache.0.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn one_pass_axes_cancel_before_the_pass() {
+        let spec = SweepSpec::random_graph(ProtocolConfig::table2_defaults())
+            .over_deadlines(&[120.0, 240.0]);
+        let cancel = || true;
+        let err = spec
+            .run_controlled(
+                &quick_opts(),
+                None,
+                &SweepControls {
+                    cancel: Some(&cancel),
+                    rows: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SweepRunError::Cancelled {
+                completed: 0,
+                total: 2
+            }
+        ));
     }
 }

@@ -19,10 +19,12 @@
 //! types), while scalar knobs are extracted field-by-field.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use dtn_sim::{ChurnConfig, ChurnMemory, FaultPlan};
 use onion_routing::{
-    run_random_graph_point, Checkpoint, ExperimentOptions, ProtocolConfig, SweepSpec,
+    run_random_graph_point, Checkpoint, ExperimentOptions, ProtocolConfig, RowCache, SweepControls,
+    SweepRunError, SweepSpec,
 };
 use serde::{Serialize, Value};
 
@@ -30,6 +32,14 @@ use crate::cache::ShardedLru;
 use crate::flight::{Role, SingleFlight};
 use crate::http::{Request, Response};
 use crate::stats::ServeStats;
+use crate::store::ResponseStore;
+
+/// Internal error-string prefix that carries a mid-sweep deadline
+/// expiry through the single-flight layer (whose error channel is a
+/// plain `String`). Shape: `<marker><completed>/<total>`. Followers
+/// coalesced onto a leader that ran out of deadline share its 504 —
+/// their retry will resume from the persisted rows.
+const DEADLINE_MARKER: &str = "\u{1}deadline:";
 
 /// Mean pairwise contact rate of the Table II random graph:
 /// `E[1/X]` for `X ~ U(1, 36)` minutes.
@@ -58,6 +68,7 @@ impl Default for ApiLimits {
 /// The routing table plus the state every handler shares.
 pub struct Api {
     cache: ShardedLru,
+    store: Option<Arc<ResponseStore>>,
     flight: SingleFlight,
     stats: Arc<ServeStats>,
     limits: ApiLimits,
@@ -65,18 +76,43 @@ pub struct Api {
 
 impl Api {
     /// Builds the router around a result cache of `cache_capacity`
-    /// entries over `cache_shards` locks.
+    /// entries over `cache_shards` locks, with an optional disk store
+    /// as the write-through second tier beneath the LRU.
     pub fn new(
         cache_capacity: usize,
         cache_shards: usize,
+        store: Option<Arc<ResponseStore>>,
         stats: Arc<ServeStats>,
         limits: ApiLimits,
     ) -> Api {
-        Api {
+        let api = Api {
             cache: ShardedLru::new(cache_capacity, cache_shards),
+            store,
             flight: SingleFlight::new(),
             stats,
             limits,
+        };
+        // Surface the recovery scan's findings on /metricsz right away.
+        api.sync_store_gauges();
+        api
+    }
+
+    /// Mirrors disk-store health into the per-instance gauges.
+    fn sync_store_gauges(&self) {
+        if let Some(store) = &self.store {
+            let s = store.status();
+            self.stats.gauge_level(
+                &self.stats.store_records,
+                "serve.store_records",
+                s.records as i64,
+            );
+            self.stats
+                .gauge_level(&self.stats.store_bytes, "serve.store_bytes", s.bytes as i64);
+            self.stats.gauge_level(
+                &self.stats.store_records_quarantined,
+                "serve.store_records_quarantined",
+                s.quarantined as i64,
+            );
         }
     }
 
@@ -99,10 +135,19 @@ impl Api {
         }
     }
 
+    /// Routes one parsed request to its handler with no deadline (tests
+    /// and embedders); the server calls [`Api::handle_at`].
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_at(req, None)
+    }
+
     /// Routes one parsed request to its handler. The request target is
     /// split into path and query at the first `?`; only `/metricsz`
-    /// currently inspects its query (`format=prometheus`).
-    pub fn handle(&self, req: &Request) -> Response {
+    /// currently inspects its query (`format=prometheus`). `deadline`
+    /// is the request's wall-clock budget end (measured from accept):
+    /// sweep endpoints poll it between rows and answer `504
+    /// deadline_exceeded` when it passes mid-computation.
+    pub fn handle_at(&self, req: &Request, deadline: Option<Instant>) -> Response {
         let (path, query) = match req.path.split_once('?') {
             Some((p, q)) => (p, q),
             None => (req.path.as_str(), ""),
@@ -116,7 +161,7 @@ impl Api {
                 resp
             }
             ("POST", path) if path.starts_with("/v1/model/") => self.model(req),
-            ("POST", path) if path.starts_with("/v1/sweep/") => self.sweep(req),
+            ("POST", path) if path.starts_with("/v1/sweep/") => self.sweep(req, deadline),
             (_, path)
                 if path == "/healthz"
                     || path == "/metricsz"
@@ -169,7 +214,7 @@ impl Api {
         }
     }
 
-    fn sweep(&self, req: &Request) -> Response {
+    fn sweep(&self, req: &Request, deadline: Option<Instant>) -> Response {
         let body = match parse_body(&req.body) {
             Ok(v) => v,
             Err(e) => return Response::error(400, "malformed_request", &e),
@@ -189,7 +234,9 @@ impl Api {
         match req.path.as_str() {
             "/v1/sweep/point" => {
                 let key = Checkpoint::fingerprint(&("/v1/sweep/point", &cfg, &canon));
-                self.cached_sweep(&key, || to_json(&run_random_graph_point(&cfg, &run_opts)))
+                self.cached_sweep(&key, deadline, || {
+                    to_json(&run_random_graph_point(&cfg, &run_opts))
+                })
             }
             "/v1/sweep/deadline" => {
                 let deadlines = match opt_field::<Vec<f64>>(&body, "deadlines") {
@@ -201,7 +248,7 @@ impl Api {
                 }
                 let key =
                     Checkpoint::fingerprint(&("/v1/sweep/deadline", &cfg, &canon, &deadlines));
-                self.cached_sweep(&key, || {
+                self.cached_sweep(&key, deadline, || {
                     let rows = SweepSpec::random_graph(cfg.clone())
                         .over_deadlines(&deadlines)
                         .run(&run_opts)
@@ -238,7 +285,7 @@ impl Api {
                     &compromised,
                     draws,
                 ));
-                self.cached_sweep(&key, || {
+                self.cached_sweep(&key, deadline, || {
                     let rows = SweepSpec::random_graph(cfg.clone())
                         .over_security(&compromised, draws)
                         .run(&run_opts)
@@ -274,11 +321,33 @@ impl Api {
                     &plan,
                     &intensities,
                 ));
-                self.cached_sweep(&key, || {
+                // Row-level store keys exclude the intensity list, so a
+                // row computed for one grid is replayable in any other
+                // grid containing the same intensity.
+                let row_prefix =
+                    Checkpoint::fingerprint(&("/v1/sweep/fault#row", &cfg, &canon, &plan));
+                self.cached_sweep(&key, deadline, || {
+                    let cancel = || deadline.is_some_and(|d| Instant::now() >= d);
+                    let rows_store = StoreRowCache {
+                        api: self,
+                        prefix: row_prefix,
+                    };
+                    let controls = SweepControls {
+                        cancel: Some(&cancel),
+                        rows: self
+                            .store
+                            .is_some()
+                            .then_some(&rows_store as &(dyn RowCache + Sync)),
+                    };
                     SweepSpec::random_graph(cfg.clone())
                         .over_faults(plan, &intensities)
-                        .run_with_checkpoint(&run_opts, None)
-                        .map_err(|e| format!("fault sweep: {e}"))
+                        .run_controlled(&run_opts, None, &controls)
+                        .map_err(|e| match e {
+                            SweepRunError::Cancelled { completed, total } => {
+                                format!("{DEADLINE_MARKER}{completed}/{total}")
+                            }
+                            other => format!("fault sweep: {other}"),
+                        })
                         .and_then(|report| {
                             let rows = report.into_fault().expect("fault axis yields fault rows");
                             to_json(&rows)
@@ -322,8 +391,15 @@ impl Api {
         Ok((cfg, opts))
     }
 
-    /// The cache → single-flight → compute funnel for sweep endpoints.
-    fn cached_sweep<F>(&self, key: &str, compute: F) -> Response
+    /// The cache → store → single-flight → compute funnel for sweep
+    /// endpoints. The in-memory LRU is the first tier; when a durable
+    /// store is configured it acts as a write-through second tier: a
+    /// store hit promotes the body back into the LRU, and single-flight
+    /// leaders persist their result before answering. A `deadline` in
+    /// the past by the time the leader would start computing — or an
+    /// expiry signalled mid-sweep via [`DEADLINE_MARKER`] — maps to a
+    /// `504 deadline_exceeded` envelope instead of a 500.
+    fn cached_sweep<F>(&self, key: &str, deadline: Option<Instant>, compute: F) -> Response
     where
         F: FnOnce() -> Result<String, String>,
     {
@@ -333,7 +409,23 @@ impl Api {
         }
         self.stats
             .bump(&self.stats.cache_misses, "serve.cache_misses");
+        if let Some(store) = &self.store {
+            if let Some(body) = store.get(key) {
+                self.stats.bump(&self.stats.store_hits, "serve.store_hits");
+                let body = Arc::new(body);
+                self.cache.insert(key, Arc::clone(&body));
+                return Response::json(200, (*body).clone());
+            }
+            self.stats
+                .bump(&self.stats.store_misses, "serve.store_misses");
+        }
         let (result, role) = self.flight.run(key, || {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Expired while waiting in the single-flight queue:
+                // report zero completed work rather than starting a
+                // sweep whose budget is already spent.
+                return Err(format!("{DEADLINE_MARKER}0/0"));
+            }
             self.stats
                 .bump(&self.stats.sweep_computes, "serve.sweep_computes");
             compute().map(Arc::new)
@@ -346,11 +438,71 @@ impl Api {
             Ok(body) => {
                 if role == Role::Led {
                     self.cache.insert(key, Arc::clone(&body));
+                    if let Some(store) = &self.store {
+                        match store.put(key, &body) {
+                            Ok(()) => {
+                                self.stats
+                                    .bump(&self.stats.store_writes, "serve.store_writes");
+                            }
+                            Err(e) => obs::warn!("serve::store", "persist {key} failed: {e}"),
+                        }
+                        self.sync_store_gauges();
+                    }
                 }
                 Response::json(200, (*body).clone())
             }
-            Err(e) => Response::error(500, "internal", &e),
+            Err(e) => match e.strip_prefix(DEADLINE_MARKER) {
+                Some(progress) => {
+                    self.stats
+                        .bump(&self.stats.deadline_exceeded, "serve.deadline_exceeded");
+                    let (completed, total) = progress.split_once('/').unwrap_or((progress, "?"));
+                    Response::error(
+                        504,
+                        "deadline_exceeded",
+                        &format!(
+                            "request deadline exceeded after {completed} of {total} sweep \
+                             row(s); completed rows are persisted — retry to resume"
+                        ),
+                    )
+                }
+                None => Response::error(500, "internal", &e),
+            },
         }
+    }
+}
+
+/// A [`RowCache`] backed by the API's durable [`ResponseStore`]: fault
+/// sweep rows persist under `<prefix>:<row key>` so a sweep cancelled
+/// by its deadline resumes from the completed rows on retry.
+struct StoreRowCache<'a> {
+    api: &'a Api,
+    prefix: String,
+}
+
+impl RowCache for StoreRowCache<'_> {
+    fn load(&self, key: &str) -> Option<String> {
+        let store = self.api.store.as_ref()?;
+        let body = store.get(&format!("{}:{key}", self.prefix))?;
+        self.api
+            .stats
+            .bump(&self.api.stats.store_row_hits, "serve.store_row_hits");
+        Some(body)
+    }
+
+    fn save(&self, key: &str, row_json: &str) {
+        let Some(store) = self.api.store.as_ref() else {
+            return;
+        };
+        let full = format!("{}:{key}", self.prefix);
+        match store.put(&full, row_json) {
+            Ok(()) => {
+                self.api
+                    .stats
+                    .bump(&self.api.stats.store_row_writes, "serve.store_row_writes");
+            }
+            Err(e) => obs::warn!("serve::store", "persist row {full} failed: {e}"),
+        }
+        self.api.sync_store_gauges();
     }
 }
 
@@ -558,9 +710,14 @@ mod tests {
     use super::*;
 
     fn api() -> Api {
+        api_with_store(None)
+    }
+
+    fn api_with_store(store: Option<Arc<ResponseStore>>) -> Api {
         Api::new(
             16,
             2,
+            store,
             Arc::new(ServeStats::new()),
             ApiLimits {
                 sweep_threads: 1,
@@ -720,5 +877,115 @@ mod tests {
         assert_eq!(r.status, 400);
         let r = api.handle(&post("/v1/sweep/deadline", "{\"deadlines\":[]}"));
         assert_eq!(r.status, 400);
+    }
+
+    /// Unique scratch dir per test, removed on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!("onion-dtn-api-{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_sweep_body() -> String {
+        let opts = ExperimentOptions {
+            messages: 4,
+            realizations: 2,
+            ..ExperimentOptions::default()
+        };
+        format!("{{\"opts\":{}}}", serde_json::to_string(&opts).unwrap())
+    }
+
+    #[test]
+    fn store_survives_restart_and_promotes_to_lru() {
+        let scratch = Scratch::new("write-through");
+        let body = small_sweep_body();
+        let first = {
+            let store = Arc::new(ResponseStore::open(&scratch.0, 1 << 20).unwrap());
+            let api = api_with_store(Some(store));
+            let r = api.handle(&post("/v1/sweep/point", &body));
+            assert_eq!(r.status, 200, "{}", r.body);
+            let snap = api.stats.snapshot();
+            assert_eq!(snap.counters["sweep_computes"], 1);
+            assert_eq!(snap.counters["store_writes"], 1);
+            assert_eq!(snap.gauges["store_records"], 1);
+            r.body
+        };
+        // "Restart": fresh LRU, fresh stats, same directory on disk.
+        let store = Arc::new(ResponseStore::open(&scratch.0, 1 << 20).unwrap());
+        let api = api_with_store(Some(store));
+        let warm = api.handle(&post("/v1/sweep/point", &body));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert_eq!(warm.body, first, "store must replay byte-identical bodies");
+        let snap = api.stats.snapshot();
+        assert_eq!(snap.counters["sweep_computes"], 0);
+        assert_eq!(snap.counters["store_hits"], 1);
+        // The store hit promoted the body into the LRU.
+        let again = api.handle(&post("/v1/sweep/point", &body));
+        assert_eq!(again.body, first);
+        assert_eq!(api.stats.snapshot().counters["cache_hits"], 1);
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_504_and_retry_succeeds() {
+        let api = api();
+        let body = small_sweep_body();
+        let req = post("/v1/sweep/point", &body);
+        let expired = api.handle_at(&req, Some(Instant::now()));
+        assert_eq!(expired.status, 504, "{}", expired.body);
+        assert!(
+            expired.body.contains("deadline_exceeded"),
+            "{}",
+            expired.body
+        );
+        assert_eq!(api.stats.snapshot().counters["deadline_exceeded"], 1);
+        assert_eq!(api.stats.snapshot().counters["sweep_computes"], 0);
+        // An expired leader must not poison the cache: a retry without a
+        // deadline computes normally.
+        let retry = api.handle(&req);
+        assert_eq!(retry.status, 200, "{}", retry.body);
+    }
+
+    #[test]
+    fn fault_rows_persist_and_replay_across_intensity_grids() {
+        let scratch = Scratch::new("fault-rows");
+        let store = Arc::new(ResponseStore::open(&scratch.0, 1 << 20).unwrap());
+        let opts = ExperimentOptions {
+            messages: 3,
+            realizations: 2,
+            ..ExperimentOptions::default()
+        };
+        let opts_json = serde_json::to_string(&opts).unwrap();
+        let grid = format!("{{\"opts\":{opts_json},\"intensities\":[0.0,0.5]}}");
+        let single = format!("{{\"opts\":{opts_json},\"intensities\":[0.5]}}");
+
+        let api = api_with_store(Some(Arc::clone(&store)));
+        let r = api.handle(&post("/v1/sweep/fault", &grid));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(api.stats.snapshot().counters["store_row_writes"], 2);
+
+        // Fresh stats + LRU, same store: a different grid sharing one
+        // intensity replays that row instead of recomputing it, and the
+        // result is bit-identical to a cold run of the same grid.
+        let api2 = api_with_store(Some(Arc::clone(&store)));
+        let warm = api2.handle(&post("/v1/sweep/fault", &single));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        let snap = api2.stats.snapshot();
+        assert_eq!(snap.counters["store_row_hits"], 1);
+        assert_eq!(snap.counters["store_row_writes"], 0);
+
+        let cold = api_with_store(None);
+        let reference = cold.handle(&post("/v1/sweep/fault", &single));
+        assert_eq!(warm.body, reference.body);
     }
 }

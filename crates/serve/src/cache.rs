@@ -8,6 +8,12 @@
 //! concurrent workers; within a shard, eviction is exact LRU by a
 //! monotonic touch stamp (an O(shard-size) scan on insert, which is
 //! fine at the few-hundred-entry capacities this daemon runs with).
+//!
+//! This is the *first* tier of the response cache. When the daemon
+//! runs with `--store <dir>`, the durable [`crate::store`] log sits
+//! beneath it as a write-through second tier: an LRU miss consults the
+//! store, and a store hit is promoted back in here — so eviction from
+//! this map never loses a computed result, only its memory residency.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};

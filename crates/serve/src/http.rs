@@ -17,6 +17,7 @@
 //! implementation.
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request/status line plus all headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -133,7 +134,8 @@ impl Response {
 /// | `method_not_allowed` | endpoint exists, wrong method | 405 |
 /// | `too_large` | head or body over its size cap | 413 |
 /// | `internal` | computation failed server-side | 500 |
-/// | `overloaded` | accept queue full, retry later | 503 |
+/// | `overloaded` | accept queue full or deadline expired while queued, retry later | 503 |
+/// | `deadline_exceeded` | request deadline expired mid-computation; completed rows persisted | 504 |
 #[derive(serde::Serialize, serde::Deserialize)]
 pub struct ErrorBody {
     /// The nested error detail.
@@ -159,13 +161,31 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
+/// Fails with a timeout [`HttpError::Io`] once `deadline` has passed.
+/// Checked *between* chunk reads: a per-read socket timeout alone never
+/// fires against a slowloris client trickling one byte per period, but
+/// this overall budget does.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "overall read budget exhausted",
+        )));
+    }
+    Ok(())
+}
+
 /// Reads until the `\r\n\r\n` head terminator, returning the head bytes
 /// and any body bytes already pulled off the socket.
-fn read_head<R: Read>(reader: &mut R) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+fn read_head<R: Read>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     loop {
@@ -179,6 +199,7 @@ fn read_head<R: Read>(reader: &mut R) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
                 "header block exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
+        check_deadline(deadline)?;
         let n = reader.read(&mut chunk)?;
         if n == 0 {
             return Err(HttpError::Malformed(
@@ -205,6 +226,7 @@ fn read_body<R: Read>(
     reader: &mut R,
     mut pending: Vec<u8>,
     length: usize,
+    deadline: Option<Instant>,
 ) -> Result<String, HttpError> {
     if length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge(format!(
@@ -213,6 +235,7 @@ fn read_body<R: Read>(
     }
     pending.truncate(pending.len().min(length));
     while pending.len() < length {
+        check_deadline(deadline)?;
         let mut chunk = vec![0u8; (length - pending.len()).min(64 * 1024)];
         let n = reader.read(&mut chunk)?;
         if n == 0 {
@@ -223,6 +246,39 @@ fn read_body<R: Read>(
     String::from_utf8(pending).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
 }
 
+/// Extracts the body length from the head, rejecting request smuggling
+/// vectors: any `Transfer-Encoding` header (this server only frames by
+/// `Content-Length`) and conflicting duplicate `Content-Length` values.
+fn body_length(head: &str) -> Result<usize, HttpError> {
+    if header_value(head, "transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "Transfer-Encoding is not supported; frame bodies with Content-Length".into(),
+        ));
+    }
+    let mut length: Option<usize> = None;
+    for line in head.lines().skip(1) {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !key.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value = value.trim();
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        if let Some(seen) = length {
+            if seen != parsed {
+                return Err(HttpError::Malformed(format!(
+                    "conflicting Content-Length values {seen} and {parsed}"
+                )));
+            }
+        }
+        length = Some(parsed);
+    }
+    Ok(length.unwrap_or(0))
+}
+
 /// Reads and parses one request.
 ///
 /// # Errors
@@ -230,7 +286,25 @@ fn read_body<R: Read>(
 /// [`HttpError`] on socket failure, malformed framing, or an oversized
 /// head/body.
 pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, HttpError> {
-    let (head_bytes, rest) = read_head(reader)?;
+    read_request_within(reader, None)
+}
+
+/// [`read_request`] under an overall read budget covering head *and*
+/// body. `None` means unbounded. The budget is enforced between chunk
+/// reads, so it bounds clients that trickle bytes too fast for the
+/// per-read socket timeout to fire (slowloris) — pair it with a socket
+/// read timeout to also bound fully stalled clients.
+///
+/// # Errors
+///
+/// [`HttpError::Io`] with `ErrorKind::TimedOut` once the budget is
+/// exhausted, plus everything [`read_request`] can return.
+pub fn read_request_within<R: Read>(
+    reader: &mut R,
+    budget: Option<Duration>,
+) -> Result<Request, HttpError> {
+    let deadline = budget.map(|b| Instant::now() + b);
+    let (head_bytes, rest) = read_head(reader, deadline)?;
     let head = std::str::from_utf8(&head_bytes)
         .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
     let request_line = head
@@ -252,13 +326,8 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Request, HttpError> {
             "unsupported version {version:?}"
         )));
     }
-    let length = match header_value(head, "content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
-    };
-    let body = read_body(reader, rest, length)?;
+    let length = body_length(head)?;
+    let body = read_body(reader, rest, length, deadline)?;
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
@@ -315,7 +384,7 @@ pub fn write_request<W: Write>(
 ///
 /// [`HttpError`] on socket failure or malformed framing.
 pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
-    let (head_bytes, rest) = read_head(reader)?;
+    let (head_bytes, rest) = read_head(reader, None)?;
     let head = std::str::from_utf8(&head_bytes)
         .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
     let status_line = head
@@ -345,7 +414,7 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
             .parse::<usize>()
             .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
     };
-    let body = read_body(reader, rest, length)?;
+    let body = read_body(reader, rest, length, None)?;
     Ok(Response {
         status,
         body,
@@ -450,6 +519,52 @@ mod tests {
     }
 
     #[test]
+    fn smuggling_vectors_are_rejected() {
+        // Any Transfer-Encoding header: this server frames by
+        // Content-Length only, so TE must never be silently ignored.
+        let wire = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire)),
+            Err(HttpError::Malformed(_))
+        ));
+        // Conflicting duplicate Content-Length values.
+        let wire =
+            b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhi---".to_vec();
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire)),
+            Err(HttpError::Malformed(_))
+        ));
+        // Agreeing duplicates are harmless and accepted.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi".to_vec();
+        assert_eq!(read_request(&mut Cursor::new(wire)).unwrap().body, "hi");
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_rejected() {
+        let mut wire = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n".to_vec();
+        wire.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire)),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_read_budget_times_out() {
+        // A zero budget must fail before the first chunk read, with a
+        // TimedOut I/O error (the server drops such connections).
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        match read_request_within(&mut Cursor::new(wire.clone()), Some(Duration::ZERO)) {
+            Err(HttpError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // A generous budget lets the same bytes through.
+        let req =
+            read_request_within(&mut Cursor::new(wire), Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
     fn body_split_across_reads_is_reassembled() {
         // A reader that returns one byte at a time exercises the
         // buffering paths in read_head/read_body.
@@ -464,5 +579,104 @@ mod tests {
         write_request(&mut wire, "POST", "/p", "{\"k\":123}").unwrap();
         let req = read_request(&mut OneByte(Cursor::new(wire))).unwrap();
         assert_eq!(req.body, "{\"k\":123}");
+    }
+}
+
+/// Property battery: the request parser must *never* panic — hostile
+/// bytes always land in a clean `Ok` or typed `Err`. Each strategy
+/// targets a different hostile shape; the chaos integration tests
+/// replay the same shapes over real sockets.
+#[cfg(test)]
+mod parser_props {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    /// A syntactically valid request that parsers must accept.
+    fn valid_wire(path_salt: u8, body_len: usize) -> Vec<u8> {
+        let body = "b".repeat(body_len);
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", &format!("/p{path_salt}"), &body).unwrap();
+        wire
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Arbitrary garbage bytes: parse or reject, never panic.
+        #[test]
+        fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = read_request(&mut Cursor::new(bytes));
+        }
+
+        /// Valid requests truncated at every possible point: the parser
+        /// must fail cleanly on every prefix and succeed on the whole.
+        #[test]
+        fn truncation_never_panics(salt in any::<u8>(), body_len in 0..64usize, cut in any::<u16>()) {
+            let wire = valid_wire(salt, body_len);
+            let cut = (cut as usize) % (wire.len() + 1);
+            let result = read_request(&mut Cursor::new(wire[..cut].to_vec()));
+            if cut == wire.len() {
+                prop_assert!(result.is_ok());
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+
+        /// Declared Content-Length values across the whole u64 range,
+        /// including values far beyond the actual bytes sent.
+        #[test]
+        fn hostile_content_length_never_panics(declared in any::<u64>(), sent in 0..32usize) {
+            let wire = format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n{}",
+                "y".repeat(sent)
+            );
+            let result = read_request(&mut Cursor::new(wire.into_bytes()));
+            if declared as usize > MAX_BODY_BYTES {
+                prop_assert!(matches!(result, Err(HttpError::TooLarge(_))));
+            }
+        }
+
+        /// Random bytes spliced into a valid request at a random
+        /// offset: smuggled headers, split tokens, non-UTF-8 — the
+        /// parser must stay panic-free whatever lands where.
+        #[test]
+        fn spliced_bytes_never_panic(
+            salt in any::<u8>(),
+            at in any::<u16>(),
+            junk in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let mut wire = valid_wire(salt, 16);
+            let at = (at as usize) % (wire.len() + 1);
+            for (i, b) in junk.into_iter().enumerate() {
+                wire.insert(at + i, b);
+            }
+            let _ = read_request(&mut Cursor::new(wire));
+        }
+
+        /// Header blocks built from random header-ish lines, including
+        /// duplicate and conflicting Content-Length / Transfer-Encoding.
+        #[test]
+        fn random_headers_never_panic(
+            lines in proptest::collection::vec(any::<u32>(), 0..8),
+            body in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let mut head = String::from("POST /x HTTP/1.1\r\n");
+            for raw in lines {
+                let (kind, value) = (raw % 6, raw >> 3);
+                match kind {
+                    0 => head.push_str(&format!("Content-Length: {value}\r\n")),
+                    1 => head.push_str(&format!("content-length: {value}\r\n")),
+                    2 => head.push_str("Transfer-Encoding: chunked\r\n"),
+                    3 => head.push_str(&format!("X-Filler: {value}\r\n")),
+                    4 => head.push_str("Content-Length: not-a-number\r\n"),
+                    _ => head.push_str(&format!(":{value}\r\n")),
+                }
+            }
+            head.push_str("\r\n");
+            let mut wire = head.into_bytes();
+            wire.extend_from_slice(&body);
+            let _ = read_request(&mut Cursor::new(wire));
+        }
     }
 }

@@ -9,7 +9,8 @@
 //!   analytical models (`analysis` crate), evaluated per request.
 //! * `/v1/sweep/{point,deadline,security,fault}` — full Monte-Carlo
 //!   experiments (`onion_routing` harness), with a sharded LRU result
-//!   cache and single-flight request coalescing.
+//!   cache, an optional crash-safe disk store beneath it, and
+//!   single-flight request coalescing.
 //! * `/healthz`, `/metricsz` — liveness and the per-instance
 //!   counters/gauges/latency snapshot.
 //! * `/v1/admin/shutdown` — graceful drain-and-exit.
@@ -27,7 +28,13 @@
 //!    is full the accept loop answers `503` + `Retry-After` instead of
 //!    buffering without bound. Identical concurrent cache misses
 //!    coalesce onto one computation (single-flight), so a thundering
-//!    herd of the same expensive sweep costs one sweep.
+//!    herd of the same expensive sweep costs one sweep. Requests carry
+//!    a wall-clock deadline: expiry in the queue is shed with `503`,
+//!    expiry mid-sweep returns `504` with completed rows persisted.
+//!
+//! With `--store <dir>` the daemon adds a durable second tier beneath
+//! the LRU: an append-only, CRC-framed record log (DESIGN.md §4j) that
+//! survives `kill -9` and replays byte-identical responses on restart.
 //!
 //! Everything is hand-rolled on `std::net` — no async runtime, no HTTP
 //! library — matching the workspace's vendored-shims-only constraint.
@@ -43,6 +50,7 @@ pub mod loadgen;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod store;
 
 pub use api::{Api, ApiLimits, TABLE2_MEAN_RATE};
 pub use cache::ShardedLru;
@@ -52,3 +60,4 @@ pub use loadgen::{run_loadgen, ClassStats, LoadReport, LoadgenConfig, LOAD_REPOR
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServeConfig, ServeError, Server, ServerHandle};
 pub use stats::{LatencyBucket, ServeStats, StatsSnapshot};
+pub use store::{ResponseStore, StoreError, StoreStatus};

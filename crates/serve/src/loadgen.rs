@@ -12,8 +12,20 @@
 //! family of `/v1/sweep/point` configurations — few enough distinct
 //! sweeps that the server's result cache and single-flight layer do
 //! real work during a run.
+//!
+//! Two robustness features ride on the same deterministic streams:
+//!
+//! * **Retry with jittered exponential backoff** — `503` responses and
+//!   transport failures are retried up to `max_retries` times, honoring
+//!   the server's `Retry-After` hint; the report tallies `retries` and
+//!   `gave_up` so shedding behavior is measurable.
+//! * **Chaos mode** (`--chaos`) — a fraction of worker iterations
+//!   misbehave on purpose (connect-and-drop, mid-request stalls,
+//!   half-closes, garbage bytes) to prove the server survives hostile
+//!   clients while continuing to serve the well-behaved ones.
 
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -26,7 +38,13 @@ use crate::http::{read_response, write_request};
 
 /// Version of the [`LoadReport`] JSON shape. Bump when fields change
 /// incompatibly so downstream tooling can dispatch on `schema`.
-pub const LOAD_REPORT_SCHEMA: u32 = 1;
+///
+/// Schema 2 added `retries`, `gave_up`, and `chaos_injected`.
+pub const LOAD_REPORT_SCHEMA: u32 = 2;
+
+/// Retry backoff delays (and `Retry-After` hints) are capped here so a
+/// bounded-duration run cannot stall on one unlucky request.
+const BACKOFF_CAP_MS: f64 = 2_000.0;
 
 /// Load-generation parameters.
 #[derive(Clone, Debug)]
@@ -47,6 +65,16 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Send `POST /v1/admin/shutdown` after the run (CI teardown).
     pub shutdown_after: bool,
+    /// Retries per request on `503` or transport failure.
+    pub max_retries: u32,
+    /// Base backoff delay in milliseconds (doubled per attempt,
+    /// jittered, capped at 2 s, floored by the server's `Retry-After`).
+    pub backoff_base_ms: u64,
+    /// Inject hostile client behavior (drops, stalls, half-closes,
+    /// garbage) alongside the normal mix.
+    pub chaos: bool,
+    /// Fraction of worker iterations that misbehave when `chaos` is on.
+    pub chaos_share: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +87,10 @@ impl Default for LoadgenConfig {
             sweep_share: 0.1,
             seed: 1,
             shutdown_after: false,
+            max_retries: 3,
+            backoff_base_ms: 50,
+            chaos: false,
+            chaos_share: 0.25,
         }
     }
 }
@@ -107,6 +139,14 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Transport failures or unexpected (non-2xx, non-503) statuses.
     pub failed: u64,
+    /// Retry attempts across all requests (each request counts once
+    /// toward `total` regardless of how many attempts it took).
+    pub retries: u64,
+    /// Requests still shed or failing after the full retry budget.
+    pub gave_up: u64,
+    /// Hostile-client injections performed in chaos mode (not counted
+    /// in `total`; chaos iterations expect no response).
+    pub chaos_injected: u64,
     /// Completed requests per elapsed second.
     pub throughput_rps: f64,
     /// Response-status tallies keyed by status code.
@@ -122,6 +162,9 @@ struct WorkerTally {
     ok: u64,
     rejected: u64,
     failed: u64,
+    retries: u64,
+    gave_up: u64,
+    chaos_injected: u64,
     statuses: BTreeMap<String, u64>,
     latency: BTreeMap<&'static str, obs::Histogram>,
 }
@@ -132,6 +175,9 @@ impl WorkerTally {
         self.ok += other.ok;
         self.rejected += other.rejected;
         self.failed += other.failed;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
+        self.chaos_injected += other.chaos_injected;
         for (k, v) in &other.statuses {
             *self.statuses.entry(k.clone()).or_insert(0) += v;
         }
@@ -213,9 +259,9 @@ fn next_recipe(rng: &mut ChaCha8Rng, sweep_share: f64) -> Recipe {
     }
 }
 
-/// Issues one request; returns the HTTP status, or `Err` on transport
-/// failure.
-fn issue(addr: &str, recipe: &Recipe) -> Result<u16, String> {
+/// Issues one request; returns the HTTP status and any `Retry-After`
+/// hint, or `Err` on transport failure.
+fn issue(addr: &str, recipe: &Recipe) -> Result<(u16, Option<u32>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -229,7 +275,66 @@ fn issue(addr: &str, recipe: &Recipe) -> Result<u16, String> {
     write_request(&mut stream, method, recipe.path, &recipe.body)
         .map_err(|e| format!("write: {e}"))?;
     let resp = read_response(&mut stream).map_err(|e| format!("read: {e}"))?;
-    Ok(resp.status)
+    Ok((resp.status, resp.retry_after))
+}
+
+/// The delay before retry number `attempt` (1-based): jittered
+/// exponential backoff from `base_ms`, floored by the server's
+/// `Retry-After` hint, capped at [`BACKOFF_CAP_MS`]. Deterministic
+/// given the worker's rng state.
+fn backoff_delay(
+    rng: &mut ChaCha8Rng,
+    attempt: u32,
+    base_ms: u64,
+    retry_after: Option<u32>,
+) -> Duration {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(16).saturating_sub(1)) as f64;
+    let jittered = (exp * (0.5 + rng.gen::<f64>())).min(BACKOFF_CAP_MS);
+    let hinted = retry_after.map_or(0.0, |s| f64::from(s) * 1_000.0);
+    Duration::from_millis(jittered.max(hinted).min(BACKOFF_CAP_MS) as u64)
+}
+
+/// One hostile-client injection: the server must shrug these off
+/// without panicking or stalling a worker slot. Returns the op name
+/// for the status tally.
+fn inject_chaos(addr: &str, rng: &mut ChaCha8Rng) -> &'static str {
+    let op = rng.gen_range(0..4u32);
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return "chaos_connect_failed";
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    match op {
+        // Connect and vanish before sending a byte.
+        0 => "chaos_drop",
+        // Stall mid-request-line, then disappear.
+        1 => {
+            let _ = stream.write_all(b"POST /v1/model/del");
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(u64::from(rng.gen_range(5..40u32))));
+            "chaos_stall"
+        }
+        // Send a full request but half-close the write side early.
+        2 => {
+            let _ = write_request(&mut stream, "GET", "/healthz", "");
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut buf = [0u8; 256];
+            let _ = stream.read(&mut buf);
+            "chaos_half_close"
+        }
+        // Pure garbage bytes.
+        _ => {
+            let mut junk = vec![0u8; rng.gen_range(1..200usize)];
+            for b in &mut junk {
+                *b = rng.gen::<u8>();
+            }
+            let _ = stream.write_all(&junk);
+            let _ = stream.flush();
+            let mut buf = [0u8; 256];
+            let _ = stream.read(&mut buf);
+            "chaos_garbage"
+        }
+    }
 }
 
 fn worker(addr: &str, cfg: &LoadgenConfig, index: usize, deadline: Instant) -> WorkerTally {
@@ -239,22 +344,59 @@ fn worker(addr: &str, cfg: &LoadgenConfig, index: usize, deadline: Instant) -> W
         ChaCha8Rng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut tally = WorkerTally::default();
     while Instant::now() < deadline {
+        if cfg.chaos && rng.gen::<f64>() < cfg.chaos_share {
+            let op = inject_chaos(addr, &mut rng);
+            tally.chaos_injected += 1;
+            *tally.statuses.entry(op.to_string()).or_insert(0) += 1;
+            continue;
+        }
         let recipe = next_recipe(&mut rng, cfg.sweep_share);
         let started = Instant::now();
         tally.total += 1;
-        match issue(addr, &recipe) {
-            Ok(status) => {
+        // Attempt loop: retry `503`s and transport failures with
+        // backoff until the budget or the run deadline runs out. Only
+        // the *final* outcome classifies the request, so
+        // `ok + rejected + failed == total` holds at any retry budget.
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let outcome = issue(addr, &recipe);
+            let (retryable, retry_after) = match &outcome {
+                Ok((status, retry_after)) => (*status == 503, *retry_after),
+                Err(_) => (true, None),
+            };
+            if !retryable || attempt >= cfg.max_retries {
+                break outcome;
+            }
+            let delay = backoff_delay(&mut rng, attempt + 1, cfg.backoff_base_ms, retry_after);
+            if Instant::now() + delay >= deadline {
+                // Not enough run time left to honor the backoff.
+                break outcome;
+            }
+            std::thread::sleep(delay);
+            attempt += 1;
+            tally.retries += 1;
+        };
+        match outcome {
+            Ok((status, _)) => {
                 let secs = started.elapsed().as_secs_f64();
                 tally.latency.entry(recipe.class).or_default().record(secs);
                 *tally.statuses.entry(status.to_string()).or_insert(0) += 1;
                 match status {
                     200..=299 => tally.ok += 1,
-                    503 => tally.rejected += 1,
+                    503 => {
+                        tally.rejected += 1;
+                        if attempt >= cfg.max_retries {
+                            tally.gave_up += 1;
+                        }
+                    }
                     _ => tally.failed += 1,
                 }
             }
             Err(_) => {
                 tally.failed += 1;
+                if attempt >= cfg.max_retries {
+                    tally.gave_up += 1;
+                }
                 *tally.statuses.entry("error".to_string()).or_insert(0) += 1;
             }
         }
@@ -278,6 +420,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     if !(0.0..=1.0).contains(&cfg.sweep_share) {
         return Err("sweep share must be within 0..=1".to_string());
     }
+    if !(0.0..=1.0).contains(&cfg.chaos_share) {
+        return Err("chaos share must be within 0..=1".to_string());
+    }
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(cfg.duration_secs);
     let mut merged = WorkerTally::default();
@@ -298,7 +443,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             body: String::new(),
         };
         match issue(&cfg.addr, &recipe) {
-            Ok(status) => obs::info!("loadgen", "shutdown request answered {status}"),
+            Ok((status, _)) => obs::info!("loadgen", "shutdown request answered {status}"),
             Err(e) => obs::warn!("loadgen", "shutdown request failed: {e}"),
         }
     }
@@ -334,6 +479,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         ok: merged.ok,
         rejected: merged.rejected,
         failed: merged.failed,
+        retries: merged.retries,
+        gave_up: merged.gave_up,
+        chaos_injected: merged.chaos_injected,
         throughput_rps: if elapsed > 0.0 {
             (merged.ok + merged.rejected + merged.failed) as f64 / elapsed
         } else {
@@ -365,6 +513,32 @@ mod tests {
             ..LoadgenConfig::default()
         };
         assert!(run_loadgen(&bad).is_err());
+        let bad = LoadgenConfig {
+            chaos_share: -0.1,
+            ..LoadgenConfig::default()
+        };
+        assert!(run_loadgen(&bad).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_honors_retry_after_and_caps() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Attempt 1 from a 50 ms base: within [25, 100] ms.
+        let d1 = backoff_delay(&mut rng, 1, 50, None);
+        assert!(d1 >= Duration::from_millis(25) && d1 <= Duration::from_millis(100));
+        // A Retry-After hint floors the delay.
+        let hinted = backoff_delay(&mut rng, 1, 50, Some(1));
+        assert!(hinted >= Duration::from_millis(1_000));
+        // Deep attempts and huge hints both cap at 2 s.
+        assert!(backoff_delay(&mut rng, 30, 50, None) <= Duration::from_millis(2_000));
+        assert!(backoff_delay(&mut rng, 1, 50, Some(60)) == Duration::from_millis(2_000));
+        // Deterministic given identical rng state.
+        let mut a = ChaCha8Rng::seed_from_u64(4);
+        let mut b = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(
+            backoff_delay(&mut a, 2, 50, None),
+            backoff_delay(&mut b, 2, 50, None)
+        );
     }
 
     #[test]
@@ -419,6 +593,48 @@ mod tests {
         assert_eq!(report.schema, LOAD_REPORT_SCHEMA);
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"throughput_rps\""));
-        assert!(json.contains("\"schema\":1"));
+        assert!(json.contains("\"schema\":2"));
+        assert!(json.contains("\"retries\""));
+        assert!(json.contains("\"gave_up\""));
+    }
+
+    #[test]
+    fn chaos_mode_leaves_the_server_serving() {
+        let server = crate::server::Server::bind(&crate::server::ServeConfig {
+            workers: 2,
+            read_timeout_secs: 1.0,
+            ..crate::server::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let report = run_loadgen(&LoadgenConfig {
+            addr: addr.clone(),
+            workers: 2,
+            duration_secs: 1.5,
+            sweep_share: 0.0,
+            seed: 8,
+            chaos: true,
+            chaos_share: 0.5,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+
+        assert!(report.chaos_injected > 0, "chaos ops must fire at 50%");
+        assert_eq!(report.ok + report.rejected + report.failed, report.total);
+        // Well-behaved requests still succeed around the chaos.
+        assert!(report.ok > 0, "statuses: {:?}", report.statuses);
+        // And the server is still healthy afterwards.
+        let recipe = Recipe {
+            class: "health",
+            path: "/healthz",
+            body: String::new(),
+        };
+        let (status, _) = issue(&addr, &recipe).unwrap();
+        assert_eq!(status, 200);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
     }
 }

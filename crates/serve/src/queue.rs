@@ -10,6 +10,11 @@
 //! them all, but `pop` keeps returning queued items until the queue is
 //! *empty* — that drain semantic is what makes shutdown graceful:
 //! every request accepted before the close is still served.
+//!
+//! The server queues connections stamped with their accept time, which
+//! anchors the request deadline: a worker popping an item that already
+//! out-waited its deadline sheds it with `503` + `Retry-After` instead
+//! of starting work whose budget is spent (see `server::worker_loop`).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

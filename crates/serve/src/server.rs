@@ -11,21 +11,39 @@
 //! acceptor with a loopback connection; the acceptor stops accepting,
 //! closes the queue, and joins the workers — which finish every already
 //! accepted request before exiting.
+//!
+//! Every connection is stamped with its accept time. That timestamp
+//! anchors the request deadline: a connection that already waited past
+//! the deadline in the queue is shed at dequeue with `503` +
+//! `Retry-After` (cheaper than starting doomed work), and one that
+//! expires mid-sweep gets `504 deadline_exceeded` with completed rows
+//! persisted to the durable store for the retry to resume from.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::api::{Api, ApiLimits};
-use crate::http::{read_request, write_response, HttpError, Response};
+use crate::http::{read_request_within, write_response, HttpError, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServeStats;
+use crate::store::ResponseStore;
 
-/// Per-connection socket read timeout: a client that stalls mid-request
-/// cannot pin a worker forever.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default per-connection read timeout (seconds): a client that stalls
+/// or trickles mid-request cannot pin a worker forever. Overridable via
+/// [`ServeConfig::read_timeout_secs`].
+pub const DEFAULT_READ_TIMEOUT_SECS: f64 = 10.0;
+
+/// Default wall-clock request deadline (seconds), measured from accept.
+/// Generous on purpose: it exists to bound pathological queue waits and
+/// runaway sweeps, not to race healthy requests.
+pub const DEFAULT_REQUEST_DEADLINE_SECS: f64 = 300.0;
+
+/// Default durable-store size budget: 256 MiB.
+pub const DEFAULT_STORE_BUDGET_BYTES: u64 = 268_435_456;
 
 /// Everything the daemon needs to come up.
 #[derive(Clone, Debug)]
@@ -46,6 +64,14 @@ pub struct ServeConfig {
     pub max_realizations: usize,
     /// Largest accepted `opts.messages` on sweep requests.
     pub max_messages: usize,
+    /// Durable response-store directory; `None` disables the store.
+    pub store_dir: Option<String>,
+    /// Durable-store size budget in bytes (oldest-first compaction).
+    pub store_budget_bytes: u64,
+    /// Wall-clock request deadline in seconds, measured from accept.
+    pub request_deadline_secs: f64,
+    /// Overall per-connection read budget in seconds.
+    pub read_timeout_secs: f64,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +85,10 @@ impl Default for ServeConfig {
             sweep_threads: 1,
             max_realizations: 64,
             max_messages: 200,
+            store_dir: None,
+            store_budget_bytes: DEFAULT_STORE_BUDGET_BYTES,
+            request_deadline_secs: DEFAULT_REQUEST_DEADLINE_SECS,
+            read_timeout_secs: DEFAULT_READ_TIMEOUT_SECS,
         }
     }
 }
@@ -70,6 +100,8 @@ pub enum ServeError {
     Bind(String),
     /// An I/O failure on the listening socket itself.
     Io(std::io::Error),
+    /// The durable response store could not be opened.
+    Store(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -77,19 +109,29 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Bind(m) => write!(f, "bind: {m}"),
             ServeError::Io(e) => write!(f, "listener: {e}"),
+            ServeError::Store(m) => write!(f, "store: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
+/// One accepted connection plus the moment it arrived; the accept time
+/// anchors both queue-expiry shedding and the request deadline.
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
 /// Shared state between the acceptor, the workers, and handles.
 struct Shared {
     api: Api,
     stats: Arc<ServeStats>,
-    queue: BoundedQueue<TcpStream>,
+    queue: BoundedQueue<Conn>,
     stop: AtomicBool,
     local_addr: SocketAddr,
+    request_deadline: Option<Duration>,
+    read_timeout: Option<Duration>,
 }
 
 /// A bound, not-yet-running server.
@@ -145,9 +187,17 @@ impl Server {
             cfg.workers
         };
         let stats = Arc::new(ServeStats::new());
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Arc::new(
+                ResponseStore::open(Path::new(dir), cfg.store_budget_bytes)
+                    .map_err(|e| ServeError::Store(format!("{dir}: {e}")))?,
+            )),
+            None => None,
+        };
         let api = Api::new(
             cfg.cache_capacity,
             cfg.cache_shards,
+            store,
             Arc::clone(&stats),
             ApiLimits {
                 sweep_threads: cfg.sweep_threads.max(1),
@@ -163,6 +213,8 @@ impl Server {
                 queue: BoundedQueue::new(cfg.queue_depth),
                 stop: AtomicBool::new(false),
                 local_addr,
+                request_deadline: positive_secs(cfg.request_deadline_secs),
+                read_timeout: positive_secs(cfg.read_timeout_secs),
             }),
             workers,
         })
@@ -219,14 +271,18 @@ impl Server {
                     continue;
                 }
             };
-            match self.shared.queue.try_push(stream) {
+            let conn = Conn {
+                stream,
+                accepted: Instant::now(),
+            };
+            match self.shared.queue.try_push(conn) {
                 Ok(_depth) => {
                     self.shared
                         .stats
                         .gauge(&self.shared.stats.queue_depth, "serve.queue_depth", 1);
                 }
-                Err(PushError::Full(stream) | PushError::Closed(stream)) => {
-                    reject(&self.shared, stream);
+                Err(PushError::Full(conn) | PushError::Closed(conn)) => {
+                    reject(&self.shared, conn.stream);
                 }
             }
         }
@@ -246,6 +302,11 @@ fn handle_of(shared: &Arc<Shared>) -> ServerHandle {
     }
 }
 
+/// `secs > 0` as a [`Duration`]; zero or negative disables the knob.
+fn positive_secs(secs: f64) -> Option<Duration> {
+    (secs > 0.0 && secs.is_finite()).then(|| Duration::from_secs_f64(secs))
+}
+
 /// Sheds one connection with `503` + `Retry-After: 1`; best-effort.
 fn reject(shared: &Shared, mut stream: TcpStream) {
     shared.stats.bump(&shared.stats.rejected, "serve.rejected");
@@ -259,14 +320,23 @@ fn reject(shared: &Shared, mut stream: TcpStream) {
 }
 
 fn worker_loop(shared: &Shared, handle: &ServerHandle) {
-    while let Some(stream) = shared.queue.pop() {
+    while let Some(conn) = shared.queue.pop() {
         shared
             .stats
             .gauge(&shared.stats.queue_depth, "serve.queue_depth", -1);
+        // A connection whose deadline already expired while queued gets
+        // shed here — answering is cheaper than starting doomed work,
+        // and it never counts as in-flight.
+        if let Some(deadline) = shared.request_deadline {
+            if conn.accepted.elapsed() >= deadline {
+                expire_queued(shared, conn.stream);
+                continue;
+            }
+        }
         shared
             .stats
             .gauge(&shared.stats.inflight, "serve.inflight", 1);
-        let shutdown_after = handle_connection(shared, stream);
+        let shutdown_after = handle_connection(shared, conn);
         shared
             .stats
             .gauge(&shared.stats.inflight, "serve.inflight", -1);
@@ -276,16 +346,42 @@ fn worker_loop(shared: &Shared, handle: &ServerHandle) {
     }
 }
 
+/// Sheds a connection that out-waited its deadline in the queue:
+/// `503` + `Retry-After: 1`, best-effort, counted separately from
+/// queue-full rejections.
+fn expire_queued(shared: &Shared, mut stream: TcpStream) {
+    shared.stats.bump(
+        &shared.stats.deadline_queue_expired,
+        "serve.deadline_queue_expired",
+    );
+    let resp = Response {
+        retry_after: Some(1),
+        ..Response::error(
+            503,
+            "overloaded",
+            "deadline expired while queued, retry shortly",
+        )
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = write_response(&mut stream, &resp);
+    let _ = stream.flush();
+}
+
 /// Serves one connection end to end; returns whether the response asked
 /// for a server shutdown.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+fn handle_connection(shared: &Shared, conn: Conn) -> bool {
+    let Conn {
+        mut stream,
+        accepted,
+    } = conn;
+    let _ = stream.set_read_timeout(shared.read_timeout);
     let _ = stream.set_nodelay(true);
     let started = Instant::now();
-    let (response, class) = match read_request(&mut stream) {
+    let deadline = shared.request_deadline.map(|d| accepted + d);
+    let (response, class) = match read_request_within(&mut stream, shared.read_timeout) {
         Ok(req) => {
             let class = Api::class_of(&req.path);
-            (shared.api.handle(&req), class)
+            (shared.api.handle_at(&req, deadline), class)
         }
         Err(HttpError::TooLarge(m)) => (Response::error(413, "too_large", &m), "other"),
         Err(HttpError::Malformed(m)) => (Response::error(400, "malformed_request", &m), "other"),

@@ -36,10 +36,30 @@ pub struct ServeStats {
     pub sweep_computes: AtomicU64,
     /// Sweep requests that coalesced onto an in-flight computation.
     pub sweep_coalesced: AtomicU64,
+    /// LRU misses answered from the disk store (promoted to memory).
+    pub store_hits: AtomicU64,
+    /// LRU misses that also missed the disk store.
+    pub store_misses: AtomicU64,
+    /// Computed responses persisted to the disk store.
+    pub store_writes: AtomicU64,
+    /// Individual sweep rows replayed from the disk store.
+    pub store_row_hits: AtomicU64,
+    /// Individual sweep rows persisted to the disk store.
+    pub store_row_writes: AtomicU64,
+    /// Requests whose deadline expired while waiting in the queue (503).
+    pub deadline_queue_expired: AtomicU64,
+    /// Requests whose deadline expired mid-computation (504).
+    pub deadline_exceeded: AtomicU64,
     /// Connections currently being handled by a worker.
     pub inflight: AtomicI64,
     /// Connections currently waiting in the bounded queue.
     pub queue_depth: AtomicI64,
+    /// Live records in the disk store (0 when no store is configured).
+    pub store_records: AtomicI64,
+    /// Disk-store log length in bytes.
+    pub store_bytes: AtomicI64,
+    /// Bad-CRC records skipped by the store since it was opened.
+    pub store_records_quarantined: AtomicI64,
     latency: Mutex<BTreeMap<String, obs::Histogram>>,
 }
 
@@ -57,8 +77,18 @@ impl ServeStats {
             cache_misses: AtomicU64::new(0),
             sweep_computes: AtomicU64::new(0),
             sweep_coalesced: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_row_hits: AtomicU64::new(0),
+            store_row_writes: AtomicU64::new(0),
+            deadline_queue_expired: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             inflight: AtomicI64::new(0),
             queue_depth: AtomicI64::new(0),
+            store_records: AtomicI64::new(0),
+            store_bytes: AtomicI64::new(0),
+            store_records_quarantined: AtomicI64::new(0),
             latency: Mutex::new(BTreeMap::new()),
         }
     }
@@ -73,6 +103,13 @@ impl ServeStats {
     pub fn gauge(&self, which: &AtomicI64, obs_name: &str, delta: i64) {
         let new = which.fetch_add(delta, Ordering::Relaxed) + delta;
         obs::gauge_set(obs_name, new);
+    }
+
+    /// Sets a gauge to an absolute level (store health mirroring) and
+    /// mirrors it globally.
+    pub fn gauge_level(&self, which: &AtomicI64, obs_name: &str, value: i64) {
+        which.store(value, Ordering::Relaxed);
+        obs::gauge_set(obs_name, value);
     }
 
     /// Records one request's latency under its endpoint class and tallies
@@ -106,18 +143,26 @@ impl ServeStats {
             ("cache_misses", &self.cache_misses),
             ("sweep_computes", &self.sweep_computes),
             ("sweep_coalesced", &self.sweep_coalesced),
+            ("store_hits", &self.store_hits),
+            ("store_misses", &self.store_misses),
+            ("store_writes", &self.store_writes),
+            ("store_row_hits", &self.store_row_hits),
+            ("store_row_writes", &self.store_row_writes),
+            ("deadline_queue_expired", &self.deadline_queue_expired),
+            ("deadline_exceeded", &self.deadline_exceeded),
         ] {
             counters.insert(name.to_string(), v.load(Ordering::Relaxed));
         }
         let mut gauges = BTreeMap::new();
-        gauges.insert(
-            "inflight".to_string(),
-            self.inflight.load(Ordering::Relaxed),
-        );
-        gauges.insert(
-            "queue_depth".to_string(),
-            self.queue_depth.load(Ordering::Relaxed),
-        );
+        for (name, v) in [
+            ("inflight", &self.inflight),
+            ("queue_depth", &self.queue_depth),
+            ("store_records", &self.store_records),
+            ("store_bytes", &self.store_bytes),
+            ("store_records_quarantined", &self.store_records_quarantined),
+        ] {
+            gauges.insert(name.to_string(), v.load(Ordering::Relaxed));
+        }
         let latency = self.latency.lock().unwrap();
         let endpoints = latency
             .iter()

@@ -64,8 +64,15 @@ fn print_usage() {
          serve: onion-dtn serve [--port 7070 --host 127.0.0.1 --workers 0 --queue 128\n\
          \t--cache 512 --shards 8 --sweep-threads 1] (HTTP daemon; /healthz /metricsz\n\
          \t/v1/model/* /v1/sweep/* — POST /v1/admin/shutdown drains and exits)\n\
+         \t--store <dir> (crash-safe disk response store; survives kill -9)\n\
+         \t--store-budget <bytes> (store size budget, default 256 MiB)\n\
+         \t--request-deadline-secs 300 (503 if expired in queue, 504 mid-sweep)\n\
+         \t--read-timeout-secs 10 (overall read budget; defeats slowloris)\n\
          loadgen: onion-dtn loadgen [--addr 127.0.0.1:7070 --workers 2 --duration 10\n\
          \t--sweep-share 0.1 --seed 1 --report out.json --shutdown]\n\
+         \t--max-retries 3 --backoff-ms 50 (retry 503/transport errors with\n\
+         \t                                 jittered exponential backoff)\n\
+         \t--chaos --chaos-share 0.25 (inject drops/stalls/half-closes/garbage)\n\
          telemetry: --metrics-out <path> (JSONL per experiment point)\n\
          \t--trace-out <path> (JSONL message-lifecycle trace; deterministic,\n\
          \t                    never perturbs results)  --trace-cap <n> (per-trial\n\
@@ -83,6 +90,7 @@ const BOOL_FLAGS: &[&str] = &[
     "fault-forget",
     "shutdown",
     "wire",
+    "chaos",
 ];
 
 /// A CLI failure carrying its process exit code: usage errors exit 2,
@@ -574,6 +582,22 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         sweep_threads: flag(flags, "sweep-threads", 1usize)?,
         max_realizations: flag(flags, "max-realizations", 64usize)?,
         max_messages: flag(flags, "max-messages", 200usize)?,
+        store_dir: flags.get("store").cloned(),
+        store_budget_bytes: flag(
+            flags,
+            "store-budget",
+            serve::server::DEFAULT_STORE_BUDGET_BYTES,
+        )?,
+        request_deadline_secs: flag(
+            flags,
+            "request-deadline-secs",
+            serve::server::DEFAULT_REQUEST_DEADLINE_SECS,
+        )?,
+        read_timeout_secs: flag(
+            flags,
+            "read-timeout-secs",
+            serve::server::DEFAULT_READ_TIMEOUT_SECS,
+        )?,
     };
     let server = Server::bind(&cfg).map_err(|e| CliError::Io(serve_error_text(e)))?;
     let addr = server.local_addr();
@@ -585,6 +609,7 @@ fn serve_error_text(e: ServeError) -> String {
     match e {
         ServeError::Bind(msg) => msg,
         ServeError::Io(err) => err.to_string(),
+        ServeError::Store(msg) => msg,
     }
 }
 
@@ -597,16 +622,24 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), CliError> {
         sweep_share: flag(flags, "sweep-share", 0.1f64)?,
         seed: flag(flags, "seed", 1u64)?,
         shutdown_after: flags.contains_key("shutdown"),
+        max_retries: flag(flags, "max-retries", 3u32)?,
+        backoff_base_ms: flag(flags, "backoff-ms", 50u64)?,
+        chaos: flags.contains_key("chaos"),
+        chaos_share: flag(flags, "chaos-share", 0.25f64)?,
     };
     let report = run_loadgen(&cfg).map_err(CliError::Usage)?;
     println!(
-        "loadgen: {} requests in {:.1}s ({:.1} req/s) — ok {}, rejected {}, failed {}",
+        "loadgen: {} requests in {:.1}s ({:.1} req/s) — ok {}, rejected {}, failed {}, \
+         retries {}, gave up {}, chaos {}",
         report.total,
         report.elapsed_secs,
         report.throughput_rps,
         report.ok,
         report.rejected,
         report.failed,
+        report.retries,
+        report.gave_up,
+        report.chaos_injected,
     );
     for (class, s) in &report.classes {
         println!(
